@@ -1,0 +1,45 @@
+# Priority Random Linear Codes — build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (the message-passing cluster and the
+# parallel experiment harness are the interesting targets).
+race:
+	$(GO) test -race ./...
+
+# One testing.B per paper table/figure plus the extension benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure and table of the paper at full scale
+# (N = 1000, 100 trials; several minutes on one core). CSVs land in
+# results/.
+figures:
+	$(GO) run ./cmd/prlcbench -all -csv results
+
+# Run every example program once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sensornet
+	$(GO) run ./examples/p2pmonitor
+	$(GO) run ./examples/feasibility
+	$(GO) run ./examples/churntimeline
+	$(GO) run ./examples/multires
+	$(GO) run ./examples/tcpstore
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func writeTempFile(t *testing.T, size int) string {
+	t.Helper()
+	data := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(data)
+	path := filepath.Join(t.TempDir(), "input.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"encode"}); err == nil {
+		t.Error("encode without -in/-out accepted")
+	}
+	if err := run([]string{"decode"}); err == nil {
+		t.Error("decode without -in/-out accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	in := writeTempFile(t, 1000)
+	out := t.TempDir()
+	cases := [][]string{
+		{"encode", "-in", filepath.Join(t.TempDir(), "missing"), "-out", out},
+		{"encode", "-in", in, "-out", out, "-scheme", "xyz"},
+		{"encode", "-in", in, "-out", out, "-blocks", "-5"},
+		{"encode", "-in", in, "-out", out, "-blocks", "50", "-coded", "10"},
+		{"encode", "-in", in, "-out", out, "-levels", "0.5,-0.1"},
+		{"encode", "-in", in, "-out", out, "-levels", "abc"},
+		{"encode", "-in", in, "-out", out, "-dist", "0.9,0.9,0.9"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("bad encode args %d accepted: %v", i, args)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := writeTempFile(t, 7777) // deliberately not a multiple of the block count
+	blocksDir := filepath.Join(t.TempDir(), "blocks")
+	if err := run([]string{
+		"encode", "-in", in, "-out", blocksDir,
+		"-blocks", "40", "-coded", "70", "-levels", "0.2,0.8", "-scheme", "plc",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(blocksDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 70 {
+		t.Fatalf("wrote %d block files, want 70", len(entries))
+	}
+
+	outFile := filepath.Join(t.TempDir(), "out.bin")
+	if err := run([]string{"decode", "-in", blocksDir, "-out", outFile}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("full decode mismatch: %d bytes vs %d", len(got), len(want))
+	}
+}
+
+func TestDecodePartialPrefix(t *testing.T) {
+	in := writeTempFile(t, 5000)
+	blocksDir := filepath.Join(t.TempDir(), "blocks")
+	if err := run([]string{
+		"encode", "-in", in, "-out", blocksDir,
+		"-blocks", "50", "-coded", "80", "-levels", "0.2,0.8",
+		"-dist", "0.6,0.4", "-scheme", "plc",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy 60% of the block files.
+	entries, err := os.ReadDir(blocksDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if i%5 != 0 && i%5 != 1 {
+			if err := os.Remove(filepath.Join(blocksDir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	outFile := filepath.Join(t.TempDir(), "out.bin")
+	if err := run([]string{"decode", "-in", blocksDir, "-out", outFile}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever prefix was recovered must match the original byte for byte.
+	if len(got) > len(want) {
+		t.Fatalf("recovered %d bytes from a %d-byte file", len(got), len(want))
+	}
+	if !bytes.Equal(got, want[:len(got)]) {
+		t.Fatal("recovered prefix differs from the original")
+	}
+}
+
+func TestDecodeEmptyDir(t *testing.T) {
+	if err := run([]string{"decode", "-in", t.TempDir(), "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("decode of empty directory succeeded")
+	}
+}
+
+func TestDecodeSkipsCorruptFiles(t *testing.T) {
+	in := writeTempFile(t, 2000)
+	blocksDir := filepath.Join(t.TempDir(), "blocks")
+	if err := run([]string{
+		"encode", "-in", in, "-out", blocksDir, "-blocks", "20", "-coded", "80",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one file, truncate another, add junk.
+	if err := os.WriteFile(filepath.Join(blocksDir, "block_00000.prlc"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(blocksDir, "block_00001.prlc"), []byte("PRLC\x01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(blocksDir, "junk.prlc"), []byte("PRLC\x09"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outFile := filepath.Join(t.TempDir(), "out.bin")
+	if err := run([]string{"decode", "-in", blocksDir, "-out", outFile}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("decode with corrupt files present lost data")
+	}
+}
+
+func TestFractionsToSizes(t *testing.T) {
+	sizes, err := fractionsToSizes([]float64{0.1, 0.2, 0.7}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 100 {
+		t.Errorf("sizes %v sum to %d", sizes, total)
+	}
+	if sizes[0] != 10 || sizes[1] != 20 || sizes[2] != 70 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if _, err := fractionsToSizes(nil, 10); err == nil {
+		t.Error("empty fractions accepted")
+	}
+	if _, err := fractionsToSizes([]float64{0}, 10); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := fractionsToSizes([]float64{1, 1, 1, 1}, 3); err == nil {
+		t.Error("more levels than blocks accepted")
+	}
+	// Tiny fractions round up to 1 block.
+	sizes, err = fractionsToSizes([]float64{0.001, 0.999}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes[0] != 1 {
+		t.Errorf("tiny level size %d, want 1", sizes[0])
+	}
+}
+
+func TestBlockFileRoundTrip(t *testing.T) {
+	h := header{
+		scheme:     3, // PLC
+		levelSizes: []int{2, 3},
+		fileSize:   999,
+		payloadLen: 4,
+	}
+	b := &core.CodedBlock{Level: 1, Coeff: []byte{0, 0, 1, 2, 3}, Payload: []byte{9, 8, 7, 6}}
+	path := filepath.Join(t.TempDir(), "b.prlc")
+	if err := writeBlock(path, h, b); err != nil {
+		t.Fatal(err)
+	}
+	h2, b2, err := readBlock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !headersCompatible(h, h2) {
+		t.Errorf("headers incompatible after round trip: %+v vs %+v", h, h2)
+	}
+	if b2.Level != b.Level || !bytes.Equal(b2.Coeff, b.Coeff) || !bytes.Equal(b2.Payload, b.Payload) {
+		t.Errorf("block mismatch: %+v vs %+v", b2, b)
+	}
+}

@@ -1,0 +1,317 @@
+// Package analysis implements the numerical decoding-performance model of
+// Sec. 3.3: the expected number of decoded priority levels E(X) as a
+// function of the number of randomly accumulated coded blocks M, for SLC
+// (eq. 2–6) and PLC (Theorem 1).
+//
+// # Model
+//
+// Each of the M accumulated coded blocks carries a level drawn
+// independently from the priority distribution P, so the level-occupancy
+// vector D is Multinomial(M, P). Decodability is evaluated under the
+// paper's threshold model (footnote 1): a set of random coefficients over
+// GF(2^8) is treated as full rank whenever the counting conditions hold,
+// which is true with probability > 0.99 at the paper's scales.
+//
+// Both schemes are evaluated through the identity E(X) = Σ_k Pr(X ≥ k):
+//
+//   - SLC: X ≥ k iff D_i ≥ a_i for every level i ≤ k (eq. 2, with the
+//     complement event absorbed by the telescoping sum). This is exact
+//     under the threshold model. One forward pass of a constrained-
+//     multinomial dynamic program yields Pr(X ≥ k) for every k at once.
+//
+//   - PLC: X ≥ k iff some j ≥ k satisfies the Lemma-2 event
+//     E_j = ∩_{i≤j} {D_{i,j} ≥ b_j − b_{i−1}} (Theorem 1). The union over
+//     j is computed EXACTLY by reducing the event family to a scalar
+//     Markov statistic (see plc.go), where the paper applies
+//     approximations "to reduce computation complexity" whose error grows
+//     with the number of levels (cf. its Fig. 4b); our analysis-vs-
+//     simulation gap is therefore only the threshold model's own
+//     rank-deficiency slack. EventProb exposes the single-event lower
+//     bound Pr(E_k) for comparison.
+//
+// Instead of enumerating the O(M^{k+1}) occupancy partitions, each event
+// probability is computed by a dynamic program over per-level binomial
+// conditionals with tail-truncated kernels (dist.BinomialWindow), giving
+// O(n · M · sqrt(M)) per curve point — the same complexity-reduction role
+// the paper assigns to the Kontkanen–Myllymäki FFT method.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+const (
+	// kernelTailEps truncates each binomial kernel's tails.
+	kernelTailEps = 1e-16
+	// pruneEps trims DP state-vector edges whose mass is negligible
+	// relative to the surviving total.
+	pruneEps = 1e-15
+)
+
+// Result is the analytical decoding performance at one curve point.
+type Result struct {
+	// M is the number of randomly accumulated coded blocks.
+	M int
+	// EX is the expected number of decoded priority levels E(X).
+	EX float64
+	// PrGE[i] is Pr(X ≥ i+1): the probability that levels 0..i (the i+1
+	// most important) are all decoded.
+	PrGE []float64
+}
+
+// PrEq returns Pr(X = k+1) for 0-based k, i.e. the probability that
+// exactly the first k+1 levels decode, derived by telescoping and clamped
+// at zero against approximation noise.
+func (r Result) PrEq(k int) float64 {
+	if k < 0 || k >= len(r.PrGE) {
+		return 0
+	}
+	p := r.PrGE[k]
+	if k+1 < len(r.PrGE) {
+		p -= r.PrGE[k+1]
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// PrAll returns the probability that all levels decode — the quantity
+// constrained by eq. (10).
+func (r Result) PrAll() float64 {
+	if len(r.PrGE) == 0 {
+		return 0
+	}
+	return r.PrGE[len(r.PrGE)-1]
+}
+
+func validate(l *core.Levels, p core.PriorityDistribution, m int) error {
+	if l == nil {
+		return fmt.Errorf("analysis: nil levels")
+	}
+	if err := p.Validate(l); err != nil {
+		return err
+	}
+	if m < 0 {
+		return fmt.Errorf("analysis: negative block count M = %d", m)
+	}
+	return nil
+}
+
+// Eval computes the analytical decoding performance for the given scheme
+// at M accumulated coded blocks.
+func Eval(scheme core.Scheme, l *core.Levels, p core.PriorityDistribution, m int) (Result, error) {
+	switch scheme {
+	case core.RLC:
+		return evalRLC(l, p, m)
+	case core.SLC:
+		return evalSLC(l, p, m)
+	case core.PLC:
+		return evalPLC(l, p, m)
+	default:
+		return Result{}, fmt.Errorf("analysis: invalid scheme %v", scheme)
+	}
+}
+
+// Curve evaluates Eval over a sweep of M values — one decoding curve.
+func Curve(scheme core.Scheme, l *core.Levels, p core.PriorityDistribution, ms []int) ([]Result, error) {
+	out := make([]Result, 0, len(ms))
+	for _, m := range ms {
+		r, err := Eval(scheme, l, p, m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// evalRLC is the all-or-nothing baseline under the threshold model:
+// everything decodes iff M ≥ N.
+func evalRLC(l *core.Levels, p core.PriorityDistribution, m int) (Result, error) {
+	if err := validate(l, p, m); err != nil {
+		return Result{}, err
+	}
+	n := l.Count()
+	r := Result{M: m, PrGE: make([]float64, n)}
+	if m >= l.Total() {
+		for i := range r.PrGE {
+			r.PrGE[i] = 1
+		}
+		r.EX = float64(n)
+	}
+	return r, nil
+}
+
+// evalSLC runs one forward constrained-multinomial DP over the levels.
+// After absorbing level i with the constraint D_i ≥ a_i, the surviving
+// mass equals Pr(X ≥ i+1).
+func evalSLC(l *core.Levels, p core.PriorityDistribution, m int) (Result, error) {
+	if err := validate(l, p, m); err != nil {
+		return Result{}, err
+	}
+	n := l.Count()
+	r := Result{M: m, PrGE: make([]float64, n)}
+
+	cur := newMassVec(0, []float64{1})
+	remProb := 1.0
+	for i := 0; i < n; i++ {
+		q := conditionalProb(p[i], remProb)
+		next := make([]float64, m+1)
+		minD := l.Size(i) // constraint D_i ≥ a_i
+		for idx, mu := range cur.v {
+			if mu == 0 {
+				continue
+			}
+			s := cur.lo + idx
+			trials := m - s
+			if trials < minD {
+				continue
+			}
+			dlo, pmf := dist.BinomialWindow(trials, q, kernelTailEps)
+			for di, pd := range pmf {
+				d := dlo + di
+				if d < minD {
+					continue
+				}
+				next[s+d] += mu * pd
+			}
+		}
+		cur = compact(next)
+		r.PrGE[i] = cur.total
+		remProb -= p[i]
+	}
+	for _, v := range r.PrGE {
+		r.EX += v
+	}
+	return r, nil
+}
+
+// evalPLC computes the exact survival function Pr(X ≥ k) via the
+// forward/backward (O, C) dynamic program in plc.go.
+func evalPLC(l *core.Levels, p core.PriorityDistribution, m int) (Result, error) {
+	if err := validate(l, p, m); err != nil {
+		return Result{}, err
+	}
+	r := Result{M: m, PrGE: plcSurvival(l, p, m)}
+	for _, v := range r.PrGE {
+		r.EX += v
+	}
+	return r, nil
+}
+
+// EventProb returns Pr(E_k) for 1-based k: the probability of the Lemma-2
+// event that the first k levels decode from the blocks of levels 1..k
+// alone, i.e. D_{i,k} ≥ b_k − b_{i−1} for every i = 1..k. It is a lower
+// bound on Pr(X ≥ k) — the single-event approximation whose gap to the
+// exact union the ablation benchmarks measure. Levels are processed from k
+// down to 1, with the DP state holding the suffix count D_{i,k}.
+func EventProb(l *core.Levels, p core.PriorityDistribution, m, k int) (float64, error) {
+	if err := validate(l, p, m); err != nil {
+		return 0, err
+	}
+	if err := l.ValidLevel(k - 1); err != nil {
+		return 0, err
+	}
+	return plcEventProb(l, p, m, k), nil
+}
+
+func plcEventProb(l *core.Levels, p core.PriorityDistribution, m, k int) float64 {
+	bk := l.CumSize(k - 1)
+	if bk > m {
+		return 0 // the i=1 constraint D_{1,k} ≥ b_k cannot hold
+	}
+	cur := newMassVec(0, []float64{1})
+	remProb := 1.0
+	for i := k - 1; i >= 0; i-- { // 0-based level i
+		q := conditionalProb(p[i], remProb)
+		prevCum := 0
+		if i > 0 {
+			prevCum = l.CumSize(i - 1)
+		}
+		thresh := bk - prevCum // suffix count after absorbing level i must reach this
+		next := make([]float64, m+1)
+		for idx, mu := range cur.v {
+			if mu == 0 {
+				continue
+			}
+			s := cur.lo + idx
+			trials := m - s
+			if s+trials < thresh {
+				continue
+			}
+			dlo, pmf := dist.BinomialWindow(trials, q, kernelTailEps)
+			for di, pd := range pmf {
+				d := dlo + di
+				if s+d < thresh {
+					continue
+				}
+				next[s+d] += mu * pd
+			}
+		}
+		cur = compact(next)
+		if cur.total == 0 {
+			return 0
+		}
+		remProb -= p[i]
+	}
+	return cur.total
+}
+
+// conditionalProb returns the per-level binomial success probability given
+// the unprocessed probability mass, guarding the numerical edges.
+func conditionalProb(pi, remProb float64) float64 {
+	if pi <= 0 {
+		return 0
+	}
+	if remProb <= pi {
+		return 1
+	}
+	q := pi / remProb
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// massVec is a probability vector over DP states [lo, lo+len(v)).
+type massVec struct {
+	lo    int
+	v     []float64
+	total float64
+}
+
+func newMassVec(lo int, v []float64) massVec {
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return massVec{lo: lo, v: v, total: t}
+}
+
+// compact trims negligible-mass edges from a dense state vector.
+func compact(dense []float64) massVec {
+	total := 0.0
+	for _, x := range dense {
+		total += x
+	}
+	if total == 0 {
+		return massVec{total: 0, v: nil}
+	}
+	cut := total * pruneEps
+	lo := 0
+	for lo < len(dense) && dense[lo] < cut {
+		lo++
+	}
+	hi := len(dense) - 1
+	for hi >= lo && dense[hi] < cut {
+		hi--
+	}
+	if hi < lo {
+		return massVec{total: 0, v: nil}
+	}
+	return massVec{lo: lo, v: dense[lo : hi+1], total: total}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// TestPLCSurvivalMatchesThresholdMonteCarlo cross-checks the exact
+// forward/backward DP against a direct Monte-Carlo evaluation of the
+// threshold model at a scale far beyond the brute-force enumerations:
+// n = 10 levels, N = 100 source blocks, 40k occupancy draws per point.
+// The MC evaluates X via the R-statistic (itself exhaustively verified in
+// rstat_test.go), so any disagreement isolates a DP bug.
+func TestPLCSurvivalMatchesThresholdMonteCarlo(t *testing.T) {
+	l := mustLevels(t, 5, 5, 10, 10, 10, 10, 10, 10, 15, 15) // N = 100
+	p := core.PriorityDistribution{0.2, 0.15, 0.1, 0.1, 0.1, 0.1, 0.05, 0.05, 0.1, 0.05}
+	sampler, err := dist.NewCategorical(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const draws = 40000
+
+	for _, m := range []int{40, 80, 100, 120, 160} {
+		r, err := Eval(core.PLC, l, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Monte-Carlo survival counts via the R-statistic.
+		geCount := make([]int, l.Count())
+		for draw := 0; draw < draws; draw++ {
+			counts := dist.MultinomialDraw(rng, m, sampler)
+			rs := rStatistic(l, counts)
+			x := 0
+			for j := 1; j <= l.Count(); j++ {
+				if rs[j-1] >= l.CumSize(j-1) {
+					x = j
+				}
+			}
+			for k := 1; k <= x; k++ {
+				geCount[k-1]++
+			}
+		}
+		for k := 1; k <= l.Count(); k++ {
+			mc := float64(geCount[k-1]) / draws
+			exact := r.PrGE[k-1]
+			// Standard error of a Bernoulli mean over 40k draws is at most
+			// 0.0025; allow 5 sigma.
+			if math.Abs(mc-exact) > 0.013 {
+				t.Errorf("M=%d k=%d: exact %.4f vs MC %.4f", m, k, exact, mc)
+			}
+		}
+	}
+}
+
+// TestSLCSurvivalMatchesThresholdMonteCarlo does the same for the SLC DP.
+func TestSLCSurvivalMatchesThresholdMonteCarlo(t *testing.T) {
+	l := mustLevels(t, 8, 12, 20, 10) // N = 50
+	p := core.PriorityDistribution{0.3, 0.3, 0.25, 0.15}
+	sampler, err := dist.NewCategorical(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const draws = 40000
+	for _, m := range []int{30, 60, 90, 120} {
+		r, err := Eval(core.SLC, l, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		geCount := make([]int, l.Count())
+		for draw := 0; draw < draws; draw++ {
+			counts := dist.MultinomialDraw(rng, m, sampler)
+			for k := 1; k <= l.Count(); k++ {
+				if counts[k-1] < l.Size(k-1) {
+					break
+				}
+				geCount[k-1]++
+			}
+		}
+		for k := 1; k <= l.Count(); k++ {
+			mc := float64(geCount[k-1]) / draws
+			if math.Abs(mc-r.PrGE[k-1]) > 0.013 {
+				t.Errorf("M=%d k=%d: exact %.4f vs MC %.4f", m, k, r.PrGE[k-1], mc)
+			}
+		}
+	}
+}

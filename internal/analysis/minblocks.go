@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MinBlocks answers the provisioning question dual to the decoding curve:
+// the smallest number of randomly accumulated coded blocks M such that
+// the first k levels decode with probability at least prob. Pr(X ≥ k) is
+// monotone in M (an extra block can only increase every level count, and
+// the Lemma-2 events are monotone in the counts), so a binary search over
+// [0, maxM] suffices. It returns an error when even maxM blocks fall
+// short — the signal that the distribution starves some level (cf. the
+// eq. 10 constraint).
+func MinBlocks(scheme core.Scheme, l *core.Levels, p core.PriorityDistribution, k int, prob float64, maxM int) (int, error) {
+	if err := validate(l, p, 0); err != nil {
+		return 0, err
+	}
+	if err := l.ValidLevel(k - 1); err != nil {
+		return 0, fmt.Errorf("analysis: MinBlocks: %w", err)
+	}
+	if prob <= 0 || prob > 1 {
+		return 0, fmt.Errorf("analysis: probability %g outside (0, 1]", prob)
+	}
+	if maxM <= 0 {
+		maxM = 4 * l.Total()
+	}
+	reaches := func(m int) (bool, error) {
+		r, err := Eval(scheme, l, p, m)
+		if err != nil {
+			return false, err
+		}
+		return r.PrGE[k-1] >= prob, nil
+	}
+	ok, err := reaches(maxM)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("analysis: Pr(X >= %d) stays below %g even at M = %d "+
+			"(the priority distribution may starve a level)", k, prob, maxM)
+	}
+	lo, hi := 0, maxM
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ok, err := reaches(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

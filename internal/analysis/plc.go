@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// PLC decoding analysis.
+//
+// Under the threshold (generic-rank) model, the first k levels decode from
+// a level-occupancy vector D iff there exists j ≥ k whose Lemma-2 event
+//
+//	E_j = ∩_{i≤j} { D_{i,j} ≥ b_j − b_{i−1} }
+//
+// holds (blocks of levels above j have support beyond prefix b_j and can
+// only decode it as part of a longer prefix b_{j'}, which is again an
+// E_{j'}). E_j is a Hall condition on prefix-support bipartite matching:
+// unknowns past b_{i−1} are only touched by blocks of level ≥ i.
+//
+// The key reduction: define the running statistic
+//
+//	R_0 = 0,   R_j = D_j + min(R_{j−1}, b_{j−1}).
+//
+// Then E_j ⟺ R_j ≥ b_j. (Proof sketch: min(R_{j−1}, b_{j−1}) counts the
+// blocks from levels < j usable inside prefix b_{j−1} without exceeding its
+// size; unrolling the recurrence reproduces every suffix-count constraint,
+// with the cap absorbing overshoot exactly where Hall's condition stops
+// binding.) This turns the 2^k-event structure into a scalar Markov chain.
+//
+// Writing C_j for the cumulative block count and O_j = C_j − R_j, the pair
+// (O, C) is Markov with O' = max(O, C − b_{j−1}) and C' = C + D_j, so the
+// joint law evolves on a small 2D grid. Two sweeps give everything:
+//
+//	forward:  f_j(O, C)  = Pr(state before step j)
+//	backward: h_j(O, C)  = Pr(R_{j'} < b_{j'} for all j' ≥ j | state)
+//
+// and Pr(X ≥ k) = 1 − Σ_s f_{k−1}(s)·h_{k−1}(s) — exact (up to the tail
+// truncation of the binomial kernels), where the paper resorts to
+// approximations "to reduce computation complexity" (Sec. 3.3.2).
+
+// plcSurvival returns prGE[k-1] = Pr(X ≥ k) for k = 1..n under PLC.
+func plcSurvival(l *core.Levels, p core.PriorityDistribution, m int) []float64 {
+	n := l.Count()
+
+	// Forward pass: f[j] is the distribution of (O, C) before step j.
+	f := make([]*grid, n)
+	f[0] = singletonGrid()
+	remProb := 1.0
+	qs := make([]float64, n)
+	for j := 0; j < n; j++ {
+		qs[j] = conditionalProb(p[j], remProb)
+		remProb -= p[j]
+		if j+1 < n {
+			f[j+1] = forwardStep(f[j], l, m, j, qs[j])
+		}
+	}
+
+	// Backward pass: h[j](s) = Pr(E_{j'} fails for all j' ≥ j | state s),
+	// evaluated on f[j]'s grid. hNext starts as the all-ones function on
+	// the (virtual) step-n grid.
+	prGE := make([]float64, n)
+	var hNext *grid // nil means "identically 1"
+	for j := n - 1; j >= 0; j-- {
+		h := backwardStep(f[j], hNext, l, m, j, qs[j])
+		prLT := dotGrids(f[j], h)
+		if prLT > 1 {
+			prLT = 1
+		}
+		prGE[j] = 1 - prLT
+		hNext = h
+	}
+	// prGE[j] is Pr(∃ j' ≥ j: E_{j'}) = Pr(X ≥ j+1). Numerical noise can
+	// break monotonicity at the 1e-12 scale; clamp.
+	for k := n - 2; k >= 0; k-- {
+		if prGE[k] < prGE[k+1] {
+			prGE[k] = prGE[k+1]
+		}
+	}
+	return prGE
+}
+
+// grid is a dense window over the (O, C) state space.
+type grid struct {
+	oLo, cLo int
+	nO, nC   int
+	v        []float64
+}
+
+func singletonGrid() *grid {
+	return &grid{oLo: 0, cLo: 0, nO: 1, nC: 1, v: []float64{1}}
+}
+
+func (g *grid) at(o, c int) float64 {
+	if o < g.oLo || o >= g.oLo+g.nO || c < g.cLo || c >= g.cLo+g.nC {
+		return 0
+	}
+	return g.v[(o-g.oLo)*g.nC+(c-g.cLo)]
+}
+
+// kernelCache holds, for one DP step, the truncated binomial kernel per
+// distinct cumulative count c — the kernel depends on the state only
+// through the remaining trials m−c, so it is shared across the O axis.
+type kernelCache struct {
+	m, cLo int
+	q      float64
+	dLo    []int
+	pmf    [][]float64
+}
+
+func newKernelCache(m, cLo, nC int, q float64) *kernelCache {
+	k := &kernelCache{
+		m: m, cLo: cLo, q: q,
+		dLo: make([]int, nC),
+		pmf: make([][]float64, nC),
+	}
+	for ci := 0; ci < nC; ci++ {
+		trials := m - (cLo + ci)
+		if trials < 0 {
+			continue // unreachable states beyond m keep a nil kernel
+		}
+		k.dLo[ci], k.pmf[ci] = dist.BinomialWindow(trials, q, kernelTailEps)
+	}
+	return k
+}
+
+// forwardStep advances the (O, C) distribution across level j.
+func forwardStep(cur *grid, l *core.Levels, m, j int, q float64) *grid {
+	if len(cur.v) == 0 {
+		return &grid{nO: 0, nC: 0}
+	}
+	bPrev := 0
+	if j > 0 {
+		bPrev = l.CumSize(j - 1)
+	}
+	kern := newKernelCache(m, cur.cLo, cur.nC, q)
+
+	// Destination bounds: O' = max(O, C−bPrev) spans the same extremes the
+	// source corners produce; C' spans c+dLo .. c+dLo+len(pmf)-1.
+	oMin, oMax := 1<<30, -1
+	cMin, cMax := 1<<30, -1
+	for oi := 0; oi < cur.nO; oi++ {
+		for ci := 0; ci < cur.nC; ci++ {
+			if cur.v[oi*cur.nC+ci] == 0 || kern.pmf[ci] == nil {
+				continue
+			}
+			o, c := cur.oLo+oi, cur.cLo+ci
+			oNew := maxInt(o, c-bPrev)
+			if oNew < oMin {
+				oMin = oNew
+			}
+			if oNew > oMax {
+				oMax = oNew
+			}
+			lo := c + kern.dLo[ci]
+			hi := lo + len(kern.pmf[ci]) - 1
+			if lo < cMin {
+				cMin = lo
+			}
+			if hi > cMax {
+				cMax = hi
+			}
+		}
+	}
+	if oMax < 0 {
+		return &grid{nO: 0, nC: 0}
+	}
+
+	next := &grid{
+		oLo: oMin, cLo: cMin,
+		nO: oMax - oMin + 1, nC: cMax - cMin + 1,
+	}
+	next.v = make([]float64, next.nO*next.nC)
+	for oi := 0; oi < cur.nO; oi++ {
+		for ci := 0; ci < cur.nC; ci++ {
+			mass := cur.v[oi*cur.nC+ci]
+			if mass == 0 || kern.pmf[ci] == nil {
+				continue
+			}
+			o, c := cur.oLo+oi, cur.cLo+ci
+			oNew := maxInt(o, c-bPrev)
+			row := next.v[(oNew-next.oLo)*next.nC:]
+			base := c + kern.dLo[ci] - next.cLo
+			for di, pd := range kern.pmf[ci] {
+				row[base+di] += mass * pd
+			}
+		}
+	}
+	return next.pruned()
+}
+
+// pruned trims the grid to the bounding box of non-negligible mass.
+func (g *grid) pruned() *grid {
+	total := 0.0
+	for _, x := range g.v {
+		total += x
+	}
+	if total == 0 {
+		return &grid{nO: 0, nC: 0}
+	}
+	cut := total * pruneEps
+	oMin, oMax, cMin, cMax := g.nO, -1, g.nC, -1
+	for oi := 0; oi < g.nO; oi++ {
+		for ci := 0; ci < g.nC; ci++ {
+			if g.v[oi*g.nC+ci] >= cut {
+				if oi < oMin {
+					oMin = oi
+				}
+				if oi > oMax {
+					oMax = oi
+				}
+				if ci < cMin {
+					cMin = ci
+				}
+				if ci > cMax {
+					cMax = ci
+				}
+			}
+		}
+	}
+	if oMax < 0 {
+		return &grid{nO: 0, nC: 0}
+	}
+	if oMin == 0 && cMin == 0 && oMax == g.nO-1 && cMax == g.nC-1 {
+		return g
+	}
+	out := &grid{
+		oLo: g.oLo + oMin, cLo: g.cLo + cMin,
+		nO: oMax - oMin + 1, nC: cMax - cMin + 1,
+	}
+	out.v = make([]float64, out.nO*out.nC)
+	for oi := 0; oi < out.nO; oi++ {
+		copy(out.v[oi*out.nC:(oi+1)*out.nC],
+			g.v[(oi+oMin)*g.nC+cMin:(oi+oMin)*g.nC+cMin+out.nC])
+	}
+	return out
+}
+
+// backwardStep computes h_j on f_j's grid from h_{j+1} (hNext == nil means
+// the all-ones terminal function).
+func backwardStep(fj, hNext *grid, l *core.Levels, m, j int, q float64) *grid {
+	bPrev := 0
+	if j > 0 {
+		bPrev = l.CumSize(j - 1)
+	}
+	bj := l.CumSize(j)
+
+	h := &grid{oLo: fj.oLo, cLo: fj.cLo, nO: fj.nO, nC: fj.nC}
+	h.v = make([]float64, len(fj.v))
+	if len(fj.v) == 0 {
+		return h
+	}
+	kern := newKernelCache(m, fj.cLo, fj.nC, q)
+	for oi := 0; oi < fj.nO; oi++ {
+		for ci := 0; ci < fj.nC; ci++ {
+			if fj.v[oi*fj.nC+ci] == 0 || kern.pmf[ci] == nil {
+				continue
+			}
+			o, c := fj.oLo+oi, fj.cLo+ci
+			oNew := maxInt(o, c-bPrev)
+			// Constraint "E_j fails": R' = C + d − O' < b_j, i.e.
+			// d ≤ b_j − C + O' − 1.
+			dCap := bj - c + oNew - 1
+			if dCap < 0 {
+				continue // E_j holds for every d: h = 0
+			}
+			dLo, pmf := kern.dLo[ci], kern.pmf[ci]
+			sum := 0.0
+			for di, pd := range pmf {
+				d := dLo + di
+				if d > dCap {
+					break
+				}
+				if hNext == nil {
+					sum += pd
+				} else {
+					sum += pd * hNext.at(oNew, c+d)
+				}
+			}
+			h.v[oi*h.nC+ci] = sum
+		}
+	}
+	return h
+}
+
+// dotGrids returns Σ_s f(s)·h(s) over grids with identical geometry.
+func dotGrids(f, h *grid) float64 {
+	sum := 0.0
+	for i, x := range f.v {
+		sum += x * h.v[i]
+	}
+	return sum
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

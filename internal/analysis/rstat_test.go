@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// The exact PLC analysis rests on one reduction (see plc.go): with
+// R_0 = 0 and R_j = D_j + min(R_{j-1}, b_{j-1}), the Lemma-2 event E_j
+// (every suffix count D_{i,j} ≥ b_j − b_{i−1}) holds iff R_j ≥ b_j.
+// These tests verify that equivalence exhaustively on small occupancy
+// vectors and randomly on larger ones.
+
+// hallEvent evaluates E_j directly from its definition (1-based j).
+func hallEvent(l *core.Levels, counts []int, j int) bool {
+	bj := l.CumSize(j - 1)
+	suffix := 0
+	for i := j - 1; i >= 0; i-- {
+		suffix += counts[i]
+		prevCum := 0
+		if i > 0 {
+			prevCum = l.CumSize(i - 1)
+		}
+		if suffix < bj-prevCum {
+			return false
+		}
+	}
+	return true
+}
+
+// rStatistic evaluates R_j for every j from the recurrence.
+func rStatistic(l *core.Levels, counts []int) []int {
+	n := l.Count()
+	rs := make([]int, n)
+	r := 0
+	for j := 0; j < n; j++ {
+		bPrev := 0
+		if j > 0 {
+			bPrev = l.CumSize(j - 1)
+		}
+		if r > bPrev {
+			r = bPrev
+		}
+		r += counts[j]
+		rs[j] = r
+	}
+	return rs
+}
+
+// TestRStatisticEquivalenceExhaustive enumerates every occupancy vector of
+// up to 12 blocks over small level structures and compares the recurrence
+// against the direct Hall-condition evaluation for every prefix length.
+func TestRStatisticEquivalenceExhaustive(t *testing.T) {
+	structures := [][]int{
+		{1, 1}, {2, 1}, {1, 2, 3}, {2, 2, 2}, {3, 1, 2},
+	}
+	for _, sizes := range structures {
+		l := mustLevels(t, sizes...)
+		n := l.Count()
+		counts := make([]int, n)
+		var walk func(level, left int)
+		walk = func(level, left int) {
+			if level == n-1 {
+				counts[level] = left
+				rs := rStatistic(l, counts)
+				for j := 1; j <= n; j++ {
+					got := rs[j-1] >= l.CumSize(j-1)
+					want := hallEvent(l, counts, j)
+					if got != want {
+						t.Fatalf("sizes=%v counts=%v j=%d: R-statistic %v, Hall %v",
+							sizes, counts, j, got, want)
+					}
+				}
+				return
+			}
+			for c := 0; c <= left; c++ {
+				counts[level] = c
+				walk(level+1, left-c)
+			}
+		}
+		for total := 0; total <= 12; total++ {
+			walk(0, total)
+		}
+	}
+}
+
+// TestQuickRStatisticEquivalence fuzzes larger structures and counts.
+func TestQuickRStatisticEquivalence(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(10)
+		}
+		l, err := core.NewLevels(sizes...)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = rng.Intn(25)
+		}
+		rs := rStatistic(l, counts)
+		for j := 1; j <= n; j++ {
+			if (rs[j-1] >= l.CumSize(j-1)) != hallEvent(l, counts, j) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRStatisticDecoderAgreement ties the reduction to the real system:
+// for random PLC accumulations, the threshold model's decodable prefix
+// (max j with R_j ≥ b_j) must match the actual Gauss–Jordan decoder's
+// DecodedLevels except for rare rank-deficient draws, where the decoder
+// can only be behind.
+func TestRStatisticDecoderAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	l := mustLevels(t, 3, 5, 7)
+	enc, err := core.NewEncoder(core.PLC, l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, behind := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		dec, err := core.NewDecoder(core.PLC, l, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, l.Count())
+		m := rng.Intn(2 * l.Total())
+		for i := 0; i < m; i++ {
+			level := rng.Intn(l.Count())
+			counts[level]++
+			b, err := enc.Encode(rng, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dec.Add(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rs := rStatistic(l, counts)
+		model := 0
+		for j := 1; j <= l.Count(); j++ {
+			if rs[j-1] >= l.CumSize(j-1) {
+				model = j
+			}
+		}
+		actual := dec.DecodedLevels()
+		switch {
+		case actual == model:
+			agree++
+		case actual < model:
+			behind++ // rank deficiency: counting says yes, the matrix was singular
+		default:
+			t.Fatalf("trial %d: decoder ahead of the counting model (%d > %d)", trial, actual, model)
+		}
+	}
+	if agree < 190 {
+		t.Errorf("model agreed on only %d/200 trials (%d rank-deficient)", agree, behind)
+	}
+}

@@ -1,0 +1,268 @@
+// Package chord implements a Chord distributed hash table — the P2P
+// instance of the paper's geometric network model (Sec. 2): every node
+// owns an ID on a one-dimensional ring, and a key is stored at its
+// successor, the first node clockwise from the key. The Sec. 4
+// pre-distribution protocol maps each of the M seeded cache locations to a
+// ring key and routes coded blocks to the key's successor.
+//
+// The implementation follows the Chord paper's structure: per-node finger
+// tables for O(log n) lookups, successor lists for fault tolerance, and a
+// Stabilize step that repairs tables after churn (modeling the converged
+// state of the periodic stabilization protocol). Between failures and
+// stabilization, lookups route around dead fingers via successor lists,
+// as real deployments do.
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+const (
+	// fingerBits is the ring size exponent m: IDs live on a 2^64 ring.
+	fingerBits = 64
+	// successorListLen is the per-node successor-list length r.
+	successorListLen = 8
+)
+
+// node is one ring participant.
+type node struct {
+	id         uint64
+	alive      bool
+	fingers    [fingerBits]int // node indices; -1 when unset
+	successors []int           // node indices, nearest first
+}
+
+// Ring is a Chord ring over a fixed node population with dynamic liveness.
+type Ring struct {
+	nodes []node
+	// byID sorts node indices by ID for ground-truth successor queries.
+	byID []int
+}
+
+// New builds a ring from explicit node IDs (must be unique) and runs an
+// initial stabilization so tables start converged.
+func New(ids []uint64) (*Ring, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("chord: empty ring")
+	}
+	seen := make(map[uint64]bool, len(ids))
+	r := &Ring{nodes: make([]node, len(ids)), byID: make([]int, len(ids))}
+	for i, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("chord: duplicate node ID %#x", id)
+		}
+		seen[id] = true
+		r.nodes[i] = node{id: id, alive: true}
+		r.byID[i] = i
+	}
+	sort.Slice(r.byID, func(a, b int) bool { return r.nodes[r.byID[a]].id < r.nodes[r.byID[b]].id })
+	r.Stabilize()
+	return r, nil
+}
+
+// NewRandom builds a ring of n nodes with IDs drawn uniformly from the
+// 64-bit space (the usual hash-of-address model).
+func NewRandom(rng *rand.Rand, n int) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("chord: ring size %d, want > 0", n)
+	}
+	ids := make([]uint64, 0, n)
+	seen := make(map[uint64]bool, n)
+	for len(ids) < n {
+		id := rng.Uint64()
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return New(ids)
+}
+
+// Len returns the node population size (alive or not).
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// ID returns node i's ring identifier.
+func (r *Ring) ID(i int) uint64 { return r.nodes[i].id }
+
+// Alive reports whether node i is alive.
+func (r *Ring) Alive(i int) bool {
+	return i >= 0 && i < len(r.nodes) && r.nodes[i].alive
+}
+
+// AliveCount returns the number of alive nodes.
+func (r *Ring) AliveCount() int {
+	n := 0
+	for i := range r.nodes {
+		if r.nodes[i].alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Fail marks node i dead. Its state remains (a failed node cannot serve
+// queries or blocks) until Recover.
+func (r *Ring) Fail(i int) error {
+	if i < 0 || i >= len(r.nodes) {
+		return fmt.Errorf("chord: node %d out of range", i)
+	}
+	r.nodes[i].alive = false
+	return nil
+}
+
+// Recover marks node i alive again (a rejoin with the same ID). Call
+// Stabilize to reintegrate it into routing tables.
+func (r *Ring) Recover(i int) error {
+	if i < 0 || i >= len(r.nodes) {
+		return fmt.Errorf("chord: node %d out of range", i)
+	}
+	r.nodes[i].alive = true
+	return nil
+}
+
+// Join adds a brand-new node with the given ID to the population, alive
+// and immediately stabilized into every routing table (modeling a
+// completed Chord join). It returns the new node's index.
+func (r *Ring) Join(id uint64) (int, error) {
+	for i := range r.nodes {
+		if r.nodes[i].id == id {
+			return 0, fmt.Errorf("chord: node ID %#x already present", id)
+		}
+	}
+	idx := len(r.nodes)
+	r.nodes = append(r.nodes, node{id: id, alive: true})
+	// Insert into the ID-sorted index.
+	pos := sort.Search(len(r.byID), func(i int) bool { return r.nodes[r.byID[i]].id >= id })
+	r.byID = append(r.byID, 0)
+	copy(r.byID[pos+1:], r.byID[pos:])
+	r.byID[pos] = idx
+	r.Stabilize()
+	return idx, nil
+}
+
+// inInterval reports whether x lies in the clockwise-open interval (a, b]
+// on the ring.
+func inInterval(x, a, b uint64) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	if a > b {
+		return x > a || x <= b
+	}
+	return true // a == b: the interval is the full ring
+}
+
+// Successor returns the alive node owning key — the ground truth the
+// routed Lookup must agree with.
+func (r *Ring) Successor(key uint64) (int, error) {
+	// Binary search the first ID >= key, then scan clockwise for liveness.
+	n := len(r.byID)
+	lo := sort.Search(n, func(i int) bool { return r.nodes[r.byID[i]].id >= key })
+	for off := 0; off < n; off++ {
+		idx := r.byID[(lo+off)%n]
+		if r.nodes[idx].alive {
+			return idx, nil
+		}
+	}
+	return 0, fmt.Errorf("chord: no alive node owns key %#x", key)
+}
+
+// Stabilize rebuilds every alive node's successor list and finger table
+// from the current alive membership — the fixed point of Chord's periodic
+// stabilize/fix_fingers protocol.
+func (r *Ring) Stabilize() {
+	aliveSorted := make([]int, 0, len(r.byID))
+	for _, idx := range r.byID {
+		if r.nodes[idx].alive {
+			aliveSorted = append(aliveSorted, idx)
+		}
+	}
+	if len(aliveSorted) == 0 {
+		return
+	}
+	pos := make(map[int]int, len(aliveSorted))
+	for p, idx := range aliveSorted {
+		pos[idx] = p
+	}
+	for _, idx := range aliveSorted {
+		nd := &r.nodes[idx]
+		p := pos[idx]
+		// Successor list: the next r alive nodes clockwise.
+		nd.successors = nd.successors[:0]
+		for off := 1; off <= successorListLen && off < len(aliveSorted)+1; off++ {
+			nd.successors = append(nd.successors, aliveSorted[(p+off)%len(aliveSorted)])
+		}
+		// Fingers: finger[k] = successor(id + 2^k).
+		for k := 0; k < fingerBits; k++ {
+			target := nd.id + 1<<uint(k)
+			lo := sort.Search(len(aliveSorted), func(i int) bool {
+				return r.nodes[aliveSorted[i]].id >= target
+			})
+			nd.fingers[k] = aliveSorted[lo%len(aliveSorted)]
+		}
+	}
+}
+
+// Lookup routes a query for key from the alive node start, returning the
+// owning node and the number of hops taken. Dead fingers encountered
+// mid-route (after failures, before stabilization) are skipped in favor of
+// closer-preceding alternatives or the successor list.
+func (r *Ring) Lookup(start int, key uint64) (owner, hops int, err error) {
+	if start < 0 || start >= len(r.nodes) {
+		return 0, 0, fmt.Errorf("chord: start node %d out of range", start)
+	}
+	if !r.nodes[start].alive {
+		return 0, 0, fmt.Errorf("chord: start node %d is not alive", start)
+	}
+	cur := start
+	for hops = 0; hops <= 2*len(r.nodes); {
+		nd := &r.nodes[cur]
+		// Does the key land on our immediate (alive) successor?
+		succ := -1
+		for _, s := range nd.successors {
+			if r.nodes[s].alive {
+				succ = s
+				break
+			}
+		}
+		if succ < 0 {
+			return 0, 0, fmt.Errorf("chord: node %d has no alive successor", cur)
+		}
+		if inInterval(key, nd.id, r.nodes[succ].id) {
+			return succ, hops + 1, nil
+		}
+		// Forward to the closest alive finger preceding the key.
+		next := -1
+		for k := fingerBits - 1; k >= 0; k-- {
+			f := nd.fingers[k]
+			if f < 0 || !r.nodes[f].alive || f == cur {
+				continue
+			}
+			if inInterval(r.nodes[f].id, nd.id, key-1) {
+				next = f
+				break
+			}
+		}
+		if next == -1 {
+			next = succ // fall back to the successor list
+		}
+		cur = next
+		hops++
+	}
+	return 0, 0, fmt.Errorf("chord: lookup for %#x from %d exceeded hop bound", key, start)
+}
+
+// PointToKey maps a coordinate in [0, 1) onto the ring — how the
+// pre-distribution protocol converts a seeded cache location into a DHT
+// key.
+func PointToKey(x float64) uint64 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= 1 {
+		x = 1 - 1e-16
+	}
+	return uint64(x * (1 << 63) * 2)
+}

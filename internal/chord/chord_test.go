@@ -1,0 +1,366 @@
+package chord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := New([]uint64{1, 1}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := NewRandom(rand.New(rand.NewSource(1)), 0); err == nil {
+		t.Error("zero-size random ring accepted")
+	}
+}
+
+func TestInInterval(t *testing.T) {
+	cases := []struct {
+		x, a, b uint64
+		want    bool
+	}{
+		{5, 3, 8, true},
+		{3, 3, 8, false}, // open at a
+		{8, 3, 8, true},  // closed at b
+		{9, 3, 8, false},
+		{1, 8, 3, true},  // wrapped interval
+		{9, 8, 3, true},  // wrapped interval
+		{5, 8, 3, false}, // outside wrapped interval
+		{42, 7, 7, true}, // degenerate: full ring
+	}
+	for _, tc := range cases {
+		if got := inInterval(tc.x, tc.a, tc.b); got != tc.want {
+			t.Errorf("inInterval(%d, %d, %d) = %v, want %v", tc.x, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSuccessorGroundTruth(t *testing.T) {
+	r, err := New([]uint64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		key  uint64
+		want uint64 // expected owner ID
+	}{
+		{5, 10}, {10, 10}, {11, 20}, {20, 20}, {25, 30}, {31, 10}, // wraps
+	}
+	for _, tc := range cases {
+		idx, err := r.Successor(tc.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ID(idx) != tc.want {
+			t.Errorf("Successor(%d) owns ID %d, want %d", tc.key, r.ID(idx), tc.want)
+		}
+	}
+}
+
+func TestLookupMatchesSuccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, err := NewRandom(rng, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		start := rng.Intn(r.Len())
+		key := rng.Uint64()
+		got, hops, err := r.Lookup(start, key)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := r.Successor(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: Lookup -> node %d (ID %#x), want %d (ID %#x)",
+				trial, got, r.ID(got), want, r.ID(want))
+		}
+		if hops < 1 {
+			t.Fatalf("trial %d: nonpositive hop count %d", trial, hops)
+		}
+	}
+}
+
+// TestLookupLogarithmicHops verifies the O(log n) routing bound: average
+// hops on a 1024-node ring must stay below ~ log2(n).
+func TestLookupLogarithmicHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, err := NewRandom(rng, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		_, hops, err := r.Lookup(rng.Intn(r.Len()), rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	avg := float64(total) / trials
+	if limit := math.Log2(1024); avg > limit {
+		t.Errorf("average hops %.2f exceeds log2(n) = %.2f", avg, limit)
+	}
+}
+
+func TestLookupValidation(t *testing.T) {
+	r, err := New([]uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Lookup(-1, 0); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, _, err := r.Lookup(5, 0); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+	if err := r.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Lookup(0, 0); err == nil {
+		t.Error("dead start accepted")
+	}
+}
+
+func TestFailRecoverBounds(t *testing.T) {
+	r, err := New([]uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fail(3); err == nil {
+		t.Error("Fail out of range accepted")
+	}
+	if err := r.Recover(-1); err == nil {
+		t.Error("Recover out of range accepted")
+	}
+	if err := r.Fail(0); err != nil {
+		t.Error(err)
+	}
+	if r.AliveCount() != 0 {
+		t.Error("AliveCount after failing the only node")
+	}
+	if err := r.Recover(0); err != nil {
+		t.Error(err)
+	}
+	if !r.Alive(0) || r.Alive(-1) || r.Alive(1) {
+		t.Error("Alive accessor misbehaves")
+	}
+}
+
+// TestLookupRoutesAroundFailures kills 30% of nodes WITHOUT stabilizing and
+// verifies lookups still find the correct (post-failure) owner via
+// successor lists and finger skipping.
+func TestLookupRoutesAroundFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r, err := NewRandom(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.Len(); i++ {
+		if rng.Float64() < 0.3 {
+			if err := r.Fail(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ok := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		start := rng.Intn(r.Len())
+		if !r.Alive(start) {
+			continue
+		}
+		key := rng.Uint64()
+		got, _, err := r.Lookup(start, key)
+		if err != nil {
+			continue // a torn successor list is possible pre-stabilization
+		}
+		want, err := r.Successor(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == want {
+			ok++
+		}
+	}
+	if ok < trials/2 {
+		t.Errorf("only %d lookups succeeded under unrepaired failures", ok)
+	}
+
+	// After stabilization every lookup must succeed exactly.
+	r.Stabilize()
+	for trial := 0; trial < trials; trial++ {
+		start := rng.Intn(r.Len())
+		if !r.Alive(start) {
+			continue
+		}
+		key := rng.Uint64()
+		got, _, err := r.Lookup(start, key)
+		if err != nil {
+			t.Fatalf("post-stabilize trial %d: %v", trial, err)
+		}
+		want, err := r.Successor(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("post-stabilize trial %d: got %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestSuccessorAllDead(t *testing.T) {
+	r, err := New([]uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Successor(0); err == nil {
+		t.Error("Successor on dead ring succeeded, want error")
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r, err := New([]uint64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, hops, err := r.Lookup(0, 7)
+	if err != nil || owner != 0 {
+		t.Errorf("single-node lookup = %d, %d, %v", owner, hops, err)
+	}
+}
+
+func TestPointToKeyMonotone(t *testing.T) {
+	if PointToKey(0) != 0 {
+		t.Errorf("PointToKey(0) = %d", PointToKey(0))
+	}
+	prev := uint64(0)
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.999999} {
+		k := PointToKey(x)
+		if k <= prev && x > 0 {
+			t.Errorf("PointToKey not increasing at %g", x)
+		}
+		prev = k
+	}
+	// Clamping.
+	if PointToKey(-1) != 0 {
+		t.Error("negative input not clamped")
+	}
+	if PointToKey(2) < PointToKey(0.999) {
+		t.Error("input >= 1 not clamped high")
+	}
+}
+
+func TestQuickLookupAgreesWithSuccessor(t *testing.T) {
+	err := quick.Check(func(seed int64, key uint64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, err := NewRandom(rng, 1+rng.Intn(64))
+		if err != nil {
+			return false
+		}
+		got, _, err := r.Lookup(rng.Intn(r.Len()), key)
+		if err != nil {
+			return false
+		}
+		want, err := r.Successor(key)
+		return err == nil && got == want
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	r, err := NewRandom(rng, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Lookup(i%r.Len(), rng.Uint64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	r, err := New([]uint64{100, 200, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := r.Join(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 || !r.Alive(idx) || r.ID(idx) != 150 {
+		t.Fatalf("join state: len=%d alive=%v id=%d", r.Len(), r.Alive(idx), r.ID(idx))
+	}
+	// The new node now owns keys in (100, 150].
+	owner, err := r.Successor(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != idx {
+		t.Errorf("Successor(120) = node %d (ID %d), want the joiner", owner, r.ID(owner))
+	}
+	// Lookups route to it from every existing node.
+	for start := 0; start < 3; start++ {
+		got, _, err := r.Lookup(start, 110)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != idx {
+			t.Errorf("Lookup(from %d, 110) = %d, want joiner %d", start, got, idx)
+		}
+	}
+	// Duplicate IDs are rejected.
+	if _, err := r.Join(200); err == nil {
+		t.Error("duplicate join accepted")
+	}
+}
+
+func TestJoinManyKeepsLookupConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r, err := NewRandom(rng, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 32; j++ {
+		if _, err := r.Join(rng.Uint64()); err != nil {
+			// Random collision with an existing ID: astronomically rare,
+			// but legal to skip.
+			continue
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		start := rng.Intn(r.Len())
+		key := rng.Uint64()
+		got, _, err := r.Lookup(start, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := r.Successor(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: lookup %d, want %d", trial, got, want)
+		}
+	}
+}

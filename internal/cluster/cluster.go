@@ -1,0 +1,387 @@
+// Package cluster runs the pre-distribution protocol as an actual
+// message-passing system: every sensor is a goroutine owning its cache
+// state and a mailbox, packets hop between mailboxes one GPSR Step at a
+// time with their routing state carried in the packet header, and the
+// node in charge of a cache location folds arriving source blocks into
+// its coded block with a locally drawn coefficient (c ← c + βx) — the
+// decentralized encoding of Sec. 4, executed concurrently rather than
+// simulated synchronously.
+//
+// The package exists to demonstrate that nothing in the protocol needs
+// global state: routing decisions use only the current node's local
+// topology (gpsr.Step), coding coefficients are drawn node-locally, and
+// the common random seed is the only shared knowledge. The synchronous
+// predist implementation remains the harness used by the experiments;
+// cluster_test cross-checks the two.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/gf256"
+	"repro/internal/gpsr"
+)
+
+// Config parameterizes a cluster deployment.
+type Config struct {
+	Graph  *geom.Graph
+	Scheme core.Scheme
+	Levels *core.Levels
+	// Dist sizes the location parts.
+	Dist core.PriorityDistribution
+	// M is the number of seeded cache locations.
+	M int
+	// Seed is the common random seed (locations and part assignment).
+	Seed int64
+	// Fanout, when positive, limits each source block to that many random
+	// destination slots.
+	Fanout int
+	// PayloadLen is the source-block payload size (> 0).
+	PayloadLen int
+	// MailboxDepth bounds each node's queue (0 = 256).
+	MailboxDepth int
+}
+
+func (c Config) validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("cluster: nil graph")
+	}
+	if c.Levels == nil {
+		return fmt.Errorf("cluster: nil levels")
+	}
+	if !c.Scheme.Valid() {
+		return fmt.Errorf("cluster: invalid scheme %v", c.Scheme)
+	}
+	if err := c.Dist.Validate(c.Levels); err != nil {
+		return err
+	}
+	if c.M <= 0 {
+		return fmt.Errorf("cluster: M = %d, want > 0", c.M)
+	}
+	if c.Fanout < 0 {
+		return fmt.Errorf("cluster: negative fanout %d", c.Fanout)
+	}
+	if c.PayloadLen <= 0 {
+		return fmt.Errorf("cluster: payload length %d, want > 0", c.PayloadLen)
+	}
+	return nil
+}
+
+// delivery reports one packet's fate back to the sender.
+type delivery struct {
+	node int
+	hops int
+	err  error
+}
+
+// packet is a routed dissemination message.
+type packet struct {
+	slot    int
+	block   int
+	payload []byte
+	dst     geom.Point
+	st      gpsr.PacketState
+	hops    int
+	done    chan<- delivery
+}
+
+// query asks a node for its accumulated coded blocks.
+type query struct {
+	reply chan<- []*core.CodedBlock
+}
+
+// cacheSlot is one location's coded-block accumulator, owned by exactly
+// one node goroutine.
+type cacheSlot struct {
+	part    int
+	coeff   []byte
+	payload []byte
+}
+
+// node is one cluster participant.
+type node struct {
+	id      int
+	mail    chan any
+	rng     *rand.Rand // node-local coefficient source
+	slots   map[int]*cacheSlot
+	cluster *Cluster
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg       Config
+	router    *gpsr.Router
+	locations []geom.Point
+	partOf    []int
+	nodes     []*node
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	messages atomic.Int64
+	hops     atomic.Int64
+	misroute atomic.Int64
+	closed   atomic.Bool
+}
+
+// New resolves the seeded locations, spawns one goroutine per node and
+// returns the running cluster. Callers must Shutdown it.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MailboxDepth == 0 {
+		cfg.MailboxDepth = 256
+	}
+	router, err := gpsr.New(cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		router: router,
+		stop:   make(chan struct{}),
+	}
+	c.locations = geom.SeededLocations(cfg.Seed, cfg.M)
+	c.partOf = apportionParts(cfg.M, cfg.Dist)
+
+	n := cfg.Graph.Len()
+	c.nodes = make([]*node, n)
+	for i := 0; i < n; i++ {
+		c.nodes[i] = &node{
+			id:      i,
+			mail:    make(chan any, cfg.MailboxDepth),
+			rng:     rand.New(rand.NewSource(cfg.Seed ^ (int64(i)+1)*0x5851F42D4C957F2D)),
+			slots:   make(map[int]*cacheSlot),
+			cluster: c,
+		}
+	}
+	for i := range c.nodes {
+		c.wg.Add(1)
+		go c.nodes[i].run()
+	}
+	return c, nil
+}
+
+// apportionParts assigns each location slot a level part by largest
+// remainder over the distribution.
+func apportionParts(m int, p []float64) []int {
+	sizes := make([]int, len(p))
+	rem := make([]float64, len(p))
+	total := 0
+	for i, pi := range p {
+		exact := pi * float64(m)
+		sizes[i] = int(exact)
+		rem[i] = exact - float64(sizes[i])
+		total += sizes[i]
+	}
+	for total < m {
+		best := 0
+		for i := 1; i < len(p); i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		sizes[best]++
+		rem[best] = -1
+		total++
+	}
+	parts := make([]int, m)
+	part, used := 0, 0
+	for i := 0; i < m; i++ {
+		for part < len(sizes)-1 && used >= sizes[part] {
+			part++
+			used = 0
+		}
+		parts[i] = part
+		used++
+	}
+	return parts
+}
+
+// run is the node goroutine: it processes packets (one routing Step each)
+// and cache queries until the cluster stops.
+func (nd *node) run() {
+	defer nd.cluster.wg.Done()
+	for {
+		select {
+		case <-nd.cluster.stop:
+			return
+		case m := <-nd.mail:
+			switch msg := m.(type) {
+			case packet:
+				nd.handlePacket(msg)
+			case query:
+				nd.handleQuery(msg)
+			}
+		}
+	}
+}
+
+func (nd *node) handlePacket(pkt packet) {
+	c := nd.cluster
+	res, err := c.router.Step(nd.id, pkt.dst, pkt.st)
+	if err != nil {
+		pkt.done <- delivery{err: err}
+		return
+	}
+	if !res.Arrived {
+		pkt.st = res.State
+		pkt.hops++
+		select {
+		case c.nodes[res.Next].mail <- pkt:
+		case <-c.stop:
+		}
+		return
+	}
+	// Arrived: fold the source block into the slot's accumulator with a
+	// locally drawn coefficient.
+	slot, ok := nd.slots[pkt.slot]
+	if !ok {
+		slot = &cacheSlot{
+			part:    c.partOf[pkt.slot],
+			coeff:   make([]byte, c.cfg.Levels.Total()),
+			payload: make([]byte, c.cfg.PayloadLen),
+		}
+		nd.slots[pkt.slot] = slot
+	}
+	beta := byte(1 + nd.rng.Intn(255))
+	slot.coeff[pkt.block] ^= beta
+	gf256.AddMulSlice(slot.payload, pkt.payload, beta)
+	pkt.done <- delivery{node: nd.id, hops: pkt.hops}
+}
+
+func (nd *node) handleQuery(q query) {
+	out := make([]*core.CodedBlock, 0, len(nd.slots))
+	for _, s := range nd.slots {
+		if gf256.IsZero(s.coeff) {
+			continue
+		}
+		out = append(out, &core.CodedBlock{
+			Level:   s.part,
+			Coeff:   append([]byte(nil), s.coeff...),
+			Payload: append([]byte(nil), s.payload...),
+		})
+	}
+	q.reply <- out
+}
+
+// destinationSlots lists the slots a block of the given level must reach.
+func (c *Cluster) destinationSlots(level int) []int {
+	var out []int
+	for slot, part := range c.partOf {
+		switch c.cfg.Scheme {
+		case core.SLC:
+			if part == level {
+				out = append(out, slot)
+			}
+		case core.PLC:
+			if part >= level {
+				out = append(out, slot)
+			}
+		default:
+			out = append(out, slot)
+		}
+	}
+	return out
+}
+
+// Disseminate injects source block blockIdx at the origin node and blocks
+// until every destination slot acknowledges the fold. The rng drives only
+// the sender-side fanout sampling; coding coefficients are drawn by the
+// receiving nodes.
+func (c *Cluster) Disseminate(rng *rand.Rand, origin, blockIdx int, payload []byte) error {
+	if c.closed.Load() {
+		return fmt.Errorf("cluster: already shut down")
+	}
+	if origin < 0 || origin >= len(c.nodes) {
+		return fmt.Errorf("cluster: origin %d out of range", origin)
+	}
+	if len(payload) != c.cfg.PayloadLen {
+		return fmt.Errorf("cluster: payload length %d, want %d", len(payload), c.cfg.PayloadLen)
+	}
+	level, err := c.cfg.Levels.LevelOf(blockIdx)
+	if err != nil {
+		return err
+	}
+	targets := c.destinationSlots(level)
+	if c.cfg.Fanout > 0 && c.cfg.Fanout < len(targets) {
+		picked := make([]int, 0, c.cfg.Fanout)
+		for _, idx := range rng.Perm(len(targets))[:c.cfg.Fanout] {
+			picked = append(picked, targets[idx])
+		}
+		targets = picked
+	}
+	done := make(chan delivery, len(targets))
+	for _, slot := range targets {
+		pkt := packet{
+			slot:    slot,
+			block:   blockIdx,
+			payload: append([]byte(nil), payload...),
+			dst:     c.locations[slot],
+			done:    done,
+		}
+		select {
+		case c.nodes[origin].mail <- pkt:
+		case <-c.stop:
+			return fmt.Errorf("cluster: shut down mid-dissemination")
+		}
+	}
+	var firstErr error
+	for range targets {
+		d := <-done
+		if d.err != nil && firstErr == nil {
+			firstErr = d.err
+		}
+		c.messages.Add(1)
+		c.hops.Add(int64(d.hops))
+	}
+	return firstErr
+}
+
+// CollectBlocks queries every node passing the alive filter (nil = all)
+// for its cached coded blocks.
+func (c *Cluster) CollectBlocks(alive func(int) bool) ([]*core.CodedBlock, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("cluster: already shut down")
+	}
+	var out []*core.CodedBlock
+	for i, nd := range c.nodes {
+		if alive != nil && !alive(i) {
+			continue
+		}
+		reply := make(chan []*core.CodedBlock, 1)
+		select {
+		case nd.mail <- query{reply: reply}:
+		case <-c.stop:
+			return nil, fmt.Errorf("cluster: shut down mid-collection")
+		}
+		select {
+		case blocks := <-reply:
+			out = append(out, blocks...)
+		case <-c.stop:
+			return nil, fmt.Errorf("cluster: shut down mid-collection")
+		}
+	}
+	return out, nil
+}
+
+// Messages returns the number of completed deliveries.
+func (c *Cluster) Messages() int { return int(c.messages.Load()) }
+
+// Hops returns the total hops across deliveries.
+func (c *Cluster) Hops() int { return int(c.hops.Load()) }
+
+// Shutdown stops every node goroutine and waits for them to exit. It is
+// idempotent.
+func (c *Cluster) Shutdown() {
+	if c.closed.Swap(true) {
+		return
+	}
+	close(c.stop)
+	c.wg.Wait()
+}

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func connectedGraph(t testing.TB, seed int64, n int, radius float64) *geom.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		pos := geom.RandomPoints(rng, n)
+		g, err := geom.NewUnitDiskGraph(pos, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Connected() {
+			return g
+		}
+	}
+}
+
+func mustLevels(t testing.TB, sizes ...int) *core.Levels {
+	t.Helper()
+	l, err := core.NewLevels(sizes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := connectedGraph(t, 1, 40, 0.3)
+	l := mustLevels(t, 2, 4)
+	good := Config{
+		Graph: g, Scheme: core.PLC, Levels: l,
+		Dist: core.NewUniformDistribution(2), M: 20, PayloadLen: 4,
+	}
+	c, err := New(good)
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	c.Shutdown()
+	mutations := []func(*Config){
+		func(c *Config) { c.Graph = nil },
+		func(c *Config) { c.Levels = nil },
+		func(c *Config) { c.Scheme = core.Scheme(0) },
+		func(c *Config) { c.Dist = core.NewUniformDistribution(3) },
+		func(c *Config) { c.M = 0 },
+		func(c *Config) { c.Fanout = -1 },
+		func(c *Config) { c.PayloadLen = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := good
+		mutate(&cfg)
+		if bad, err := New(cfg); err == nil {
+			bad.Shutdown()
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	g := connectedGraph(t, 2, 30, 0.35)
+	c, err := New(Config{
+		Graph: g, Scheme: core.PLC, Levels: mustLevels(t, 1, 1),
+		Dist: core.NewUniformDistribution(2), M: 4, PayloadLen: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	c.Shutdown() // must not panic or hang
+	if err := c.Disseminate(rand.New(rand.NewSource(1)), 0, 0, []byte{1, 2}); err == nil {
+		t.Error("dissemination after shutdown accepted")
+	}
+	if _, err := c.CollectBlocks(nil); err == nil {
+		t.Error("collection after shutdown accepted")
+	}
+}
+
+func TestDisseminateValidation(t *testing.T) {
+	g := connectedGraph(t, 3, 30, 0.35)
+	c, err := New(Config{
+		Graph: g, Scheme: core.PLC, Levels: mustLevels(t, 1, 1),
+		Dist: core.NewUniformDistribution(2), M: 4, PayloadLen: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	rng := rand.New(rand.NewSource(4))
+	if err := c.Disseminate(rng, -1, 0, []byte{1, 2}); err == nil {
+		t.Error("bad origin accepted")
+	}
+	if err := c.Disseminate(rng, 0, 9, []byte{1, 2}); err == nil {
+		t.Error("bad block index accepted")
+	}
+	if err := c.Disseminate(rng, 0, 0, []byte{1}); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+// TestClusterEndToEnd is the headline: the concurrent message-passing
+// implementation must reproduce the full protocol — disseminate from many
+// origins, lose nodes, collect from survivors, decode in priority order
+// with byte-exact payloads.
+func TestClusterEndToEnd(t *testing.T) {
+	g := connectedGraph(t, 5, 120, 0.18)
+	l := mustLevels(t, 4, 8, 12) // N = 24
+	c, err := New(Config{
+		Graph: g, Scheme: core.PLC, Levels: l,
+		Dist: core.PriorityDistribution{0.4, 0.3, 0.3},
+		M:    100, Seed: 6, PayloadLen: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	rng := rand.New(rand.NewSource(7))
+	sources := make([][]byte, l.Total())
+	for i := range sources {
+		sources[i] = make([]byte, 8)
+		rng.Read(sources[i])
+		if err := c.Disseminate(rng, rng.Intn(120), i, sources[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Messages() == 0 || c.Hops() == 0 {
+		t.Fatalf("no delivery cost recorded: %d msgs, %d hops", c.Messages(), c.Hops())
+	}
+
+	// Full collection decodes everything byte-exactly.
+	blocks, err := c.CollectBlocks(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, dec, err := collect.Run(rng, core.PLC, l, blocks, collect.Options{PayloadLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("cluster deployment incomplete: %+v from %d caches", res, len(blocks))
+	}
+	for i := range sources {
+		got, err := dec.Source(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, sources[i]) {
+			t.Fatalf("source %d corrupted through the cluster", i)
+		}
+	}
+
+	// Under 50% failures the critical level still decodes.
+	dead := make(map[int]bool)
+	for i := 0; i < 120; i++ {
+		if rng.Float64() < 0.5 {
+			dead[i] = true
+		}
+	}
+	blocks, err = c.CollectBlocks(func(n int) bool { return !dead[n] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = collect.Run(rng, core.PLC, l, blocks, collect.Options{PayloadLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecodedLevels < 1 {
+		t.Errorf("critical level lost at 50%% failures: %+v", res)
+	}
+}
+
+// TestClusterMatchesSynchronousSupport: blocks produced by the concurrent
+// cluster must satisfy the same scheme-support invariants the synchronous
+// predist implementation guarantees.
+func TestClusterMatchesSynchronousSupport(t *testing.T) {
+	g := connectedGraph(t, 8, 80, 0.22)
+	l := mustLevels(t, 3, 3, 3)
+	for _, scheme := range []core.Scheme{core.RLC, core.SLC, core.PLC} {
+		c, err := New(Config{
+			Graph: g, Scheme: scheme, Levels: l,
+			Dist: core.NewUniformDistribution(3), M: 30, Seed: 9, PayloadLen: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(10))
+		payload := make([]byte, 4)
+		for i := 0; i < l.Total(); i++ {
+			rng.Read(payload)
+			if err := c.Disseminate(rng, rng.Intn(80), i, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		blocks, err := c.CollectBlocks(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := core.NewDecoder(scheme, l, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			if _, err := dec.Add(b); err != nil {
+				t.Fatalf("%v: cluster block violates support: %v", scheme, err)
+			}
+		}
+		c.Shutdown()
+	}
+}
+
+// TestClusterFanout: sparse dissemination still decodes and sends fewer
+// messages.
+func TestClusterFanout(t *testing.T) {
+	g := connectedGraph(t, 11, 100, 0.2)
+	l := mustLevels(t, 5, 15) // N = 20
+	run := func(fanout int) (int, bool) {
+		c, err := New(Config{
+			Graph: g, Scheme: core.PLC, Levels: l,
+			Dist: core.NewUniformDistribution(2), M: 80, Seed: 12,
+			Fanout: fanout, PayloadLen: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		rng := rand.New(rand.NewSource(13))
+		payload := make([]byte, 4)
+		for i := 0; i < l.Total(); i++ {
+			rng.Read(payload)
+			if err := c.Disseminate(rng, rng.Intn(100), i, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		blocks, err := c.CollectBlocks(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := collect.Run(rng, core.PLC, l, blocks, collect.Options{PayloadLen: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Messages(), res.Complete
+	}
+	denseMsgs, denseOK := run(0)
+	sparseMsgs, sparseOK := run(4 * core.LogSparsity(l.Total()))
+	if !denseOK || !sparseOK {
+		t.Fatalf("decode failed: dense %v, sparse %v", denseOK, sparseOK)
+	}
+	if sparseMsgs >= denseMsgs {
+		t.Errorf("fanout did not reduce messages: %d vs %d", sparseMsgs, denseMsgs)
+	}
+}
+
+// TestClusterConcurrentDisseminations pipelines dissemination from many
+// goroutines to exercise mailbox contention and the race detector.
+func TestClusterConcurrentDisseminations(t *testing.T) {
+	g := connectedGraph(t, 14, 80, 0.22)
+	l := mustLevels(t, 4, 12)
+	c, err := New(Config{
+		Graph: g, Scheme: core.PLC, Levels: l,
+		Dist: core.NewUniformDistribution(2), M: 60, Seed: 15, PayloadLen: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	errs := make(chan error, l.Total())
+	for i := 0; i < l.Total(); i++ {
+		i := i
+		go func() {
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			payload := make([]byte, 4)
+			rng.Read(payload)
+			errs <- c.Disseminate(rng, rng.Intn(80), i, payload)
+		}()
+	}
+	for i := 0; i < l.Total(); i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks, err := c.CollectBlocks(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := collect.Run(rand.New(rand.NewSource(16)), core.PLC, l, blocks,
+		collect.Options{PayloadLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("concurrent dissemination incomplete: %+v", res)
+	}
+}

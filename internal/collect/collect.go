@@ -1,0 +1,93 @@
+// Package collect implements the data-collecting side of the system: a
+// sink retrieves coded blocks from (surviving) caches in random order and
+// decodes progressively, stopping as soon as the partially decoded data
+// fulfill the application requirement (Sec. 3.2) — or when the caches are
+// exhausted.
+package collect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Options controls a collection run.
+type Options struct {
+	// TargetLevels stops collection once this many priority levels have
+	// decoded; 0 means "decode as much as the caches allow".
+	TargetLevels int
+	// MaxBlocks caps the number of blocks processed; 0 means no cap.
+	MaxBlocks int
+	// PayloadLen must match the blocks' payload size.
+	PayloadLen int
+	// CurveStride records a decoding-curve point every this many processed
+	// blocks (0 disables curve recording).
+	CurveStride int
+}
+
+// CurvePoint is one sample of the decoding curve: after processing M
+// blocks, Levels priority levels were decoded.
+type CurvePoint struct {
+	M      int
+	Levels int
+}
+
+// Result summarizes a collection run.
+type Result struct {
+	// Processed is the number of coded blocks pulled from caches.
+	Processed int
+	// Innovative is how many of them increased the decoder's rank.
+	Innovative int
+	// DecodedLevels is the strict-priority level count at the end.
+	DecodedLevels int
+	// DecodedBlocks is the number of individually recovered source blocks.
+	DecodedBlocks int
+	// Complete reports whether every source block was recovered.
+	Complete bool
+	// Curve holds decoding-curve samples when CurveStride was set.
+	Curve []CurvePoint
+}
+
+// Run pulls the given coded blocks in random order into a fresh decoder
+// and returns the outcome together with the decoder (for payload access).
+func Run(rng *rand.Rand, scheme core.Scheme, levels *core.Levels, blocks []*core.CodedBlock, opts Options) (Result, *core.Decoder, error) {
+	if rng == nil {
+		return Result{}, nil, fmt.Errorf("collect: nil rng")
+	}
+	if opts.TargetLevels < 0 || (levels != nil && opts.TargetLevels > levels.Count()) {
+		return Result{}, nil, fmt.Errorf("collect: target %d levels out of range", opts.TargetLevels)
+	}
+	dec, err := core.NewDecoder(scheme, levels, opts.PayloadLen)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	var res Result
+	order := rng.Perm(len(blocks))
+	for _, idx := range order {
+		if opts.MaxBlocks > 0 && res.Processed >= opts.MaxBlocks {
+			break
+		}
+		innovative, err := dec.Add(blocks[idx])
+		if err != nil {
+			return Result{}, nil, fmt.Errorf("collect: block %d: %w", idx, err)
+		}
+		res.Processed++
+		if innovative {
+			res.Innovative++
+		}
+		if opts.CurveStride > 0 && res.Processed%opts.CurveStride == 0 {
+			res.Curve = append(res.Curve, CurvePoint{M: res.Processed, Levels: dec.DecodedLevels()})
+		}
+		if opts.TargetLevels > 0 && dec.DecodedLevels() >= opts.TargetLevels {
+			break
+		}
+		if dec.Complete() {
+			break
+		}
+	}
+	res.DecodedLevels = dec.DecodedLevels()
+	res.DecodedBlocks = dec.DecodedBlocks()
+	res.Complete = dec.Complete()
+	return res, dec, nil
+}

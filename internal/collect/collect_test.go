@@ -1,0 +1,136 @@
+package collect
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func mustLevels(t testing.TB, sizes ...int) *core.Levels {
+	t.Helper()
+	l, err := core.NewLevels(sizes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func makeBlocks(t testing.TB, scheme core.Scheme, l *core.Levels, m int, seed int64) []*core.CodedBlock {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	enc, err := core.NewEncoder(scheme, l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := enc.EncodeBatch(rng, core.NewUniformDistribution(l.Count()), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+func TestRunValidation(t *testing.T) {
+	l := mustLevels(t, 2, 2)
+	if _, _, err := Run(nil, core.PLC, l, nil, Options{}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := Run(rng, core.PLC, l, nil, Options{TargetLevels: -1}); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, _, err := Run(rng, core.PLC, l, nil, Options{TargetLevels: 3}); err == nil {
+		t.Error("target beyond level count accepted")
+	}
+	if _, _, err := Run(rng, core.Scheme(0), l, nil, Options{}); err == nil {
+		t.Error("invalid scheme accepted")
+	}
+}
+
+func TestRunDecodesEverything(t *testing.T) {
+	l := mustLevels(t, 3, 3, 3)
+	blocks := makeBlocks(t, core.PLC, l, 40, 2)
+	res, dec, err := Run(rand.New(rand.NewSource(3)), core.PLC, l, blocks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.DecodedLevels != 3 || res.DecodedBlocks != 9 {
+		t.Errorf("result %+v, want complete decode", res)
+	}
+	if dec == nil || !dec.Complete() {
+		t.Error("returned decoder not complete")
+	}
+	// Early stop: the run must not consume all 40 blocks once rank 9 is
+	// reached.
+	if res.Processed == len(blocks) && res.Innovative < res.Processed {
+		t.Errorf("run did not stop at completion: processed %d", res.Processed)
+	}
+	if res.Innovative != 9 {
+		t.Errorf("innovative = %d, want 9", res.Innovative)
+	}
+}
+
+func TestRunStopsAtTargetLevels(t *testing.T) {
+	// Small level 0 inside a large level 1, so level 0 decodes long before
+	// the full system and the early stop is observable.
+	l := mustLevels(t, 2, 20)
+	blocks := makeBlocks(t, core.PLC, l, 80, 4)
+	res, _, err := Run(rand.New(rand.NewSource(5)), core.PLC, l, blocks, Options{TargetLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecodedLevels < 1 {
+		t.Errorf("target not reached: %+v", res)
+	}
+	if res.Processed >= len(blocks) {
+		t.Errorf("run consumed every cache without stopping early: %+v", res)
+	}
+	if res.Complete {
+		t.Errorf("run kept collecting past its target: %+v", res)
+	}
+}
+
+func TestRunMaxBlocksCap(t *testing.T) {
+	l := mustLevels(t, 5, 5)
+	blocks := makeBlocks(t, core.SLC, l, 30, 6)
+	res, _, err := Run(rand.New(rand.NewSource(7)), core.SLC, l, blocks, Options{MaxBlocks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != 3 {
+		t.Errorf("processed %d blocks, cap was 3", res.Processed)
+	}
+}
+
+func TestRunCurveRecording(t *testing.T) {
+	l := mustLevels(t, 4, 4)
+	blocks := makeBlocks(t, core.PLC, l, 20, 8)
+	res, _, err := Run(rand.New(rand.NewSource(9)), core.PLC, l, blocks, Options{CurveStride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) == 0 {
+		t.Fatal("no curve points recorded")
+	}
+	prevM, prevL := 0, 0
+	for _, pt := range res.Curve {
+		if pt.M <= prevM {
+			t.Errorf("curve M not increasing: %v", res.Curve)
+		}
+		if pt.Levels < prevL {
+			t.Errorf("decoded levels regressed in curve: %v", res.Curve)
+		}
+		prevM, prevL = pt.M, pt.Levels
+	}
+}
+
+func TestRunEmptyCaches(t *testing.T) {
+	l := mustLevels(t, 2, 2)
+	res, _, err := Run(rand.New(rand.NewSource(10)), core.PLC, l, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != 0 || res.DecodedLevels != 0 || res.Complete {
+		t.Errorf("empty collection produced %+v", res)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gfmat"
+)
+
+// Decoder is the partial decoder of Sec. 3.2. For RLC and PLC it maintains
+// a single incremental Gauss–Jordan (RREF) elimination over all N source
+// blocks, so decoded prefixes pop out progressively. For SLC it maintains
+// one independent elimination per level, since the levels are coded
+// separately and decode independently.
+type Decoder struct {
+	scheme     Scheme
+	levels     *Levels
+	payloadLen int
+
+	global   *gfmat.Decoder   // RLC, PLC
+	perLevel []*gfmat.Decoder // SLC
+	received int
+}
+
+// NewDecoder constructs a decoder for the given scheme and level structure.
+func NewDecoder(scheme Scheme, levels *Levels, payloadLen int) (*Decoder, error) {
+	if !scheme.Valid() {
+		return nil, fmt.Errorf("core: invalid scheme %v", scheme)
+	}
+	if levels == nil {
+		return nil, fmt.Errorf("core: nil levels")
+	}
+	if payloadLen < 0 {
+		return nil, fmt.Errorf("core: negative payload length %d", payloadLen)
+	}
+	d := &Decoder{scheme: scheme, levels: levels, payloadLen: payloadLen}
+	if scheme == SLC {
+		d.perLevel = make([]*gfmat.Decoder, levels.Count())
+		for k := range d.perLevel {
+			ld, err := gfmat.NewDecoder(levels.Size(k), payloadLen)
+			if err != nil {
+				return nil, fmt.Errorf("core: level %d decoder: %w", k, err)
+			}
+			d.perLevel[k] = ld
+		}
+		return d, nil
+	}
+	g, err := gfmat.NewDecoder(levels.Total(), payloadLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: global decoder: %w", err)
+	}
+	d.global = g
+	return d, nil
+}
+
+// Scheme returns the decoder's coding scheme.
+func (d *Decoder) Scheme() Scheme { return d.scheme }
+
+// Levels returns the decoder's priority structure.
+func (d *Decoder) Levels() *Levels { return d.levels }
+
+// Received returns the number of coded blocks offered to Add, innovative
+// or not — the paper's M.
+func (d *Decoder) Received() int { return d.received }
+
+// Add absorbs one coded block, returning whether it was innovative. The
+// block's coefficient vector must be zero outside the support its scheme
+// and level dictate; a violating block is rejected with an error, since it
+// indicates corruption or a scheme mismatch.
+func (d *Decoder) Add(b *CodedBlock) (bool, error) {
+	if b == nil {
+		return false, fmt.Errorf("core: nil coded block")
+	}
+	if len(b.Coeff) != d.levels.Total() {
+		return false, fmt.Errorf("core: coefficient vector length %d, want %d", len(b.Coeff), d.levels.Total())
+	}
+	lo, hi, err := d.scheme.Support(d.levels, b.Level)
+	if err != nil {
+		return false, err
+	}
+	for j, c := range b.Coeff {
+		if c != 0 && (j < lo || j >= hi) {
+			return false, fmt.Errorf("core: %v level-%d block has nonzero coefficient at column %d outside support [%d, %d)",
+				d.scheme, b.Level, j, lo, hi)
+		}
+	}
+	d.received++
+	if d.scheme == SLC {
+		innovative, err := d.perLevel[b.Level].Add(b.Coeff[lo:hi], b.Payload)
+		if err != nil {
+			return false, fmt.Errorf("core: SLC level %d: %w", b.Level, err)
+		}
+		return innovative, nil
+	}
+	innovative, err := d.global.Add(b.Coeff, b.Payload)
+	if err != nil {
+		return false, fmt.Errorf("core: %v decode: %w", d.scheme, err)
+	}
+	return innovative, nil
+}
+
+// Rank returns the total number of innovative blocks absorbed.
+func (d *Decoder) Rank() int {
+	if d.scheme == SLC {
+		r := 0
+		for _, ld := range d.perLevel {
+			r += ld.Rank()
+		}
+		return r
+	}
+	return d.global.Rank()
+}
+
+// Complete reports whether every source block is decoded.
+func (d *Decoder) Complete() bool {
+	if d.scheme == SLC {
+		for _, ld := range d.perLevel {
+			if !ld.Complete() {
+				return false
+			}
+		}
+		return true
+	}
+	return d.global.Complete()
+}
+
+// LevelDecoded reports whether every source block of level k is decoded.
+func (d *Decoder) LevelDecoded(k int) bool {
+	if d.levels.ValidLevel(k) != nil {
+		return false
+	}
+	if d.scheme == SLC {
+		return d.perLevel[k].Complete()
+	}
+	return d.global.DecodedPrefix() >= d.levels.CumSize(k)
+}
+
+// DecodedLevels returns the strict-priority random variable X of Sec. 3.3:
+// the number of consecutive levels, starting from the most important, that
+// are fully decoded.
+func (d *Decoder) DecodedLevels() int {
+	k := 0
+	for k < d.levels.Count() && d.LevelDecoded(k) {
+		k++
+	}
+	return k
+}
+
+// DecodedBlocks returns the number of individually decoded source blocks,
+// including (under SLC) blocks in levels beyond the decoded prefix.
+func (d *Decoder) DecodedBlocks() int {
+	if d.scheme == SLC {
+		n := 0
+		for _, ld := range d.perLevel {
+			n += ld.DecodedCount()
+		}
+		return n
+	}
+	return d.global.DecodedCount()
+}
+
+// Source returns the decoded payload of source block i.
+func (d *Decoder) Source(i int) ([]byte, error) {
+	if i < 0 || i >= d.levels.Total() {
+		return nil, fmt.Errorf("core: source index %d out of range [0, %d)", i, d.levels.Total())
+	}
+	if d.scheme == SLC {
+		k, err := d.levels.LevelOf(i)
+		if err != nil {
+			return nil, err
+		}
+		lo, _ := d.levels.Span(k)
+		payload, err := d.perLevel[k].Symbol(i - lo)
+		if err != nil {
+			return nil, fmt.Errorf("core: source %d (level %d): %w", i, k, err)
+		}
+		return payload, nil
+	}
+	payload, err := d.global.Symbol(i)
+	if err != nil {
+		return nil, fmt.Errorf("core: source %d: %w", i, err)
+	}
+	return payload, nil
+}
+
+// Sources returns all decoded payloads indexed by source block; undecoded
+// entries are nil.
+func (d *Decoder) Sources() [][]byte {
+	out := make([][]byte, d.levels.Total())
+	for i := range out {
+		if s, err := d.Source(i); err == nil {
+			out[i] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/gf256"
+)
+
+// CodedBlock is one encoded unit stored in the network: the level it was
+// generated for, its coding-coefficient vector over all N source blocks
+// (zero outside the scheme's support), and the encoded payload.
+type CodedBlock struct {
+	Level   int
+	Coeff   []byte
+	Payload []byte
+}
+
+// Clone returns a deep copy of the block.
+func (b *CodedBlock) Clone() *CodedBlock {
+	c := &CodedBlock{Level: b.Level}
+	c.Coeff = append([]byte(nil), b.Coeff...)
+	c.Payload = append([]byte(nil), b.Payload...)
+	return c
+}
+
+// EncoderOption customizes an Encoder.
+type EncoderOption func(*encoderConfig)
+
+type encoderConfig struct {
+	sparsity int
+}
+
+// WithSparsity limits each coded block to at most d nonzero coefficients,
+// chosen at uniformly random positions within the block's support. d <= 0
+// means dense (the default). Sec. 4 of the paper invokes the Dimakis et al.
+// result that d = Θ(ln N) suffices for decodability w.h.p., which is what
+// makes the pre-distribution protocol bandwidth-efficient.
+func WithSparsity(d int) EncoderOption {
+	return func(c *encoderConfig) { c.sparsity = d }
+}
+
+// LogSparsity returns the 3·ln(N) coefficient budget (at least 1) commonly
+// used with WithSparsity for N source blocks.
+func LogSparsity(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	d := int(math.Ceil(3 * math.Log(float64(n))))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Encoder produces coded blocks for a fixed scheme, level structure and
+// source payload set. It is safe for concurrent use only with external
+// synchronization of the *rand.Rand passed to Encode.
+type Encoder struct {
+	scheme     Scheme
+	levels     *Levels
+	sources    [][]byte // nil when payloadLen == 0 (coefficient-only experiments)
+	payloadLen int
+	sparsity   int
+}
+
+// NewEncoder constructs an encoder. sources must either be nil/empty (for
+// coefficient-only Monte-Carlo experiments, where payloads are skipped) or
+// contain exactly levels.Total() equal-length payloads.
+func NewEncoder(scheme Scheme, levels *Levels, sources [][]byte, opts ...EncoderOption) (*Encoder, error) {
+	if !scheme.Valid() {
+		return nil, fmt.Errorf("core: invalid scheme %v", scheme)
+	}
+	if levels == nil {
+		return nil, fmt.Errorf("core: nil levels")
+	}
+	var cfg encoderConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Encoder{
+		scheme:   scheme,
+		levels:   levels,
+		sparsity: cfg.sparsity,
+	}
+	if len(sources) > 0 {
+		if len(sources) != levels.Total() {
+			return nil, fmt.Errorf("core: %d source payloads, want %d", len(sources), levels.Total())
+		}
+		e.payloadLen = len(sources[0])
+		e.sources = make([][]byte, len(sources))
+		for i, s := range sources {
+			if len(s) != e.payloadLen {
+				return nil, fmt.Errorf("core: source %d has %d bytes, want %d", i, len(s), e.payloadLen)
+			}
+			e.sources[i] = append([]byte(nil), s...)
+		}
+	}
+	return e, nil
+}
+
+// Scheme returns the encoder's coding scheme.
+func (e *Encoder) Scheme() Scheme { return e.scheme }
+
+// Levels returns the encoder's priority structure.
+func (e *Encoder) Levels() *Levels { return e.levels }
+
+// PayloadLen returns the per-block payload size in bytes (0 when encoding
+// coefficients only).
+func (e *Encoder) PayloadLen() int { return e.payloadLen }
+
+// Encode generates one coded block for the given level. Coefficients are
+// drawn uniformly from the nonzero field elements over the scheme's support
+// (or over a sparse random subset of it when WithSparsity is set).
+func (e *Encoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error) {
+	lo, hi, err := e.scheme.Support(e.levels, level)
+	if err != nil {
+		return nil, err
+	}
+	n := e.levels.Total()
+	coeff := make([]byte, n)
+	span := hi - lo
+	if e.sparsity > 0 && e.sparsity < span {
+		// Sparse: choose e.sparsity distinct positions within the support.
+		for _, off := range rng.Perm(span)[:e.sparsity] {
+			coeff[lo+off] = byte(1 + rng.Intn(255))
+		}
+	} else {
+		for j := lo; j < hi; j++ {
+			coeff[j] = byte(1 + rng.Intn(255))
+		}
+	}
+	b := &CodedBlock{Level: level, Coeff: coeff}
+	if e.payloadLen > 0 {
+		b.Payload = make([]byte, e.payloadLen)
+		for j := lo; j < hi; j++ {
+			if c := coeff[j]; c != 0 {
+				gf256.AddMulSlice(b.Payload, e.sources[j], c)
+			}
+		}
+	} else {
+		b.Payload = []byte{}
+	}
+	return b, nil
+}
+
+// EncodeBatch draws `count` coded-block levels from the priority
+// distribution and encodes each — the random accumulation model of
+// Sec. 3.3 ("M randomly accumulated coded blocks").
+func (e *Encoder) EncodeBatch(rng *rand.Rand, p PriorityDistribution, count int) ([]*CodedBlock, error) {
+	if err := p.Validate(e.levels); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("core: negative batch count %d", count)
+	}
+	sampler, err := dist.NewCategorical(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: build level sampler: %w", err)
+	}
+	out := make([]*CodedBlock, 0, count)
+	for i := 0; i < count; i++ {
+		b, err := e.Encode(rng, sampler.Draw(rng))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

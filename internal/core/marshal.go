@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format for coded blocks, so deployments can ship them over
+// sockets or store them on disk:
+//
+//	magic   "PB"     2 bytes
+//	version 1        1 byte
+//	level   uint16   big endian
+//	nCoeff  uint32   big endian
+//	nPay    uint32   big endian
+//	coeff   nCoeff bytes
+//	payload nPay bytes
+const (
+	wireMagic   = "PB"
+	wireVersion = 1
+	wireHeader  = 2 + 1 + 2 + 4 + 4
+)
+
+var (
+	_ encoding.BinaryMarshaler   = (*CodedBlock)(nil)
+	_ encoding.BinaryUnmarshaler = (*CodedBlock)(nil)
+)
+
+// MarshalBinary encodes the block in the wire format.
+func (b *CodedBlock) MarshalBinary() ([]byte, error) {
+	if b.Level < 0 || b.Level > 0xFFFF {
+		return nil, fmt.Errorf("core: level %d does not fit the wire format", b.Level)
+	}
+	out := make([]byte, 0, wireHeader+len(b.Coeff)+len(b.Payload))
+	out = append(out, wireMagic...)
+	out = append(out, wireVersion)
+	out = binary.BigEndian.AppendUint16(out, uint16(b.Level))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(b.Coeff)))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(b.Payload)))
+	out = append(out, b.Coeff...)
+	out = append(out, b.Payload...)
+	return out, nil
+}
+
+// UnmarshalBinary decodes a block from the wire format, copying the
+// input.
+func (b *CodedBlock) UnmarshalBinary(data []byte) error {
+	if len(data) < wireHeader {
+		return fmt.Errorf("core: wire block truncated at %d bytes", len(data))
+	}
+	if string(data[:2]) != wireMagic {
+		return fmt.Errorf("core: bad wire magic %q", data[:2])
+	}
+	if data[2] != wireVersion {
+		return fmt.Errorf("core: unsupported wire version %d", data[2])
+	}
+	level := int(binary.BigEndian.Uint16(data[3:]))
+	nCoeff := int(binary.BigEndian.Uint32(data[5:]))
+	nPay := int(binary.BigEndian.Uint32(data[9:]))
+	if nCoeff < 0 || nPay < 0 || len(data) != wireHeader+nCoeff+nPay {
+		return fmt.Errorf("core: wire block length %d does not match header (%d coeff, %d payload)",
+			len(data), nCoeff, nPay)
+	}
+	b.Level = level
+	b.Coeff = append([]byte(nil), data[wireHeader:wireHeader+nCoeff]...)
+	b.Payload = append([]byte(nil), data[wireHeader+nCoeff:]...)
+	return nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		b := &CodedBlock{
+			Level:   rng.Intn(100),
+			Coeff:   make([]byte, rng.Intn(50)),
+			Payload: make([]byte, rng.Intn(50)),
+		}
+		rng.Read(b.Coeff)
+		rng.Read(b.Payload)
+		data, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got CodedBlock
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if got.Level != b.Level || !bytes.Equal(got.Coeff, b.Coeff) || !bytes.Equal(got.Payload, b.Payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, b)
+		}
+	}
+}
+
+func TestMarshalLevelBounds(t *testing.T) {
+	b := &CodedBlock{Level: 1 << 17}
+	if _, err := b.MarshalBinary(); err == nil {
+		t.Error("oversized level accepted")
+	}
+	b.Level = -1
+	if _, err := b.MarshalBinary(); err == nil {
+		t.Error("negative level accepted")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("XX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"),   // bad magic
+		[]byte("PB\x07\x00\x00\x00\x00\x00\x00\x00\x00\x00"),   // bad version
+		[]byte("PB\x01\x00\x00\x00\x00\x00\x05\x00\x00\x00"),   // header wants 5 coeff bytes, none present
+		[]byte("PB\x01\x00\x00\x00\x00\x00\x01\x00\x00\x00ab"), // one trailing byte too many
+	}
+	var b CodedBlock
+	for i, data := range cases {
+		if err := b.UnmarshalBinary(data); err == nil {
+			t.Errorf("garbage %d accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalCopiesInput(t *testing.T) {
+	src := &CodedBlock{Level: 1, Coeff: []byte{1, 2}, Payload: []byte{3}}
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got CodedBlock
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	data[wireHeader] = 99 // mutate the buffer
+	if got.Coeff[0] != 1 {
+		t.Error("UnmarshalBinary aliased the input buffer")
+	}
+}
+
+// FuzzUnmarshalBinary hardens the wire parser: arbitrary input must never
+// panic, and accepted input must re-marshal identically.
+func FuzzUnmarshalBinary(f *testing.F) {
+	seed := &CodedBlock{Level: 3, Coeff: []byte{1, 0, 2}, Payload: []byte{9, 9}}
+	data, err := seed.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:5])
+	f.Add([]byte("PB\x01"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var b CodedBlock
+		if err := b.UnmarshalBinary(in); err != nil {
+			return
+		}
+		out, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted block failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatalf("re-marshal differs:\n in=%x\nout=%x", in, out)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Scheme selects one of the coding schemes analyzed in the paper.
+type Scheme int
+
+const (
+	// RLC is the baseline Random Linear Code: every coded block combines
+	// all N source blocks (Fig. 1a). All-or-nothing decoding.
+	RLC Scheme = iota + 1
+	// SLC is the Stacked Linear Code: a level-k coded block combines only
+	// the source blocks of level k (Fig. 1b). Levels decode independently.
+	SLC
+	// PLC is the Progressive Linear Code: a level-k coded block combines
+	// all source blocks of levels 0..k (Fig. 1c). Decoding is progressive
+	// in priority order.
+	PLC
+)
+
+// String returns the scheme's conventional name.
+func (s Scheme) String() string {
+	switch s {
+	case RLC:
+		return "RLC"
+	case SLC:
+		return "SLC"
+	case PLC:
+		return "PLC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is a known scheme.
+func (s Scheme) Valid() bool { return s == RLC || s == SLC || s == PLC }
+
+// ParseScheme converts a case-sensitive scheme name to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "RLC", "rlc":
+		return RLC, nil
+	case "SLC", "slc":
+		return SLC, nil
+	case "PLC", "plc":
+		return PLC, nil
+	default:
+		return 0, fmt.Errorf("core: unknown scheme %q (want RLC, SLC or PLC)", name)
+	}
+}
+
+// Support returns the half-open source-block index range [lo, hi) that a
+// coded block of the given level combines under scheme s:
+//
+//	RLC: [0, N)              regardless of level
+//	SLC: [b_{k-1}, b_k)      the level's own blocks
+//	PLC: [0, b_k)            all blocks of levels 0..k
+func (s Scheme) Support(l *Levels, level int) (lo, hi int, err error) {
+	if err := l.ValidLevel(level); err != nil {
+		return 0, 0, err
+	}
+	switch s {
+	case RLC:
+		return 0, l.Total(), nil
+	case SLC:
+		lo, hi = l.Span(level)
+		return lo, hi, nil
+	case PLC:
+		return 0, l.CumSize(level), nil
+	default:
+		return 0, 0, fmt.Errorf("core: invalid scheme %v", s)
+	}
+}
+
+// PriorityDistribution assigns to each level the fraction of coded blocks
+// carrying that level — the quantity the Sec. 3.4 feasibility problem
+// designs. Index i is level i's share p_{i+1} in the paper's notation.
+type PriorityDistribution []float64
+
+// NewUniformDistribution returns the uniform priority distribution over n
+// levels, the paper's default and the feasibility solver's starting point.
+func NewUniformDistribution(n int) PriorityDistribution {
+	return PriorityDistribution(dist.Uniform(n))
+}
+
+// Validate checks that the distribution is a probability vector matching
+// the level structure.
+func (p PriorityDistribution) Validate(l *Levels) error {
+	if len(p) != l.Count() {
+		return fmt.Errorf("core: distribution has %d entries, want %d levels", len(p), l.Count())
+	}
+	if err := dist.Simplex(p, 1e-9); err != nil {
+		return fmt.Errorf("core: invalid priority distribution: %w", err)
+	}
+	return nil
+}
+
+// Clone returns a copy of the distribution.
+func (p PriorityDistribution) Clone() PriorityDistribution {
+	out := make(PriorityDistribution, len(p))
+	copy(out, p)
+	return out
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Stream couples a partial decoder with in-order payload delivery: every
+// absorbed coded block may release newly decoded prefix payloads to the
+// sink, in source order. This is the streaming face of progressive
+// decoding — a media player or log processor consumes the most important
+// prefix while the rest of the blocks are still in flight (or lost).
+type Stream struct {
+	dec       *Decoder
+	sink      io.Writer
+	delivered int // source blocks already written to the sink
+}
+
+// NewStream constructs a streaming decoder writing decoded prefix
+// payloads to sink.
+func NewStream(scheme Scheme, levels *Levels, payloadLen int, sink io.Writer) (*Stream, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("core: nil sink")
+	}
+	if payloadLen <= 0 {
+		return nil, fmt.Errorf("core: stream payload length %d, want > 0", payloadLen)
+	}
+	dec, err := NewDecoder(scheme, levels, payloadLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{dec: dec, sink: sink}, nil
+}
+
+// Add absorbs a coded block and flushes any newly decoded prefix payloads
+// to the sink. It returns whether the block was innovative.
+func (s *Stream) Add(b *CodedBlock) (bool, error) {
+	innovative, err := s.dec.Add(b)
+	if err != nil {
+		return false, err
+	}
+	if err := s.flush(); err != nil {
+		return innovative, err
+	}
+	return innovative, nil
+}
+
+// flush writes every contiguous newly decoded source payload.
+func (s *Stream) flush() error {
+	total := s.dec.Levels().Total()
+	for s.delivered < total {
+		payload, err := s.dec.Source(s.delivered)
+		if err != nil {
+			return nil // prefix ends here for now
+		}
+		if _, err := s.sink.Write(payload); err != nil {
+			return fmt.Errorf("core: stream sink: %w", err)
+		}
+		s.delivered++
+	}
+	return nil
+}
+
+// Delivered returns the number of source blocks written to the sink.
+func (s *Stream) Delivered() int { return s.delivered }
+
+// DeliveredLevels returns how many complete priority levels have been
+// delivered.
+func (s *Stream) DeliveredLevels() int { return s.dec.Levels().PrefixLevels(s.delivered) }
+
+// Complete reports whether the whole source has been delivered.
+func (s *Stream) Complete() bool { return s.delivered == s.dec.Levels().Total() }
+
+// Received returns the number of coded blocks offered so far.
+func (s *Stream) Received() int { return s.dec.Received() }

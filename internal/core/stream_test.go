@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNewStreamValidation(t *testing.T) {
+	l := mustLevels(t, 2, 2)
+	if _, err := NewStream(PLC, l, 4, nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+	if _, err := NewStream(PLC, l, 0, &bytes.Buffer{}); err == nil {
+		t.Error("zero payload length accepted")
+	}
+	if _, err := NewStream(Scheme(0), l, 4, &bytes.Buffer{}); err == nil {
+		t.Error("invalid scheme accepted")
+	}
+}
+
+// TestStreamDeliversInOrder feeds a PLC stream and checks the sink
+// receives exactly the source payloads, in order, progressively.
+func TestStreamDeliversInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := mustLevels(t, 3, 5, 8)
+	sources := randomSources(rng, l.Total(), 6)
+	enc, err := NewEncoder(PLC, l, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	s, err := NewStream(PLC, l, 6, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, src := range sources {
+		want.Write(src)
+	}
+	prevDelivered := 0
+	dist := PriorityDistribution{0.4, 0.3, 0.3}
+	for !s.Complete() {
+		blocks, err := enc.EncodeBatch(rng, dist, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Add(blocks[0]); err != nil {
+			t.Fatal(err)
+		}
+		if s.Delivered() < prevDelivered {
+			t.Fatal("delivery went backwards")
+		}
+		// The sink must always hold exactly the delivered prefix.
+		if got := sink.Len(); got != s.Delivered()*6 {
+			t.Fatalf("sink holds %d bytes, delivered %d blocks", got, s.Delivered())
+		}
+		prevDelivered = s.Delivered()
+	}
+	if !bytes.Equal(sink.Bytes(), want.Bytes()) {
+		t.Fatal("sink content differs from the source stream")
+	}
+	if s.DeliveredLevels() != 3 {
+		t.Errorf("DeliveredLevels = %d, want 3", s.DeliveredLevels())
+	}
+	if s.Received() == 0 {
+		t.Error("Received not counted")
+	}
+}
+
+// TestStreamPartialDelivery: with only level-0 blocks, exactly the level-0
+// prefix is delivered.
+func TestStreamPartialDelivery(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := mustLevels(t, 2, 6)
+	sources := randomSources(rng, 8, 4)
+	enc, err := NewEncoder(PLC, l, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	s, err := NewStream(PLC, l, 4, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // 4 level-0 blocks over 2 unknowns: decoded
+		b, err := enc.Encode(rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Delivered() != 2 || s.DeliveredLevels() != 1 {
+		t.Fatalf("delivered %d blocks (%d levels), want 2 (1)", s.Delivered(), s.DeliveredLevels())
+	}
+	if !bytes.Equal(sink.Bytes(), append(append([]byte{}, sources[0]...), sources[1]...)) {
+		t.Fatal("partial delivery content wrong")
+	}
+	if s.Complete() {
+		t.Error("stream claims complete")
+	}
+}
+
+type failingWriter struct{ calls int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return 0, errors.New("sink broken")
+}
+
+func TestStreamSinkErrorPropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := mustLevels(t, 1, 1)
+	sources := randomSources(rng, 2, 2)
+	enc, err := NewEncoder(PLC, l, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(PLC, l, 2, &failingWriter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enc.Encode(rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(b); err == nil {
+		t.Error("sink failure not propagated")
+	}
+}
+
+func TestStreamSLCPrefixSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := mustLevels(t, 2, 2)
+	sources := randomSources(rng, 4, 2)
+	enc, err := NewEncoder(SLC, l, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	s, err := NewStream(SLC, l, 2, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode ONLY level 1: nothing may be delivered (strict prefix order).
+	for i := 0; i < 5; i++ {
+		b, err := enc.Encode(rng, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Delivered() != 0 {
+		t.Fatalf("delivered %d blocks without the level-0 prefix", s.Delivered())
+	}
+	// Now decode level 0: the whole stream flushes at once.
+	for s.Delivered() < 4 {
+		b, err := enc.Encode(rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Complete() {
+		t.Error("stream incomplete after both levels decoded")
+	}
+}

@@ -1,0 +1,187 @@
+// Package dist provides the probability primitives shared by the
+// analytical model (internal/analysis) and the Monte-Carlo experiment
+// harness (internal/exper): log-space binomial/multinomial mass functions,
+// an O(1) alias-method categorical sampler for drawing coded-block levels
+// from a priority distribution, and mean/confidence-interval estimators
+// for simulation output.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogFactorial returns ln(n!) using the log-gamma function.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}
+
+// LogChoose returns ln(C(n, k)), or -Inf for k outside [0, n].
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// LogBinomialPMF returns ln Pr(X = k) for X ~ Binomial(n, p).
+func LogBinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	switch {
+	case p <= 0:
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	case p >= 1:
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+}
+
+// BinomialPMF returns Pr(X = k) for X ~ Binomial(n, p).
+func BinomialPMF(n, k int, p float64) float64 {
+	return math.Exp(LogBinomialPMF(n, k, p))
+}
+
+// BinomialCDF returns Pr(X <= k) for X ~ Binomial(n, p).
+func BinomialCDF(n, k int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += BinomialPMF(n, i, p)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// BinomialPMFRow returns the full PMF vector [Pr(X=0) ... Pr(X=n)] for
+// X ~ Binomial(n, p), computed with a multiplicative recurrence that is both
+// fast and numerically stable for the n (~2000) used by the analysis.
+func BinomialPMFRow(n int, p float64) []float64 {
+	row := make([]float64, n+1)
+	if p <= 0 {
+		row[0] = 1
+		return row
+	}
+	if p >= 1 {
+		row[n] = 1
+		return row
+	}
+	// Start at the mode in log space to avoid underflow for large n.
+	mode := int(float64(n+1) * p)
+	if mode > n {
+		mode = n
+	}
+	row[mode] = math.Exp(LogBinomialPMF(n, mode, p))
+	ratio := p / (1 - p)
+	for k := mode + 1; k <= n; k++ {
+		row[k] = row[k-1] * ratio * float64(n-k+1) / float64(k)
+	}
+	for k := mode - 1; k >= 0; k-- {
+		row[k] = row[k+1] / ratio * float64(k+1) / float64(n-k)
+	}
+	return row
+}
+
+// Simplex validates that p is a probability vector: nonnegative entries
+// summing to 1 within tol.
+func Simplex(p []float64, tol float64) error {
+	sum := 0.0
+	for i, v := range p {
+		if v < -tol {
+			return fmt.Errorf("dist: negative probability p[%d] = %g", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("dist: probabilities sum to %g, want 1 (tolerance %g)", sum, tol)
+	}
+	return nil
+}
+
+// ProjectToSimplex returns the Euclidean projection of v onto the
+// probability simplex (Duchi et al. algorithm). Used by the feasibility
+// solver to keep candidate priority distributions valid.
+func ProjectToSimplex(v []float64) []float64 {
+	n := len(v)
+	if n == 0 {
+		return nil
+	}
+	// Sort a copy descending.
+	u := make([]float64, n)
+	copy(u, v)
+	sortDescending(u)
+	cum := 0.0
+	theta := 0.0
+	k := 0
+	for i := 0; i < n; i++ {
+		cum += u[i]
+		t := (cum - 1) / float64(i+1)
+		if u[i]-t > 0 {
+			theta = t
+			k = i + 1
+		}
+	}
+	if k == 0 {
+		// All mass on the largest coordinate (degenerate input).
+		out := make([]float64, n)
+		best := 0
+		for i := 1; i < n; i++ {
+			if v[i] > v[best] {
+				best = i
+			}
+		}
+		out[best] = 1
+		return out
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if w := v[i] - theta; w > 0 {
+			out[i] = w
+		}
+	}
+	return out
+}
+
+func sortDescending(v []float64) {
+	// Insertion sort is fine for the small n (priority levels) seen here;
+	// avoid pulling in sort for a hot inner loop over tiny slices.
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] < x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}
+
+// Uniform returns the uniform distribution over n categories.
+func Uniform(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return p
+}

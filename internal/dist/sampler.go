@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Categorical draws category indices from a fixed discrete distribution in
+// O(1) per draw using Vose's alias method. The Monte-Carlo experiments draw
+// millions of coded-block levels from the priority distribution, so the
+// constant-time sampler matters.
+type Categorical struct {
+	prob  []float64
+	alias []int
+}
+
+// NewCategorical builds an alias table for the given probability vector,
+// which must be a valid distribution within a 1e-9 tolerance.
+func NewCategorical(p []float64) (*Categorical, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("dist: empty distribution")
+	}
+	if err := Simplex(p, 1e-9); err != nil {
+		return nil, err
+	}
+	n := len(p)
+	c := &Categorical{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, v := range p {
+		scaled[i] = v * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		c.prob[s] = scaled[s]
+		c.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		c.prob[i] = 1
+		c.alias[i] = i
+	}
+	for _, i := range small {
+		c.prob[i] = 1
+		c.alias[i] = i
+	}
+	return c, nil
+}
+
+// Draw returns a category index sampled from the distribution.
+func (c *Categorical) Draw(rng *rand.Rand) int {
+	i := rng.Intn(len(c.prob))
+	if rng.Float64() < c.prob[i] {
+		return i
+	}
+	return c.alias[i]
+}
+
+// Len returns the number of categories.
+func (c *Categorical) Len() int { return len(c.prob) }
+
+// MultinomialDraw returns category counts for n independent draws from p.
+func MultinomialDraw(rng *rand.Rand, n int, c *Categorical) []int {
+	counts := make([]int, c.Len())
+	for i := 0; i < n; i++ {
+		counts[c.Draw(rng)]++
+	}
+	return counts
+}

@@ -1,0 +1,42 @@
+package dist
+
+import "math"
+
+// Summary captures the sample statistics the paper reports for every data
+// point: the mean over independent trials and a 95% confidence interval.
+type Summary struct {
+	N      int     // number of samples
+	Mean   float64 // sample mean
+	StdDev float64 // sample standard deviation (Bessel-corrected)
+	CI95   float64 // half-width of the 95% confidence interval on the mean
+}
+
+// Summarize computes mean, standard deviation and the 95% confidence
+// half-width (normal approximation, z = 1.96 — the paper averages 100
+// independent experiments per point, well into the CLT regime).
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	sum := 0.0
+	for _, x := range samples {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}
+	}
+	ss := 0.0
+	for _, x := range samples {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return Summary{
+		N:      n,
+		Mean:   mean,
+		StdDev: sd,
+		CI95:   1.96 * sd / math.Sqrt(float64(n)),
+	}
+}

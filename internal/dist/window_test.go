@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomialWindowCoversMass(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.5}, {100, 0.1}, {2000, 0.37}, {1, 0.5}, {50, 0.99}} {
+		lo, pmf := BinomialWindow(tc.n, tc.p, 1e-18)
+		sum := 0.0
+		for _, v := range pmf {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("n=%d p=%g: window mass %g, want ~1", tc.n, tc.p, sum)
+		}
+		for i, v := range pmf {
+			want := BinomialPMF(tc.n, lo+i, tc.p)
+			if math.Abs(v-want) > 1e-12*(1+want) {
+				t.Errorf("n=%d p=%g k=%d: window %g, pmf %g", tc.n, tc.p, lo+i, v, want)
+			}
+		}
+		if lo < 0 || lo+len(pmf)-1 > tc.n {
+			t.Errorf("n=%d p=%g: window [%d, %d] out of range", tc.n, tc.p, lo, lo+len(pmf)-1)
+		}
+	}
+}
+
+func TestBinomialWindowEdgeCases(t *testing.T) {
+	if lo, pmf := BinomialWindow(10, 0, 1e-18); lo != 0 || len(pmf) != 1 || pmf[0] != 1 {
+		t.Errorf("p=0: (%d, %v)", lo, pmf)
+	}
+	if lo, pmf := BinomialWindow(10, 1, 1e-18); lo != 10 || len(pmf) != 1 || pmf[0] != 1 {
+		t.Errorf("p=1: (%d, %v)", lo, pmf)
+	}
+	if lo, pmf := BinomialWindow(0, 0.5, 1e-18); lo != 0 || len(pmf) != 1 || pmf[0] != 1 {
+		t.Errorf("n=0: (%d, %v)", lo, pmf)
+	}
+	if _, pmf := BinomialWindow(-1, 0.5, 1e-18); pmf != nil {
+		t.Errorf("n=-1: %v", pmf)
+	}
+	// Non-positive tailEps falls back to the default.
+	_, pmf := BinomialWindow(100, 0.5, 0)
+	sum := 0.0
+	for _, v := range pmf {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("default tailEps: mass %g", sum)
+	}
+}
+
+func TestBinomialWindowIsNarrow(t *testing.T) {
+	// The window must be O(sqrt(n log(1/eps))) wide, far below n.
+	n := 10000
+	_, pmf := BinomialWindow(n, 0.5, 1e-18)
+	sigma := math.Sqrt(float64(n) * 0.25)
+	if len(pmf) > int(25*sigma) {
+		t.Errorf("window width %d exceeds 25 sigma (%g)", len(pmf), 25*sigma)
+	}
+}
+
+func BenchmarkBinomialWindow2000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BinomialWindow(2000, 0.37, 1e-18)
+	}
+}

@@ -1,0 +1,225 @@
+// Package exper is the experiment harness behind Sec. 5: it produces
+// decoding curves — expected decoded priority levels against the number of
+// processed coded blocks — by Monte-Carlo simulation of the actual codes
+// (mean and 95% confidence interval over independent trials, 100 by
+// default as in the paper) and by the analytical model, and packages every
+// table and figure of the evaluation as a reproducible runner.
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// CurvePoint is one decoding-curve sample at M processed coded blocks.
+type CurvePoint struct {
+	M float64
+	// Mean and CI95 are the simulated expected decoded levels and its 95%
+	// confidence half-width.
+	Mean float64
+	CI95 float64
+	// Analysis is the model's E(X); NaN-free zero when not computed.
+	Analysis float64
+	// HasAnalysis reports whether Analysis was computed for this point.
+	HasAnalysis bool
+}
+
+// Curve is a full decoding curve for one scheme and distribution.
+type Curve struct {
+	Name   string
+	Scheme core.Scheme
+	Points []CurvePoint
+}
+
+// CurveConfig parameterizes a decoding-curve experiment.
+type CurveConfig struct {
+	Name   string
+	Scheme core.Scheme
+	Levels *core.Levels
+	Dist   core.PriorityDistribution
+	// Ms are the checkpoints (numbers of processed coded blocks).
+	Ms []int
+	// Trials is the number of independent simulation runs per point
+	// (0 = 100, the paper's setting).
+	Trials int
+	// Seed makes the simulation reproducible.
+	Seed int64
+	// WithAnalysis also evaluates the analytical model at every
+	// checkpoint.
+	WithAnalysis bool
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c CurveConfig) validate() error {
+	if c.Levels == nil {
+		return fmt.Errorf("exper: nil levels")
+	}
+	if !c.Scheme.Valid() {
+		return fmt.Errorf("exper: invalid scheme %v", c.Scheme)
+	}
+	if err := c.Dist.Validate(c.Levels); err != nil {
+		return err
+	}
+	if len(c.Ms) == 0 {
+		return fmt.Errorf("exper: no checkpoints given")
+	}
+	for _, m := range c.Ms {
+		if m < 0 {
+			return fmt.Errorf("exper: negative checkpoint %d", m)
+		}
+	}
+	return nil
+}
+
+// SimulateCurve runs the Monte-Carlo experiment: for each trial it streams
+// randomly generated coded blocks into a partial decoder, recording the
+// decoded-level count at every checkpoint, then aggregates means and 95%
+// confidence intervals. Trials run in parallel; results are independent of
+// the worker count because each trial derives its own seeded generator.
+func SimulateCurve(cfg CurveConfig) (*Curve, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = 100
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	ms := append([]int(nil), cfg.Ms...)
+	sort.Ints(ms)
+	maxM := ms[len(ms)-1]
+
+	// levelsAt[t][i] is trial t's decoded-level count at checkpoint i.
+	levelsAt := make([][]int, trials)
+	var (
+		wg   sync.WaitGroup
+		errs = make([]error, workers)
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				rec, err := runTrial(cfg, ms, maxM, cfg.Seed+int64(t)*1_000_003)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("trial %d: %w", t, err)
+					}
+					continue
+				}
+				levelsAt[t] = rec
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	curve := &Curve{Name: cfg.Name, Scheme: cfg.Scheme, Points: make([]CurvePoint, len(ms))}
+	samples := make([]float64, trials)
+	for i, m := range ms {
+		for t := 0; t < trials; t++ {
+			samples[t] = float64(levelsAt[t][i])
+		}
+		s := dist.Summarize(samples)
+		curve.Points[i] = CurvePoint{M: float64(m), Mean: s.Mean, CI95: s.CI95}
+	}
+	if cfg.WithAnalysis {
+		for i, m := range ms {
+			r, err := analysis.Eval(cfg.Scheme, cfg.Levels, cfg.Dist, m)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points[i].Analysis = r.EX
+			curve.Points[i].HasAnalysis = true
+		}
+	}
+	return curve, nil
+}
+
+// runTrial streams maxM random coded blocks into a decoder and returns the
+// decoded-level count at each checkpoint.
+func runTrial(cfg CurveConfig, ms []int, maxM int, seed int64) ([]int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	enc, err := core.NewEncoder(cfg.Scheme, cfg.Levels, nil)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.NewDecoder(cfg.Scheme, cfg.Levels, 0)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := dist.NewCategorical(cfg.Dist)
+	if err != nil {
+		return nil, err
+	}
+	rec := make([]int, len(ms))
+	ci := 0
+	for processed := 0; processed <= maxM && ci < len(ms); processed++ {
+		for ci < len(ms) && ms[ci] == processed {
+			rec[ci] = dec.DecodedLevels()
+			ci++
+		}
+		if processed == maxM {
+			break
+		}
+		// Generating a block only matters while the decoder is incomplete;
+		// once complete, every checkpoint reads n levels anyway.
+		if dec.Complete() {
+			for ci < len(ms) {
+				rec[ci] = dec.DecodedLevels()
+				ci++
+			}
+			break
+		}
+		b, err := enc.Encode(rng, sampler.Draw(rng))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := dec.Add(b); err != nil {
+			return nil, err
+		}
+	}
+	for ci < len(ms) {
+		rec[ci] = dec.DecodedLevels()
+		ci++
+	}
+	return rec, nil
+}
+
+// Steps returns the inclusive integer sweep {from, from+step, ..., to},
+// the usual checkpoint grid for decoding curves.
+func Steps(from, to, step int) []int {
+	if step <= 0 || to < from {
+		return nil
+	}
+	out := make([]int, 0, (to-from)/step+1)
+	for m := from; m <= to; m += step {
+		out = append(out, m)
+	}
+	return out
+}

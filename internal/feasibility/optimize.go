@@ -1,0 +1,251 @@
+package feasibility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// Utility extension. Sec. 2 of the paper notes that a less stringent
+// priority model — where recovering much low-priority data may beat
+// recovering a little high-priority data — "requires the specification of
+// an application-specific utility function over the priority levels" and
+// leaves it as an open problem. This file supplies that mechanism on top
+// of the same analytical machinery: given marginal utilities u_k for each
+// level, choose the priority distribution maximizing the expected utility
+//
+//	E[U] = Σ_k u_k · Pr(X ≥ k)
+//
+// at a collection budget of M coded blocks, optionally subject to the
+// eq. (9)/(10) constraints.
+
+// Utility assigns a nonnegative marginal utility to each priority level:
+// decoding level k (0-based) contributes Utility[k]. The strict priority
+// model corresponds to rapidly decaying utilities.
+type Utility []float64
+
+// Validate checks the utility vector against the level structure.
+func (u Utility) Validate(l *core.Levels) error {
+	if len(u) != l.Count() {
+		return fmt.Errorf("feasibility: utility has %d entries, want %d levels", len(u), l.Count())
+	}
+	total := 0.0
+	for i, v := range u {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("feasibility: utility[%d] = %g, want finite and >= 0", i, v)
+		}
+		total += v
+	}
+	if total == 0 {
+		return fmt.Errorf("feasibility: all-zero utility")
+	}
+	return nil
+}
+
+// OptimizeProblem is a utility-maximization instance.
+type OptimizeProblem struct {
+	Scheme core.Scheme
+	Levels *core.Levels
+	// Utility is the per-level marginal utility vector.
+	Utility Utility
+	// M is the collection budget at which expected utility is evaluated.
+	M int
+	// Decoding, Alpha and Epsilon optionally impose the Sec. 3.4
+	// constraints on top of the objective.
+	Decoding []Constraint
+	Alpha    float64
+	Epsilon  float64
+}
+
+func (p OptimizeProblem) validate() error {
+	if p.Levels == nil {
+		return fmt.Errorf("feasibility: nil levels")
+	}
+	if !p.Scheme.Valid() {
+		return fmt.Errorf("feasibility: invalid scheme %v", p.Scheme)
+	}
+	if err := p.Utility.Validate(p.Levels); err != nil {
+		return err
+	}
+	if p.M < 0 {
+		return fmt.Errorf("feasibility: negative budget M = %d", p.M)
+	}
+	if len(p.Decoding) > 0 || p.Alpha > 0 {
+		feas := Problem{
+			Scheme: p.Scheme, Levels: p.Levels,
+			Decoding: p.Decoding, Alpha: p.Alpha, Epsilon: p.Epsilon,
+		}
+		if len(feas.Decoding) == 0 {
+			// Problem.validate requires at least one constraint; a pure
+			// Alpha constraint is fine there.
+			feas.Decoding = nil
+		}
+		if err := feas.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OptimizeSolution is the utility-maximization outcome.
+type OptimizeSolution struct {
+	P core.PriorityDistribution
+	// ExpectedUtility is E[U] at the solution.
+	ExpectedUtility float64
+	// Violation is the residual constraint violation (0 when the
+	// constraints, if any, are met within tolerance).
+	Violation float64
+	Feasible  bool
+	Evals     int
+}
+
+// ExpectedUtility evaluates E[U] = Σ_k u_k·Pr(X ≥ k) for a given
+// distribution — exposed so applications can compare designs.
+func ExpectedUtility(prob OptimizeProblem, p core.PriorityDistribution) (float64, error) {
+	if err := prob.validate(); err != nil {
+		return 0, err
+	}
+	if err := p.Validate(prob.Levels); err != nil {
+		return 0, err
+	}
+	return expectedUtility(prob, p)
+}
+
+func expectedUtility(prob OptimizeProblem, p core.PriorityDistribution) (float64, error) {
+	r, err := analysis.Eval(prob.Scheme, prob.Levels, p, prob.M)
+	if err != nil {
+		return 0, err
+	}
+	eu := 0.0
+	for k, u := range prob.Utility {
+		eu += u * r.PrGE[k]
+	}
+	return eu, nil
+}
+
+// Optimize searches the simplex for the distribution maximizing expected
+// utility, subject to any attached constraints (enforced by a penalty a
+// thousand times the utility scale, so feasibility dominates). The same
+// deterministic multi-start pattern search as Solve drives the search.
+func Optimize(prob OptimizeProblem, opts Options) (OptimizeSolution, error) {
+	if err := prob.validate(); err != nil {
+		return OptimizeSolution{}, err
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := prob.Levels.Count()
+
+	uScale := 0.0
+	for _, u := range prob.Utility {
+		uScale += u
+	}
+	penalty := 1000 * uScale
+
+	constrained := len(prob.Decoding) > 0 || prob.Alpha > 0
+	feas := Problem{
+		Scheme: prob.Scheme, Levels: prob.Levels,
+		Decoding: prob.Decoding, Alpha: prob.Alpha, Epsilon: prob.Epsilon,
+	}
+
+	evals := 0
+	// score returns a value to MINIMIZE: -E[U] + penalty·violation.
+	score := func(p core.PriorityDistribution) (cost, eu, viol float64, err error) {
+		evals++
+		eu, err = expectedUtility(prob, p)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if constrained {
+			viol, err = violation(feas, p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		return -eu + penalty*viol, eu, viol, nil
+	}
+
+	best := OptimizeSolution{ExpectedUtility: math.Inf(-1), Violation: math.Inf(1)}
+	bestCost := math.Inf(1)
+
+	starts := make([]core.PriorityDistribution, 0, opts.Restarts+1)
+	starts = append(starts, core.NewUniformDistribution(n))
+	for i := 0; i < opts.Restarts; i++ {
+		starts = append(starts, randomSimplexPoint(rng, n))
+	}
+
+	for _, start := range starts {
+		cur := start.Clone()
+		curCost, curEU, curViol, err := score(cur)
+		if err != nil {
+			return OptimizeSolution{}, err
+		}
+		for _, step := range []float64{0.2, 0.1, 0.05, 0.02, 0.01, 0.005} {
+			improved := true
+			for improved && evals < opts.MaxEvals {
+				improved = false
+				for i := 0; i < n && evals < opts.MaxEvals; i++ {
+					for j := 0; j < n && evals < opts.MaxEvals; j++ {
+						if i == j {
+							continue
+						}
+						cand := moveMass(cur, i, j, step)
+						if cand == nil {
+							continue
+						}
+						cost, eu, viol, err := score(cand)
+						if err != nil {
+							return OptimizeSolution{}, err
+						}
+						if cost < curCost-1e-12 {
+							cur, curCost, curEU, curViol = cand, cost, eu, viol
+							improved = true
+						}
+					}
+				}
+			}
+		}
+		if curCost < bestCost {
+			bestCost = curCost
+			best = OptimizeSolution{P: cur, ExpectedUtility: curEU, Violation: curViol}
+		}
+		if evals >= opts.MaxEvals {
+			break
+		}
+	}
+	best.Feasible = best.Violation <= opts.Tol
+	best.Evals = evals
+	return best, nil
+}
+
+// GeometricUtility returns the utility vector u_k = base^k (0-based),
+// a convenient family interpolating between strict priority (base → 0)
+// and volume maximization (base = 1).
+func GeometricUtility(n int, base float64) (Utility, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("feasibility: n = %d, want > 0", n)
+	}
+	if base < 0 {
+		return nil, fmt.Errorf("feasibility: base %g, want >= 0", base)
+	}
+	u := make(Utility, n)
+	v := 1.0
+	for i := range u {
+		u[i] = v
+		v *= base
+	}
+	return u, nil
+}
+
+// ProportionalUtility weights each level by its block count — expected
+// utility then equals the expected number of source blocks recovered in
+// complete levels, the natural "volume" objective.
+func ProportionalUtility(l *core.Levels) Utility {
+	u := make(Utility, l.Count())
+	for i := range u {
+		u[i] = float64(l.Size(i))
+	}
+	return u
+}

@@ -1,0 +1,128 @@
+// Package gf256 implements arithmetic over the Galois field GF(2^8).
+//
+// The field is constructed from the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same polynomial used by many
+// Reed–Solomon deployments. All operations are table driven: a 256-entry
+// logarithm table and a doubled 510-entry exponentiation table make
+// multiplication two lookups and one add with no conditional reduction.
+//
+// Every coding scheme in this repository — RLC, SLC and PLC — performs its
+// linear algebra over this field, matching the paper's choice of GF(2^8)
+// ("we assume a sufficiently large Galois field such as GF(2^8)").
+package gf256
+
+import "fmt"
+
+// Poly is the primitive polynomial generating the field, with the implicit
+// x^8 term omitted (0x11D = x^8+x^4+x^3+x^2+1).
+const Poly = 0x1D
+
+// Order is the number of elements in the field.
+const Order = 256
+
+// tables holds the precomputed log/exp tables. exp is doubled so that
+// exp[log(a)+log(b)] never needs a modular reduction.
+type tables struct {
+	exp [510]byte
+	log [256]uint16
+}
+
+var _tables = buildTables()
+
+func buildTables() *tables {
+	t := &tables{}
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		t.exp[i] = x
+		t.exp[i+255] = x
+		t.log[x] = uint16(i)
+		// Multiply x by the generator (0x02) modulo the primitive polynomial.
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= Poly
+		}
+	}
+	// log(0) is undefined; park it at an out-of-range sentinel so accidental
+	// use of log[0] is detectable in tests (exp is never indexed with it by
+	// the arithmetic routines, which special-case zero).
+	t.log[0] = 511
+	return t
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR; it is its own inverse, so
+// Sub is identical to Add.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8), which equals a+b in a characteristic-2 field.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return _tables.exp[_tables.log[a]+_tables.log[b]]
+}
+
+// Div returns a/b in GF(2^8). Dividing by zero is a programming error and
+// is reported through the error return rather than a panic.
+func Div(a, b byte) (byte, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("gf256: division by zero (dividend %#02x)", a)
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	return _tables.exp[int(_tables.log[a])+255-int(_tables.log[b])], nil
+}
+
+// Inv returns the multiplicative inverse of a. Zero has no inverse.
+func Inv(a byte) (byte, error) {
+	if a == 0 {
+		return 0, fmt.Errorf("gf256: zero has no multiplicative inverse")
+	}
+	return _tables.exp[255-int(_tables.log[a])], nil
+}
+
+// mulUnchecked multiplies two nonzero elements without the zero guards.
+// Callers must ensure a != 0 and b != 0.
+func mulUnchecked(a, b byte) byte {
+	return _tables.exp[_tables.log[a]+_tables.log[b]]
+}
+
+// Exp returns the generator (0x02) raised to the power e, with e reduced
+// modulo 255.
+func Exp(e int) byte {
+	e %= 255
+	if e < 0 {
+		e += 255
+	}
+	return _tables.exp[e]
+}
+
+// Log returns the discrete logarithm of a to the generator base, and an
+// error for a == 0.
+func Log(a byte) (int, error) {
+	if a == 0 {
+		return 0, fmt.Errorf("gf256: log of zero is undefined")
+	}
+	return int(_tables.log[a]), nil
+}
+
+// Pow returns a raised to the power e. Pow(0, 0) is defined as 1 by
+// convention; Pow(0, e>0) is 0.
+func Pow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	la := int(_tables.log[a])
+	le := (la * (e % 255)) % 255
+	if le < 0 {
+		le += 255
+	}
+	return _tables.exp[le]
+}

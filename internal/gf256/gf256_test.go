@@ -1,0 +1,226 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXOR(t *testing.T) {
+	cases := []struct {
+		a, b, want byte
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{0xFF, 0x0F, 0xF0},
+		{0xAA, 0x55, 0xFF},
+	}
+	for _, tc := range cases {
+		if got := Add(tc.a, tc.b); got != tc.want {
+			t.Errorf("Add(%#02x, %#02x) = %#02x, want %#02x", tc.a, tc.b, got, tc.want)
+		}
+		if got := Sub(tc.a, tc.b); got != tc.want {
+			t.Errorf("Sub(%#02x, %#02x) = %#02x, want %#02x", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMulByZeroAndOne(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if got := Mul(byte(a), 0); got != 0 {
+			t.Fatalf("Mul(%#02x, 0) = %#02x, want 0", a, got)
+		}
+		if got := Mul(0, byte(a)); got != 0 {
+			t.Fatalf("Mul(0, %#02x) = %#02x, want 0", a, got)
+		}
+		if got := Mul(byte(a), 1); got != byte(a) {
+			t.Fatalf("Mul(%#02x, 1) = %#02x, want %#02x", a, got, a)
+		}
+	}
+}
+
+// TestMulAgainstBitwise cross-checks the table-driven multiplication against
+// an independent shift-and-xor ("Russian peasant") implementation over the
+// full 256x256 operand space.
+func TestMulAgainstBitwise(t *testing.T) {
+	slowMul := func(a, b byte) byte {
+		var p byte
+		for b != 0 {
+			if b&1 != 0 {
+				p ^= a
+			}
+			carry := a&0x80 != 0
+			a <<= 1
+			if carry {
+				a ^= Poly
+			}
+			b >>= 1
+		}
+		return p
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			want := slowMul(byte(a), byte(b))
+			if got := Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#02x, %#02x) = %#02x, want %#02x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestInvAllNonzero(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv, err := Inv(byte(a))
+		if err != nil {
+			t.Fatalf("Inv(%#02x): %v", a, err)
+		}
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("a*Inv(a) = %#02x for a=%#02x, want 1", got, a)
+		}
+	}
+}
+
+func TestInvZero(t *testing.T) {
+	if _, err := Inv(0); err == nil {
+		t.Fatal("Inv(0) succeeded, want error")
+	}
+}
+
+func TestDiv(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			q, err := Div(byte(a), byte(b))
+			if err != nil {
+				t.Fatalf("Div(%#02x, %#02x): %v", a, b, err)
+			}
+			if got := Mul(q, byte(b)); got != byte(a) {
+				t.Fatalf("Div(%#02x,%#02x)*%#02x = %#02x, want %#02x", a, b, b, got, a)
+			}
+		}
+	}
+	if _, err := Div(5, 0); err == nil {
+		t.Fatal("Div by zero succeeded, want error")
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		l, err := Log(byte(a))
+		if err != nil {
+			t.Fatalf("Log(%#02x): %v", a, err)
+		}
+		if got := Exp(l); got != byte(a) {
+			t.Fatalf("Exp(Log(%#02x)) = %#02x", a, got)
+		}
+	}
+	if _, err := Log(0); err == nil {
+		t.Fatal("Log(0) succeeded, want error")
+	}
+}
+
+func TestExpPeriodicity(t *testing.T) {
+	for _, e := range []int{0, 1, 254, 255, 256, -1, -255, 510, 1000} {
+		want := Exp(((e % 255) + 255) % 255)
+		if got := Exp(e); got != want {
+			t.Errorf("Exp(%d) = %#02x, want %#02x", e, got, want)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(0, 0); got != 1 {
+		t.Errorf("Pow(0,0) = %#02x, want 1 (convention)", got)
+	}
+	if got := Pow(0, 3); got != 0 {
+		t.Errorf("Pow(0,3) = %#02x, want 0", got)
+	}
+	for a := 1; a < 256; a++ {
+		acc := byte(1)
+		for e := 0; e < 10; e++ {
+			if got := Pow(byte(a), e); got != acc {
+				t.Fatalf("Pow(%#02x, %d) = %#02x, want %#02x", a, e, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func TestPowFermat(t *testing.T) {
+	// a^255 = 1 for every nonzero a (the multiplicative group has order 255).
+	for a := 1; a < 256; a++ {
+		if got := Pow(byte(a), 255); got != 1 {
+			t.Fatalf("Pow(%#02x, 255) = %#02x, want 1", a, got)
+		}
+	}
+}
+
+func TestGeneratorIsPrimitive(t *testing.T) {
+	// The powers of 0x02 must enumerate all 255 nonzero elements.
+	seen := make(map[byte]bool, 255)
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		if seen[x] {
+			t.Fatalf("generator cycle shorter than 255: repeat at power %d", i)
+		}
+		seen[x] = true
+		x = Mul(x, 2)
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator enumerates %d elements, want 255", len(seen))
+	}
+}
+
+// Property-based tests on the field axioms via testing/quick.
+
+func TestQuickFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	if err := quick.Check(func(a, b byte) bool {
+		return Mul(a, b) == Mul(b, a)
+	}, cfg); err != nil {
+		t.Errorf("multiplication not commutative: %v", err)
+	}
+
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}, cfg); err != nil {
+		t.Errorf("multiplication not associative: %v", err)
+	}
+
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}, cfg); err != nil {
+		t.Errorf("distributivity violated: %v", err)
+	}
+
+	if err := quick.Check(func(a, b byte) bool {
+		// Addition forms a group: (a+b)+b == a.
+		return Add(Add(a, b), b) == a
+	}, cfg); err != nil {
+		t.Errorf("addition not involutive: %v", err)
+	}
+}
+
+func TestQuickDivMulInverse(t *testing.T) {
+	err := quick.Check(func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		q, err := Div(a, b)
+		return err == nil && Mul(q, b) == a
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNoZeroDivisors(t *testing.T) {
+	err := quick.Check(func(a, b byte) bool {
+		if a != 0 && b != 0 {
+			return Mul(a, b) != 0
+		}
+		return Mul(a, b) == 0
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Error(err)
+	}
+}

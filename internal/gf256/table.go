@@ -1,0 +1,78 @@
+package gf256
+
+// MulTable is the classic Reed–Solomon optimization for long payloads: a
+// precomputed 256-entry product table for one fixed coefficient turns the
+// two-lookups-and-an-add multiply into a single indexed load. Decoders
+// that re-use the same pivot coefficient across many long rows amortize
+// the 256-byte build cost immediately.
+type MulTable struct {
+	c byte
+	t [256]byte
+}
+
+// NewMulTable builds the product table for coefficient c.
+func NewMulTable(c byte) *MulTable {
+	mt := &MulTable{c: c}
+	if c == 0 {
+		return mt // all zeros
+	}
+	lc := _tables.log[c]
+	exp := _tables.exp[lc : lc+255]
+	for x := 1; x < 256; x++ {
+		mt.t[x] = exp[_tables.log[x]]
+	}
+	return mt
+}
+
+// Coeff returns the coefficient the table was built for.
+func (mt *MulTable) Coeff() byte { return mt.c }
+
+// Mul returns c*x via one table load.
+func (mt *MulTable) Mul(x byte) byte { return mt.t[x] }
+
+// AddMulSlice sets dst[i] ^= c*src[i] using the table. dst and src must
+// have the same length.
+func (mt *MulTable) AddMulSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulTable.AddMulSlice length mismatch")
+	}
+	if mt.c == 0 {
+		return
+	}
+	if mt.c == 1 {
+		AddSlice(dst, src)
+		return
+	}
+	t := &mt.t
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d := dst[i : i+4 : i+4]
+		s := src[i : i+4 : i+4]
+		d[0] ^= t[s[0]]
+		d[1] ^= t[s[1]]
+		d[2] ^= t[s[2]]
+		d[3] ^= t[s[3]]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= t[src[i]]
+	}
+}
+
+// MulSlice sets dst[i] = c*src[i] using the table. dst and src must have
+// the same length; they may alias.
+func (mt *MulTable) MulSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulTable.MulSlice length mismatch")
+	}
+	if mt.c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	t := &mt.t
+	for i, s := range src {
+		dst[i] = t[s]
+	}
+}

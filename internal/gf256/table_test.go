@@ -1,0 +1,90 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestMulTableMatchesMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		mt := NewMulTable(byte(c))
+		if mt.Coeff() != byte(c) {
+			t.Fatalf("Coeff = %d, want %d", mt.Coeff(), c)
+		}
+		for x := 0; x < 256; x++ {
+			if got, want := mt.Mul(byte(x)), Mul(byte(c), byte(x)); got != want {
+				t.Fatalf("table %#02x*%#02x = %#02x, want %#02x", c, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMulTableAddMulSliceMatchesKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(100)
+		src := randBytes(rng, n)
+		c := byte(rng.Intn(256))
+		a := randBytes(rng, n)
+		b := append([]byte(nil), a...)
+		AddMulSlice(a, src, c)
+		NewMulTable(c).AddMulSlice(b, src)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("trial %d (c=%#02x): table kernel differs", trial, c)
+		}
+	}
+}
+
+func TestMulTableMulSliceMatchesKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(100)
+		src := randBytes(rng, n)
+		c := byte(rng.Intn(256))
+		a := make([]byte, n)
+		b := make([]byte, n)
+		MulSlice(a, src, c)
+		NewMulTable(c).MulSlice(b, src)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("trial %d (c=%#02x): table MulSlice differs", trial, c)
+		}
+	}
+	// Aliasing.
+	v := randBytes(rng, 64)
+	want := make([]byte, 64)
+	MulSlice(want, v, 9)
+	NewMulTable(9).MulSlice(v, v)
+	if !bytes.Equal(v, want) {
+		t.Error("in-place table MulSlice differs")
+	}
+}
+
+func TestMulTablePanicsOnMismatch(t *testing.T) {
+	mt := NewMulTable(5)
+	for name, f := range map[string]func(){
+		"AddMulSlice": func() { mt.AddMulSlice(make([]byte, 2), make([]byte, 3)) },
+		"MulSlice":    func() { mt.MulSlice(make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkTableAddMulSlice1K(b *testing.B) {
+	dst := make([]byte, 1024)
+	src := make([]byte, 1024)
+	rand.New(rand.NewSource(3)).Read(src)
+	mt := NewMulTable(0x53)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.AddMulSlice(dst, src)
+	}
+}

@@ -1,0 +1,185 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(100)
+		src := randBytes(rng, n)
+		c := byte(rng.Intn(256))
+		dst := make([]byte, n)
+		MulSlice(dst, src, c)
+		for i := range src {
+			if want := Mul(src[i], c); dst[i] != want {
+				t.Fatalf("trial %d: MulSlice[%d] = %#02x, want %#02x", trial, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulSliceSpecialCoefficients(t *testing.T) {
+	src := []byte{1, 2, 3, 0, 255}
+	dst := make([]byte, len(src))
+
+	MulSlice(dst, src, 0)
+	if !IsZero(dst) {
+		t.Errorf("MulSlice by 0 = %v, want all zeros", dst)
+	}
+
+	MulSlice(dst, src, 1)
+	if !bytes.Equal(dst, src) {
+		t.Errorf("MulSlice by 1 = %v, want %v", dst, src)
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := randBytes(rng, 64)
+	want := make([]byte, len(v))
+	MulSlice(want, v, 7)
+	MulSlice(v, v, 7) // in place
+	if !bytes.Equal(v, want) {
+		t.Error("in-place MulSlice differs from out-of-place")
+	}
+}
+
+func TestAddMulSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(100)
+		src := randBytes(rng, n)
+		dst := randBytes(rng, n)
+		c := byte(rng.Intn(256))
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = Add(dst[i], Mul(src[i], c))
+		}
+		AddMulSlice(dst, src, c)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("trial %d: AddMulSlice mismatch", trial)
+		}
+	}
+}
+
+func TestAddMulSliceZeroCoefficientIsNoop(t *testing.T) {
+	dst := []byte{1, 2, 3}
+	src := []byte{9, 9, 9}
+	want := append([]byte(nil), dst...)
+	AddMulSlice(dst, src, 0)
+	if !bytes.Equal(dst, want) {
+		t.Errorf("AddMulSlice with c=0 modified dst: %v", dst)
+	}
+}
+
+func TestAddSliceSelfCancels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := randBytes(rng, 123)
+	AddSlice(v, v)
+	if !IsZero(v) {
+		t.Error("v ^= v should zero the vector")
+	}
+}
+
+func TestAddSliceUnrolledTail(t *testing.T) {
+	// Exercise lengths around the 8-way unroll boundary.
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17} {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		for i := range a {
+			a[i] = byte(i + 1)
+			b[i] = byte(2*i + 3)
+		}
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = a[i] ^ b[i]
+		}
+		AddSlice(a, b)
+		if !bytes.Equal(a, want) {
+			t.Errorf("n=%d: AddSlice = %v, want %v", n, a, want)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []byte{1, 2, 0, 4}
+	b := []byte{5, 0, 7, 1}
+	want := Add(Mul(1, 5), Mul(4, 1))
+	if got := Dot(a, b); got != want {
+		t.Errorf("Dot = %#02x, want %#02x", got, want)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil,nil) = %#02x, want 0", got)
+	}
+}
+
+func TestQuickDotBilinear(t *testing.T) {
+	// Dot(a, b+c) == Dot(a,b) + Dot(a,c) on fixed-size vectors.
+	err := quick.Check(func(a, b, c [16]byte) bool {
+		sum := make([]byte, 16)
+		for i := range sum {
+			sum[i] = Add(b[i], c[i])
+		}
+		return Dot(a[:], sum) == Add(Dot(a[:], b[:]), Dot(a[:], c[:]))
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelPanicsOnLengthMismatch(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s with mismatched lengths did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("MulSlice", func() { MulSlice(make([]byte, 2), make([]byte, 3), 1) })
+	assertPanics("AddMulSlice", func() { AddMulSlice(make([]byte, 2), make([]byte, 3), 1) })
+	assertPanics("AddSlice", func() { AddSlice(make([]byte, 2), make([]byte, 3)) })
+	assertPanics("Dot", func() { Dot(make([]byte, 2), make([]byte, 3)) })
+}
+
+func BenchmarkAddMulSlice1K(b *testing.B) {
+	dst := make([]byte, 1024)
+	src := make([]byte, 1024)
+	rng := rand.New(rand.NewSource(5))
+	rng.Read(src)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddMulSlice(dst, src, 0x53)
+	}
+}
+
+func BenchmarkAddSlice1K(b *testing.B) {
+	dst := make([]byte, 1024)
+	src := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddSlice(dst, src)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= Mul(byte(i), byte(i>>8)|1)
+	}
+	_ = acc
+}

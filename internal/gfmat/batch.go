@@ -1,0 +1,123 @@
+package gfmat
+
+import (
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// Batch decoding via plain Gaussian elimination — the strawman Sec. 3.2
+// argues against: it solves the system only once it is fully determined,
+// so nothing is recoverable from an underdetermined accumulation. It is
+// retained as (a) the ablation baseline for the progressive decoder and
+// (b) a faster path when a caller knows it has all the blocks up front
+// (forward elimination + one back-substitution pass beats maintaining the
+// RREF invariant incrementally).
+
+// BatchDecoder accumulates coded blocks and solves them in one shot.
+type BatchDecoder struct {
+	numSymbols int
+	payloadLen int
+	coeffs     [][]byte
+	payloads   [][]byte
+}
+
+// NewBatchDecoder returns a batch decoder over numSymbols unknowns.
+func NewBatchDecoder(numSymbols, payloadLen int) (*BatchDecoder, error) {
+	if numSymbols <= 0 {
+		return nil, fmt.Errorf("gfmat: NewBatchDecoder: numSymbols %d, want > 0", numSymbols)
+	}
+	if payloadLen < 0 {
+		return nil, fmt.Errorf("gfmat: NewBatchDecoder: negative payload length %d", payloadLen)
+	}
+	return &BatchDecoder{numSymbols: numSymbols, payloadLen: payloadLen}, nil
+}
+
+// Add buffers one coded block without processing it.
+func (d *BatchDecoder) Add(coeff, payload []byte) error {
+	if len(coeff) != d.numSymbols {
+		return fmt.Errorf("%w: coefficient vector length %d, want %d",
+			ErrDimensionMismatch, len(coeff), d.numSymbols)
+	}
+	if len(payload) != d.payloadLen {
+		return fmt.Errorf("%w: payload length %d, want %d",
+			ErrDimensionMismatch, len(payload), d.payloadLen)
+	}
+	d.coeffs = append(d.coeffs, append([]byte(nil), coeff...))
+	d.payloads = append(d.payloads, append([]byte(nil), payload...))
+	return nil
+}
+
+// Buffered returns the number of blocks accumulated.
+func (d *BatchDecoder) Buffered() int { return len(d.coeffs) }
+
+// Solve runs forward Gaussian elimination and back-substitution. It
+// returns all numSymbols payloads, or an error when the system is
+// underdetermined — the all-or-nothing behavior that motivates the
+// progressive decoder.
+func (d *BatchDecoder) Solve() ([][]byte, error) {
+	n := d.numSymbols
+	rows := len(d.coeffs)
+	if rows < n {
+		return nil, fmt.Errorf("gfmat: underdetermined system: %d blocks for %d symbols", rows, n)
+	}
+	// Work on copies; Solve must be re-runnable after more Adds.
+	a := make([][]byte, rows)
+	b := make([][]byte, rows)
+	for i := range d.coeffs {
+		a[i] = append([]byte(nil), d.coeffs[i]...)
+		b[i] = append([]byte(nil), d.payloads[i]...)
+	}
+
+	// Forward elimination with partial pivoting by first nonzero.
+	rank := 0
+	pivotRow := make([]int, n)
+	for col := 0; col < n && rank < rows; col++ {
+		p := -1
+		for r := rank; r < rows; r++ {
+			if a[r][col] != 0 {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("gfmat: singular accumulation: no pivot for symbol %d", col)
+		}
+		a[p], a[rank] = a[rank], a[p]
+		b[p], b[rank] = b[rank], b[p]
+		inv, err := gf256.Inv(a[rank][col])
+		if err != nil {
+			return nil, fmt.Errorf("gfmat: normalize pivot: %w", err)
+		}
+		gf256.ScaleInPlace(a[rank], inv)
+		gf256.ScaleInPlace(b[rank], inv)
+		for r := rank + 1; r < rows; r++ {
+			if c := a[r][col]; c != 0 {
+				gf256.AddMulSlice(a[r], a[rank], c)
+				gf256.AddMulSlice(b[r], b[rank], c)
+			}
+		}
+		pivotRow[col] = rank
+		rank++
+	}
+	if rank < n {
+		return nil, fmt.Errorf("gfmat: rank %d < %d symbols", rank, n)
+	}
+
+	// Back-substitution from the last pivot upward.
+	for col := n - 1; col >= 0; col-- {
+		pr := pivotRow[col]
+		for r := 0; r < pr; r++ {
+			if c := a[r][col]; c != 0 {
+				gf256.AddMulSlice(a[r], a[pr], c)
+				gf256.AddMulSlice(b[r], b[pr], c)
+			}
+		}
+	}
+
+	out := make([][]byte, n)
+	for col := 0; col < n; col++ {
+		out[col] = append([]byte(nil), b[pivotRow[col]]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package gfmat
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// ErrDimensionMismatch is returned when a row added to a Decoder does not
+// match the decoder's symbol count or payload length.
+var ErrDimensionMismatch = errors.New("gfmat: dimension mismatch")
+
+// Decoder is an incremental Gauss–Jordan decoder. It consumes coded blocks
+// (a coefficient vector over the unknown source symbols plus a payload) one
+// at a time and keeps the accumulated coefficient matrix in reduced
+// row-echelon form at all times, applying identical row operations to the
+// payloads. This is exactly the progressive partial-decoding algorithm of
+// Sec. 3.2: as soon as the first j rows of the RREF form the identity on
+// the first j columns, the first j source symbols are decoded — no row
+// pre-sorting required, since the RREF of a matrix is invariant under row
+// permutation.
+//
+// The zero value is not usable; construct with NewDecoder.
+type Decoder struct {
+	numSymbols int
+	payloadLen int
+
+	// pivotRow[c] is the index into rows of the row whose pivot is column c,
+	// or -1 if no such row exists yet.
+	pivotRow []int
+	rows     []decRow
+
+	// decodedPrefix caches the length of the maximal decoded prefix; it only
+	// ever grows.
+	decodedPrefix int
+}
+
+type decRow struct {
+	coeff   []byte
+	payload []byte
+	pivot   int // pivot column
+	nnz     int // number of nonzero coefficients; nnz==1 means the symbol at pivot is solved
+}
+
+// NewDecoder returns a decoder over numSymbols unknowns with payloads of
+// payloadLen bytes. payloadLen may be zero when only rank/decodability is
+// of interest (as in the Monte-Carlo experiments).
+func NewDecoder(numSymbols, payloadLen int) (*Decoder, error) {
+	if numSymbols <= 0 {
+		return nil, fmt.Errorf("gfmat: NewDecoder: numSymbols %d, want > 0", numSymbols)
+	}
+	if payloadLen < 0 {
+		return nil, fmt.Errorf("gfmat: NewDecoder: negative payload length %d", payloadLen)
+	}
+	d := &Decoder{
+		numSymbols: numSymbols,
+		payloadLen: payloadLen,
+		pivotRow:   make([]int, numSymbols),
+	}
+	for i := range d.pivotRow {
+		d.pivotRow[i] = -1
+	}
+	return d, nil
+}
+
+// NumSymbols returns the number of unknown source symbols.
+func (d *Decoder) NumSymbols() int { return d.numSymbols }
+
+// PayloadLen returns the payload length in bytes.
+func (d *Decoder) PayloadLen() int { return d.payloadLen }
+
+// Rank returns the current rank of the accumulated coefficient matrix,
+// i.e. the number of innovative coded blocks absorbed so far.
+func (d *Decoder) Rank() int { return len(d.rows) }
+
+// Complete reports whether all source symbols are decoded.
+func (d *Decoder) Complete() bool { return len(d.rows) == d.numSymbols }
+
+// Add absorbs one coded block. It returns true if the block was innovative
+// (increased the rank) and false if it was linearly dependent on previously
+// absorbed blocks. The inputs are copied; the caller may reuse the slices.
+func (d *Decoder) Add(coeff, payload []byte) (bool, error) {
+	if len(coeff) != d.numSymbols {
+		return false, fmt.Errorf("%w: coefficient vector length %d, want %d",
+			ErrDimensionMismatch, len(coeff), d.numSymbols)
+	}
+	if len(payload) != d.payloadLen {
+		return false, fmt.Errorf("%w: payload length %d, want %d",
+			ErrDimensionMismatch, len(payload), d.payloadLen)
+	}
+
+	c := make([]byte, d.numSymbols)
+	copy(c, coeff)
+	p := make([]byte, d.payloadLen)
+	copy(p, payload)
+
+	// Forward-reduce the incoming row against existing pivots.
+	for col := 0; col < d.numSymbols; col++ {
+		v := c[col]
+		if v == 0 {
+			continue
+		}
+		ri := d.pivotRow[col]
+		if ri < 0 {
+			continue
+		}
+		r := &d.rows[ri]
+		gf256.AddMulSlice(c, r.coeff, v)
+		gf256.AddMulSlice(p, r.payload, v)
+	}
+
+	// Locate the new pivot.
+	pivot := -1
+	for col, v := range c {
+		if v != 0 {
+			pivot = col
+			break
+		}
+	}
+	if pivot < 0 {
+		return false, nil // linearly dependent
+	}
+
+	// Normalize so the pivot is 1.
+	inv, err := gf256.Inv(c[pivot])
+	if err != nil {
+		return false, fmt.Errorf("gfmat: normalize pivot: %w", err)
+	}
+	gf256.ScaleInPlace(c, inv)
+	gf256.ScaleInPlace(p, inv)
+
+	// Back-substitute: eliminate this pivot column from every existing row
+	// so the matrix stays in RREF.
+	newIdx := len(d.rows)
+	for i := range d.rows {
+		r := &d.rows[i]
+		if v := r.coeff[pivot]; v != 0 {
+			gf256.AddMulSlice(r.coeff, c, v)
+			gf256.AddMulSlice(r.payload, p, v)
+			r.nnz = countNonzero(r.coeff)
+		}
+	}
+	d.rows = append(d.rows, decRow{coeff: c, payload: p, pivot: pivot, nnz: countNonzero(c)})
+	d.pivotRow[pivot] = newIdx
+
+	d.advancePrefix()
+	return true, nil
+}
+
+func countNonzero(v []byte) int {
+	n := 0
+	for _, x := range v {
+		if x != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// advancePrefix extends the cached decoded-prefix pointer. A symbol i is in
+// the decoded prefix when its pivot row exists and is a unit vector.
+func (d *Decoder) advancePrefix() {
+	for d.decodedPrefix < d.numSymbols {
+		ri := d.pivotRow[d.decodedPrefix]
+		if ri < 0 || d.rows[ri].nnz != 1 {
+			return
+		}
+		d.decodedPrefix++
+	}
+}
+
+// DecodedPrefix returns the length of the maximal prefix of source symbols
+// that is fully decoded — the quantity progressive (PLC) decoding cares
+// about.
+func (d *Decoder) DecodedPrefix() int { return d.decodedPrefix }
+
+// Decoded reports whether source symbol i is individually decoded (its
+// pivot row is a unit vector). Symbols outside the decoded prefix can still
+// be decoded, e.g. under SLC where levels decode independently.
+func (d *Decoder) Decoded(i int) bool {
+	if i < 0 || i >= d.numSymbols {
+		return false
+	}
+	ri := d.pivotRow[i]
+	return ri >= 0 && d.rows[ri].nnz == 1
+}
+
+// DecodedCount returns the number of individually decoded source symbols.
+func (d *Decoder) DecodedCount() int {
+	n := 0
+	for i := 0; i < d.numSymbols; i++ {
+		if d.Decoded(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Symbol returns the decoded payload of source symbol i, or an error if the
+// symbol is not yet decoded. The returned slice is a copy.
+func (d *Decoder) Symbol(i int) ([]byte, error) {
+	if !d.Decoded(i) {
+		return nil, fmt.Errorf("gfmat: symbol %d is not decoded (rank %d/%d)", i, d.Rank(), d.numSymbols)
+	}
+	out := make([]byte, d.payloadLen)
+	copy(out, d.rows[d.pivotRow[i]].payload)
+	return out, nil
+}
+
+// Symbols returns all decoded payloads, indexed by symbol; entries for
+// undecoded symbols are nil.
+func (d *Decoder) Symbols() [][]byte {
+	out := make([][]byte, d.numSymbols)
+	for i := range out {
+		if d.Decoded(i) {
+			s, err := d.Symbol(i)
+			if err == nil {
+				out[i] = s
+			}
+		}
+	}
+	return out
+}
+
+// CoefficientMatrix returns a copy of the current (RREF) coefficient matrix,
+// one row per innovative block absorbed, mainly for tests and debugging.
+func (d *Decoder) CoefficientMatrix() *Matrix {
+	m, err := New(len(d.rows), d.numSymbols)
+	if err != nil {
+		return nil
+	}
+	// Emit rows in pivot order so the result is literally in RREF.
+	i := 0
+	for col := 0; col < d.numSymbols; col++ {
+		if ri := d.pivotRow[col]; ri >= 0 {
+			copy(m.Row(i), d.rows[ri].coeff)
+			i++
+		}
+	}
+	return m
+}

@@ -1,0 +1,459 @@
+package gfmat
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf256"
+)
+
+func TestNewDecoderValidation(t *testing.T) {
+	if _, err := NewDecoder(0, 4); err == nil {
+		t.Error("NewDecoder(0, 4) succeeded, want error")
+	}
+	if _, err := NewDecoder(4, -1); err == nil {
+		t.Error("NewDecoder(4, -1) succeeded, want error")
+	}
+	if d, err := NewDecoder(4, 0); err != nil || d.PayloadLen() != 0 {
+		t.Errorf("NewDecoder(4, 0) = %v, %v; want zero-payload decoder", d, err)
+	}
+}
+
+func TestAddDimensionMismatch(t *testing.T) {
+	d, err := NewDecoder(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add([]byte{1, 2}, []byte{0, 0}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("short coeff vector: err = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := d.Add([]byte{1, 2, 3}, []byte{0}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("short payload: err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+// encodeWith computes the coded payload for a coefficient row over the
+// given source symbols.
+func encodeWith(coeff []byte, symbols [][]byte, payloadLen int) []byte {
+	out := make([]byte, payloadLen)
+	for j, c := range coeff {
+		if c != 0 {
+			gf256.AddMulSlice(out, symbols[j], c)
+		}
+	}
+	return out
+}
+
+func TestDecodeIdentityRows(t *testing.T) {
+	symbols := [][]byte{{10, 11}, {20, 21}, {30, 31}}
+	d, err := NewDecoder(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		coeff := make([]byte, 3)
+		coeff[i] = 1
+		innovative, err := d.Add(coeff, symbols[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !innovative {
+			t.Fatalf("identity row %d not innovative", i)
+		}
+		if got := d.DecodedPrefix(); got != i+1 {
+			t.Fatalf("after row %d: DecodedPrefix = %d, want %d", i, got, i+1)
+		}
+	}
+	if !d.Complete() {
+		t.Error("decoder not complete after N independent rows")
+	}
+	for i := range symbols {
+		got, err := d.Symbol(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, symbols[i]) {
+			t.Errorf("symbol %d = %v, want %v", i, got, symbols[i])
+		}
+	}
+}
+
+func TestDecodeFullRandomSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	const n, plen = 12, 8
+	symbols := make([][]byte, n)
+	for i := range symbols {
+		symbols[i] = make([]byte, plen)
+		rng.Read(symbols[i])
+	}
+	d, err := NewDecoder(n, plen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := 0
+	for !d.Complete() {
+		coeff := make([]byte, n)
+		rng.Read(coeff)
+		if _, err := d.Add(coeff, encodeWith(coeff, symbols, plen)); err != nil {
+			t.Fatal(err)
+		}
+		added++
+		if added > 100 {
+			t.Fatal("decoder did not complete after 100 random rows")
+		}
+	}
+	for i := range symbols {
+		got, err := d.Symbol(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, symbols[i]) {
+			t.Errorf("symbol %d decoded incorrectly", i)
+		}
+	}
+}
+
+func TestDependentRowsNotInnovative(t *testing.T) {
+	d, err := NewDecoder(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []byte{1, 2, 3}
+	if innov, _ := d.Add(row, nil); !innov {
+		t.Fatal("first row should be innovative")
+	}
+	// Any scalar multiple must be rejected.
+	scaled := make([]byte, 3)
+	gf256.MulSlice(scaled, row, 7)
+	if innov, _ := d.Add(scaled, nil); innov {
+		t.Error("scaled duplicate row reported innovative")
+	}
+	if d.Rank() != 1 {
+		t.Errorf("rank = %d, want 1", d.Rank())
+	}
+}
+
+// TestProgressivePrefixPLCShape reproduces the Sec. 3.2 scenario: coded
+// blocks whose support is a prefix of the symbols (PLC-shaped rows) decode
+// progressively — the prefix pops out before full rank is reached.
+func TestProgressivePrefixPLCShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, plen = 6, 4
+	symbols := make([][]byte, n)
+	for i := range symbols {
+		symbols[i] = make([]byte, plen)
+		rng.Read(symbols[i])
+	}
+	d, err := NewDecoder(n, plen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addPrefixRow := func(width int) {
+		t.Helper()
+		coeff := make([]byte, n)
+		for j := 0; j < width; j++ {
+			coeff[j] = byte(1 + rng.Intn(255))
+		}
+		if _, err := d.Add(coeff, encodeWith(coeff, symbols, plen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two rows over the first two symbols: prefix 2 decodable immediately.
+	addPrefixRow(2)
+	addPrefixRow(2)
+	if got := d.DecodedPrefix(); got != 2 {
+		t.Fatalf("after 2 width-2 rows: DecodedPrefix = %d, want 2", got)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := d.Symbol(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, symbols[i]) {
+			t.Fatalf("prefix symbol %d wrong", i)
+		}
+	}
+	// Symbols beyond the prefix must not claim decodability.
+	if d.Decoded(2) {
+		t.Error("symbol 2 claims decoded with no covering rows")
+	}
+
+	// Four rows over all six symbols: still rank 6 total, full decode.
+	for i := 0; i < 4; i++ {
+		addPrefixRow(6)
+	}
+	if !d.Complete() {
+		t.Fatalf("rank = %d, want 6", d.Rank())
+	}
+	if got := d.DecodedPrefix(); got != n {
+		t.Errorf("DecodedPrefix = %d, want %d", got, n)
+	}
+}
+
+// TestFig2Scenario replays the exact structure of Fig. 2: five coded blocks
+// over five symbols where the top-left 3x3 block is solvable while symbols
+// 4-5 are not, and verifies partial decoding of exactly the first three.
+func TestFig2Scenario(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const n, plen = 6, 3
+	symbols := make([][]byte, n)
+	for i := range symbols {
+		symbols[i] = make([]byte, plen)
+		rng.Read(symbols[i])
+	}
+	d, err := NewDecoder(n, plen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := []int{3, 3, 3, 6, 6} // three rows on the 3-prefix, two spanning all 6
+	for _, w := range widths {
+		coeff := make([]byte, n)
+		for j := 0; j < w; j++ {
+			coeff[j] = byte(1 + rng.Intn(255))
+		}
+		if _, err := d.Add(coeff, encodeWith(coeff, symbols, plen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.DecodedPrefix(); got != 3 {
+		t.Fatalf("DecodedPrefix = %d, want 3 (Fig. 2 partial decode)", got)
+	}
+	if got := d.DecodedCount(); got != 3 {
+		t.Errorf("DecodedCount = %d, want 3", got)
+	}
+	if d.Decoded(3) || d.Decoded(4) || d.Decoded(5) {
+		t.Error("symbols 4-6 decodable from only two spanning rows")
+	}
+}
+
+func TestMatrixStaysInRREF(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d, err := NewDecoder(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		coeff := make([]byte, 8)
+		// Random sparse-ish rows to exercise varied pivot patterns.
+		for j := range coeff {
+			if rng.Intn(3) == 0 {
+				coeff[j] = byte(rng.Intn(256))
+			}
+		}
+		if _, err := d.Add(coeff, nil); err != nil {
+			t.Fatal(err)
+		}
+		if m := d.CoefficientMatrix(); !m.IsRREF() {
+			t.Fatalf("after %d adds, coefficient matrix is not in RREF:\n%s", i+1, m)
+		}
+	}
+}
+
+// TestRREFOrderInvariance verifies the paper's observation that partial
+// decoding does not require row pre-sorting: feeding the same blocks in any
+// order yields the same decoded set.
+func TestRREFOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	const n = 6
+	type block struct{ coeff []byte }
+	blocks := make([]block, 7)
+	for i := range blocks {
+		width := 2 + rng.Intn(n-1)
+		c := make([]byte, n)
+		for j := 0; j < width; j++ {
+			c[j] = byte(1 + rng.Intn(255))
+		}
+		blocks[i] = block{coeff: c}
+	}
+	run := func(order []int) (int, int) {
+		d, err := NewDecoder(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range order {
+			if _, err := d.Add(blocks[i].coeff, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.Rank(), d.DecodedPrefix()
+	}
+	baseRank, basePrefix := run([]int{0, 1, 2, 3, 4, 5, 6})
+	for trial := 0; trial < 10; trial++ {
+		order := rng.Perm(len(blocks))
+		rank, prefix := run(order)
+		if rank != baseRank || prefix != basePrefix {
+			t.Fatalf("order %v: (rank,prefix) = (%d,%d), want (%d,%d)",
+				order, rank, prefix, baseRank, basePrefix)
+		}
+	}
+}
+
+func TestSymbolErrorsWhenUndecoded(t *testing.T) {
+	d, err := NewDecoder(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Symbol(0); err == nil {
+		t.Error("Symbol on empty decoder succeeded, want error")
+	}
+	if _, err := d.Symbol(-1); err == nil {
+		t.Error("Symbol(-1) succeeded, want error")
+	}
+	if _, err := d.Symbol(3); err == nil {
+		t.Error("Symbol(out of range) succeeded, want error")
+	}
+}
+
+func TestSymbolsSnapshot(t *testing.T) {
+	d, err := NewDecoder(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add([]byte{1, 0}, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	syms := d.Symbols()
+	if len(syms) != 2 || syms[1] != nil {
+		t.Fatalf("Symbols() = %v, want [decoded nil]", syms)
+	}
+	if !bytes.Equal(syms[0], []byte{42}) {
+		t.Errorf("Symbols()[0] = %v, want [42]", syms[0])
+	}
+	// Mutating the returned slice must not affect decoder state.
+	syms[0][0] = 0
+	again, err := d.Symbol(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != 42 {
+		t.Error("Symbol returned aliased internal storage")
+	}
+}
+
+func TestAddCopiesInputs(t *testing.T) {
+	d, err := NewDecoder(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeff := []byte{1, 0}
+	payload := []byte{7}
+	if _, err := d.Add(coeff, payload); err != nil {
+		t.Fatal(err)
+	}
+	coeff[0] = 99
+	payload[0] = 99
+	got, err := d.Symbol(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Error("decoder aliased caller-owned slices")
+	}
+}
+
+// TestQuickDecoderRecoversRandomSystems is the core correctness property:
+// for random solvable systems the decoder always reproduces the sources.
+func TestQuickDecoderRecoversRandomSystems(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		plen := 1 + rng.Intn(6)
+		symbols := make([][]byte, n)
+		for i := range symbols {
+			symbols[i] = make([]byte, plen)
+			rng.Read(symbols[i])
+		}
+		d, err := NewDecoder(n, plen)
+		if err != nil {
+			return false
+		}
+		for tries := 0; !d.Complete() && tries < 20*n; tries++ {
+			coeff := make([]byte, n)
+			rng.Read(coeff)
+			if _, err := d.Add(coeff, encodeWith(coeff, symbols, plen)); err != nil {
+				return false
+			}
+		}
+		if !d.Complete() {
+			return false
+		}
+		for i := range symbols {
+			got, err := d.Symbol(i)
+			if err != nil || !bytes.Equal(got, symbols[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRankMatchesBatchRank cross-checks incremental rank against the
+// batch Gaussian-elimination rank on the same row set.
+func TestQuickRankMatchesBatchRank(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		rows := 1 + rng.Intn(12)
+		m, _ := New(rows, n)
+		d, err := NewDecoder(n, 0)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < rows; i++ {
+			coeff := make([]byte, n)
+			for j := range coeff {
+				if rng.Intn(2) == 0 {
+					coeff[j] = byte(rng.Intn(256))
+				}
+			}
+			copy(m.Row(i), coeff)
+			if _, err := d.Add(coeff, nil); err != nil {
+				return false
+			}
+		}
+		return d.Rank() == m.Rank()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecoderFullDecode256(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	const n, plen = 256, 64
+	symbols := make([][]byte, n)
+	for i := range symbols {
+		symbols[i] = make([]byte, plen)
+		rng.Read(symbols[i])
+	}
+	coeffs := make([][]byte, n+8)
+	payloads := make([][]byte, n+8)
+	for i := range coeffs {
+		coeffs[i] = make([]byte, n)
+		rng.Read(coeffs[i])
+		payloads[i] = encodeWith(coeffs[i], symbols, plen)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := NewDecoder(n, plen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; !d.Complete() && j < len(coeffs); j++ {
+			if _, err := d.Add(coeffs[j], payloads[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !d.Complete() {
+			b.Fatal("decode incomplete")
+		}
+	}
+}

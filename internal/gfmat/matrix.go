@@ -1,0 +1,304 @@
+// Package gfmat provides dense linear algebra over GF(2^8): matrices,
+// rank and inversion by Gaussian elimination, and an incremental
+// Gauss–Jordan decoder that maintains a reduced row-echelon form (RREF) as
+// coded blocks arrive, enabling the progressive partial decoding described
+// in Sec. 3.2 of the paper.
+package gfmat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/gf256"
+)
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+// New returns a zero matrix with the given dimensions.
+func New(rows, cols int) (*Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("gfmat: invalid dimensions %dx%d", rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) (*Matrix, error) {
+	m, err := New(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m, nil
+}
+
+// FromRows builds a matrix from row slices, which must all have the same
+// length. The rows are copied.
+func FromRows(rows [][]byte) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m, err := New(len(rows), cols)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("gfmat: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Random returns an r×c matrix with entries drawn uniformly from GF(2^8)
+// (including zero).
+func Random(rng *rand.Rand, rows, cols int) (*Matrix, error) {
+	m, err := New(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	rng.Read(m.data)
+	return m, nil
+}
+
+// RandomNonzero returns an r×c matrix with entries drawn uniformly from the
+// 255 nonzero elements, matching the paper's "nonzero random number
+// uniformly chosen from a Galois field" coefficient model.
+func RandomNonzero(rng *rand.Rand, rows, cols int) (*Matrix, error) {
+	m, err := New(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := range m.data {
+		m.data[i] = byte(1 + rng.Intn(255))
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) byte { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v byte) { m.data[i*m.cols+j] = v }
+
+// Row returns a mutable view of row i (not a copy).
+func (m *Matrix) Row(i int) []byte {
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]byte, len(m.data))}
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether two matrices have identical dimensions and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if o.data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// MulVec returns m·v. v must have length m.Cols().
+func (m *Matrix) MulVec(v []byte) ([]byte, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("gfmat: MulVec: vector length %d, want %d", len(v), m.cols)
+	}
+	out := make([]byte, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = gf256.Dot(m.Row(i), v)
+	}
+	return out, nil
+}
+
+// Mul returns the matrix product m·o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("gfmat: Mul: %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	p, err := New(m.rows, o.cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m.rows; i++ {
+		mrow := m.Row(i)
+		prow := p.Row(i)
+		for k, a := range mrow {
+			if a == 0 {
+				continue
+			}
+			gf256.AddMulSlice(prow, o.Row(k), a)
+		}
+	}
+	return p, nil
+}
+
+// Rank returns the rank of m. m is not modified.
+func (m *Matrix) Rank() int {
+	w := m.Clone()
+	return w.rankInPlace()
+}
+
+// rankInPlace performs forward elimination destroying w and returns its rank.
+func (w *Matrix) rankInPlace() int {
+	rank := 0
+	for col := 0; col < w.cols && rank < w.rows; col++ {
+		// Find a pivot at or below row `rank`.
+		pivot := -1
+		for r := rank; r < w.rows; r++ {
+			if w.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		if pivot != rank {
+			w.swapRows(pivot, rank)
+		}
+		prow := w.Row(rank)
+		inv, err := gf256.Inv(prow[col])
+		if err != nil {
+			// Unreachable: pivot is nonzero by construction.
+			continue
+		}
+		gf256.ScaleInPlace(prow, inv)
+		for r := rank + 1; r < w.rows; r++ {
+			if c := w.At(r, col); c != 0 {
+				gf256.AddMulSlice(w.Row(r), prow, c)
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func (w *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := w.Row(i), w.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Inverse returns the inverse of a square matrix, or an error if m is not
+// square or is singular.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("gfmat: Inverse of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	w := m.Clone()
+	inv, err := Identity(n)
+	if err != nil {
+		return nil, err
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if w.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("gfmat: matrix is singular (no pivot in column %d)", col)
+		}
+		w.swapRows(pivot, col)
+		inv.swapRows(pivot, col)
+		pv, ierr := gf256.Inv(w.At(col, col))
+		if ierr != nil {
+			return nil, fmt.Errorf("gfmat: invert pivot: %w", ierr)
+		}
+		gf256.ScaleInPlace(w.Row(col), pv)
+		gf256.ScaleInPlace(inv.Row(col), pv)
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if c := w.At(r, col); c != 0 {
+				gf256.AddMulSlice(w.Row(r), w.Row(col), c)
+				gf256.AddMulSlice(inv.Row(r), inv.Row(col), c)
+			}
+		}
+	}
+	return inv, nil
+}
+
+// IsRREF reports whether m is in reduced row-echelon form: pivots are 1,
+// strictly right of the pivot in the previous row, and the only nonzero
+// entry in their column; zero rows are at the bottom.
+func (m *Matrix) IsRREF() bool {
+	prevPivot := -1
+	sawZeroRow := false
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		lead := -1
+		for j, v := range row {
+			if v != 0 {
+				lead = j
+				break
+			}
+		}
+		if lead < 0 {
+			sawZeroRow = true
+			continue
+		}
+		if sawZeroRow {
+			return false // nonzero row below a zero row
+		}
+		if lead <= prevPivot {
+			return false
+		}
+		if row[lead] != 1 {
+			return false
+		}
+		for r := 0; r < m.rows; r++ {
+			if r != i && m.At(r, lead) != 0 {
+				return false
+			}
+		}
+		prevPivot = lead
+	}
+	return true
+}
+
+// String renders the matrix in hexadecimal for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%02x", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

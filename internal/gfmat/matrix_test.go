@@ -1,0 +1,316 @@
+package gfmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsNegative(t *testing.T) {
+	if _, err := New(-1, 3); err == nil {
+		t.Error("New(-1,3) succeeded, want error")
+	}
+	if _, err := New(3, -1); err == nil {
+		t.Error("New(3,-1) succeeded, want error")
+	}
+}
+
+func TestIdentityProperties(t *testing.T) {
+	id, err := Identity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if got := id.At(i, j); got != want {
+				t.Errorf("I[%d,%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	if got := id.Rank(); got != 4 {
+		t.Errorf("rank(I4) = %d, want 4", got)
+	}
+	if !id.IsRREF() {
+		t.Error("identity should be in RREF")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]byte{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Errorf("FromRows produced wrong layout:\n%s", m)
+	}
+	if _, err := FromRows([][]byte{{1, 2}, {3}}); err == nil {
+		t.Error("ragged FromRows succeeded, want error")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Errorf("FromRows(nil) = %v, %v", empty, err)
+	}
+}
+
+func TestFromRowsCopies(t *testing.T) {
+	src := [][]byte{{1, 2}}
+	m, err := FromRows(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0][0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("FromRows did not copy the input rows")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, err := FromRows([][]byte{
+		{1, 0, 2},
+		{0, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []byte{3, 5, 7}
+	got, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: 1*3 + 2*7 = 3 ^ mul(2,7)=14 -> 3^14=13
+	want0 := byte(3) ^ mulRef(2, 7)
+	if got[0] != want0 || got[1] != 5 {
+		t.Errorf("MulVec = %v, want [%d 5]", got, want0)
+	}
+	if _, err := m.MulVec([]byte{1}); err == nil {
+		t.Error("MulVec with wrong length succeeded, want error")
+	}
+}
+
+// mulRef is an independent GF(2^8) multiply for cross-checking.
+func mulRef(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		carry := a&0x80 != 0
+		a <<= 1
+		if carry {
+			a ^= 0x1D
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func TestMulAssociativeWithVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, _ := Random(rng, 4, 5)
+	b, _ := Random(rng, 5, 3)
+	v := make([]byte, 3)
+	rng.Read(v)
+
+	ab, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := b.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := ab.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := a.MulVec(bv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range left {
+		if left[i] != right[i] {
+			t.Fatalf("(AB)v != A(Bv) at %d: %v vs %v", i, left, right)
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a, _ := New(2, 3)
+	b, _ := New(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("Mul with mismatched inner dims succeeded, want error")
+	}
+}
+
+func TestRankSmallCases(t *testing.T) {
+	cases := []struct {
+		rows [][]byte
+		want int
+	}{
+		{[][]byte{{0, 0}, {0, 0}}, 0},
+		{[][]byte{{1, 2}, {2, 4}}, 1}, // row1 = 2*row0 in GF(2^8)
+		{[][]byte{{1, 0}, {0, 1}}, 2},
+		{[][]byte{{1, 2, 3}}, 1},
+		{[][]byte{{5, 5}, {5, 5}}, 1},
+	}
+	for i, tc := range cases {
+		m, err := FromRows(tc.rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Rank(); got != tc.want {
+			t.Errorf("case %d: rank = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestRankDoesNotMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, _ := Random(rng, 5, 5)
+	before := m.Clone()
+	m.Rank()
+	if !m.Equal(before) {
+		t.Error("Rank mutated the matrix")
+	}
+}
+
+func TestRandomSquareMatrixUsuallyFullRank(t *testing.T) {
+	// Footnote 1 of the paper: with GF(2^8) coefficients, random square
+	// matrices are invertible w.h.p. The probability of full rank is
+	// prod_{i=1..n} (1 - 256^-i) ≈ 0.996. Check that at least 95 of 100
+	// random 20x20 matrices have full rank.
+	rng := rand.New(rand.NewSource(9))
+	full := 0
+	for trial := 0; trial < 100; trial++ {
+		m, _ := Random(rng, 20, 20)
+		if m.Rank() == 20 {
+			full++
+		}
+	}
+	if full < 95 {
+		t.Errorf("only %d/100 random 20x20 matrices were full rank", full)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		var m *Matrix
+		for {
+			m, _ = Random(rng, n, n)
+			if m.Rank() == n {
+				break
+			}
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		prod, err := m.Mul(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, _ := Identity(n)
+		if !prod.Equal(id) {
+			t.Fatalf("trial %d: M*Inv(M) != I:\n%s", trial, prod)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m, _ := FromRows([][]byte{{1, 2}, {2, 4}}) // row1 = 2*row0
+	if _, err := m.Inverse(); err == nil {
+		t.Error("Inverse of singular matrix succeeded, want error")
+	}
+	r, _ := New(2, 3)
+	if _, err := r.Inverse(); err == nil {
+		t.Error("Inverse of non-square matrix succeeded, want error")
+	}
+}
+
+func TestIsRREF(t *testing.T) {
+	good, _ := FromRows([][]byte{
+		{1, 0, 0, 5},
+		{0, 1, 0, 6},
+		{0, 0, 1, 7},
+	})
+	if !good.IsRREF() {
+		t.Error("valid RREF rejected")
+	}
+	badPivot, _ := FromRows([][]byte{
+		{2, 0},
+		{0, 1},
+	})
+	if badPivot.IsRREF() {
+		t.Error("pivot != 1 accepted as RREF")
+	}
+	badOrder, _ := FromRows([][]byte{
+		{0, 1},
+		{1, 0},
+	})
+	if badOrder.IsRREF() {
+		t.Error("descending pivots accepted as RREF")
+	}
+	zeroMid, _ := FromRows([][]byte{
+		{0, 0},
+		{1, 0},
+	})
+	if zeroMid.IsRREF() {
+		t.Error("zero row above nonzero row accepted as RREF")
+	}
+	dirtyCol, _ := FromRows([][]byte{
+		{1, 3},
+		{0, 1},
+	})
+	if dirtyCol.IsRREF() {
+		t.Error("nonzero entry above a pivot accepted as RREF")
+	}
+}
+
+func TestQuickRankBoundedByDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(8)
+		cols := 1 + r.Intn(8)
+		m, _ := Random(r, rows, cols)
+		rank := m.Rank()
+		min := rows
+		if cols < min {
+			min = cols
+		}
+		return rank >= 0 && rank <= min
+	}, &quick.Config{MaxCount: 200, Rand: rng})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRankInvariantUnderRowSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 2 + r.Intn(6)
+		cols := 1 + r.Intn(8)
+		m, _ := Random(r, rows, cols)
+		rank := m.Rank()
+		i, j := r.Intn(rows), r.Intn(rows)
+		m.swapRows(i, j)
+		return m.Rank() == rank
+	}, &quick.Config{MaxCount: 200, Rand: rng})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	m, _ := FromRows([][]byte{{0x0a, 0xff}})
+	if got, want := m.String(), "0a ff\n"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,258 @@
+// Package growthcodes implements Growth Codes (Kamra, Feldman, Misra,
+// Rubenstein — SIGCOMM 2006), the related-work baseline the paper compares
+// its priority schemes against. Growth Codes maximize the number of
+// source symbols recovered from partial data but treat all data
+// equivalently: a coded symbol is the XOR of a small set of source
+// symbols whose degree grows as recovery proceeds, and the sink decodes by
+// iterative peeling. The comparison benchmarks show the paper's point:
+// with Growth Codes the recovered subset is an arbitrary mix of
+// priorities, whereas PLC recovers the most important prefix first.
+package growthcodes
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gf256"
+)
+
+// Symbol is one Growth-Codes codeword: the XOR of the source symbols
+// listed in Indices.
+type Symbol struct {
+	Indices []int
+	Payload []byte
+}
+
+// Clone returns a deep copy of the symbol.
+func (s *Symbol) Clone() *Symbol {
+	return &Symbol{
+		Indices: append([]int(nil), s.Indices...),
+		Payload: append([]byte(nil), s.Payload...),
+	}
+}
+
+// OptimalDegree returns the codeword degree Growth Codes use when the
+// sink has already recovered r of n symbols: the degree that maximizes
+// the probability of the codeword being immediately decodable, which is
+// ~ n/(n-r) (degree 1 while nothing is recovered, growing without bound
+// as recovery completes).
+func OptimalDegree(n, r int) int {
+	if r < 0 {
+		r = 0
+	}
+	if r >= n {
+		return n
+	}
+	d := n / (n - r)
+	if d < 1 {
+		d = 1
+	}
+	if d > n {
+		d = n
+	}
+	return d
+}
+
+// Encoder produces Growth-Codes symbols over n source payloads.
+type Encoder struct {
+	n          int
+	sources    [][]byte
+	payloadLen int
+}
+
+// NewEncoder constructs an encoder. sources may be nil/empty for
+// index-only experiments, or contain exactly n equal-length payloads.
+func NewEncoder(n int, sources [][]byte) (*Encoder, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("growthcodes: n = %d, want > 0", n)
+	}
+	e := &Encoder{n: n}
+	if len(sources) > 0 {
+		if len(sources) != n {
+			return nil, fmt.Errorf("growthcodes: %d source payloads, want %d", len(sources), n)
+		}
+		e.payloadLen = len(sources[0])
+		e.sources = make([][]byte, n)
+		for i, s := range sources {
+			if len(s) != e.payloadLen {
+				return nil, fmt.Errorf("growthcodes: source %d has %d bytes, want %d", i, len(s), e.payloadLen)
+			}
+			e.sources[i] = append([]byte(nil), s...)
+		}
+	}
+	return e, nil
+}
+
+// N returns the number of source symbols.
+func (e *Encoder) N() int { return e.n }
+
+// Encode produces one symbol of the given degree: the XOR of `degree`
+// distinct uniformly chosen source symbols.
+func (e *Encoder) Encode(rng *rand.Rand, degree int) (*Symbol, error) {
+	if degree < 1 || degree > e.n {
+		return nil, fmt.Errorf("growthcodes: degree %d outside [1, %d]", degree, e.n)
+	}
+	idx := rng.Perm(e.n)[:degree]
+	s := &Symbol{Indices: append([]int(nil), idx...)}
+	if e.payloadLen > 0 {
+		s.Payload = make([]byte, e.payloadLen)
+		for _, i := range idx {
+			gf256.AddSlice(s.Payload, e.sources[i])
+		}
+	} else {
+		s.Payload = []byte{}
+	}
+	return s, nil
+}
+
+// EncodeScheduled produces one symbol with the degree the Growth-Codes
+// schedule prescribes for a sink that has recovered r symbols (the
+// idealized feedback model; the original paper approximates r from
+// elapsed rounds).
+func (e *Encoder) EncodeScheduled(rng *rand.Rand, recovered int) (*Symbol, error) {
+	return e.Encode(rng, OptimalDegree(e.n, recovered))
+}
+
+// Decoder is the peeling (iterative belief-propagation) decoder: a
+// degree-1 symbol reveals a source symbol, which is subtracted from every
+// buffered symbol, possibly cascading.
+type Decoder struct {
+	n          int
+	payloadLen int
+	decoded    []bool
+	payloads   [][]byte
+	count      int
+	// buffered holds still-unresolved symbols; byIndex maps a source index
+	// to the buffered symbols containing it.
+	buffered []*Symbol
+	byIndex  map[int][]int
+	received int
+}
+
+// NewDecoder constructs a peeling decoder over n source symbols with the
+// given payload length (0 for index-only experiments).
+func NewDecoder(n, payloadLen int) (*Decoder, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("growthcodes: n = %d, want > 0", n)
+	}
+	if payloadLen < 0 {
+		return nil, fmt.Errorf("growthcodes: negative payload length %d", payloadLen)
+	}
+	return &Decoder{
+		n:          n,
+		payloadLen: payloadLen,
+		decoded:    make([]bool, n),
+		payloads:   make([][]byte, n),
+		byIndex:    make(map[int][]int),
+	}, nil
+}
+
+// Received returns the number of symbols offered to Add.
+func (d *Decoder) Received() int { return d.received }
+
+// DecodedCount returns the number of recovered source symbols.
+func (d *Decoder) DecodedCount() int { return d.count }
+
+// Decoded reports whether source symbol i is recovered.
+func (d *Decoder) Decoded(i int) bool { return i >= 0 && i < d.n && d.decoded[i] }
+
+// Complete reports whether every source symbol is recovered.
+func (d *Decoder) Complete() bool { return d.count == d.n }
+
+// Payload returns the recovered payload of source symbol i.
+func (d *Decoder) Payload(i int) ([]byte, error) {
+	if !d.Decoded(i) {
+		return nil, fmt.Errorf("growthcodes: symbol %d is not decoded", i)
+	}
+	out := make([]byte, d.payloadLen)
+	copy(out, d.payloads[i])
+	return out, nil
+}
+
+// Add absorbs one symbol and runs peeling to a fixed point. It returns
+// the number of source symbols newly recovered.
+func (d *Decoder) Add(sym *Symbol) (int, error) {
+	if sym == nil {
+		return 0, fmt.Errorf("growthcodes: nil symbol")
+	}
+	if len(sym.Payload) != d.payloadLen {
+		return 0, fmt.Errorf("growthcodes: payload length %d, want %d", len(sym.Payload), d.payloadLen)
+	}
+	seen := make(map[int]bool, len(sym.Indices))
+	for _, i := range sym.Indices {
+		if i < 0 || i >= d.n {
+			return 0, fmt.Errorf("growthcodes: index %d out of range [0, %d)", i, d.n)
+		}
+		if seen[i] {
+			return 0, fmt.Errorf("growthcodes: duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+	d.received++
+	before := d.count
+
+	s := sym.Clone()
+	// Subtract already-decoded symbols.
+	d.reduce(s)
+	switch len(s.Indices) {
+	case 0:
+		// Fully redundant.
+	case 1:
+		d.reveal(s.Indices[0], s.Payload)
+	default:
+		slot := len(d.buffered)
+		d.buffered = append(d.buffered, s)
+		for _, i := range s.Indices {
+			d.byIndex[i] = append(d.byIndex[i], slot)
+		}
+	}
+	return d.count - before, nil
+}
+
+// reduce strips decoded indices (and their payload contributions) from s.
+func (d *Decoder) reduce(s *Symbol) {
+	kept := s.Indices[:0]
+	for _, i := range s.Indices {
+		if d.decoded[i] {
+			if d.payloadLen > 0 {
+				gf256.AddSlice(s.Payload, d.payloads[i])
+			}
+			continue
+		}
+		kept = append(kept, i)
+	}
+	s.Indices = kept
+}
+
+// reveal records source symbol i and cascades peeling through the buffer.
+func (d *Decoder) reveal(i int, payload []byte) {
+	type pending struct {
+		idx     int
+		payload []byte
+	}
+	queue := []pending{{idx: i, payload: payload}}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if d.decoded[p.idx] {
+			continue
+		}
+		d.decoded[p.idx] = true
+		d.payloads[p.idx] = append([]byte(nil), p.payload...)
+		d.count++
+		for _, slot := range d.byIndex[p.idx] {
+			s := d.buffered[slot]
+			if s == nil {
+				continue
+			}
+			d.reduce(s)
+			if len(s.Indices) == 1 {
+				queue = append(queue, pending{idx: s.Indices[0], payload: s.Payload})
+				d.buffered[slot] = nil
+			} else if len(s.Indices) == 0 {
+				d.buffered[slot] = nil
+			}
+		}
+		delete(d.byIndex, p.idx)
+	}
+}

@@ -1,0 +1,342 @@
+package growthcodes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimalDegree(t *testing.T) {
+	cases := []struct {
+		n, r, want int
+	}{
+		{100, 0, 1},  // nothing recovered: degree 1
+		{100, 50, 2}, // half recovered: degree 2
+		{100, 75, 4}, // three quarters: degree 4
+		{100, 99, 100},
+		{100, 100, 100}, // saturated
+		{100, -5, 1},    // clamped
+		{10, 9, 10},
+	}
+	for _, tc := range cases {
+		if got := OptimalDegree(tc.n, tc.r); got != tc.want {
+			t.Errorf("OptimalDegree(%d, %d) = %d, want %d", tc.n, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestOptimalDegreeMonotone(t *testing.T) {
+	prev := 0
+	for r := 0; r <= 200; r++ {
+		d := OptimalDegree(200, r)
+		if d < prev {
+			t.Fatalf("degree decreased at r=%d: %d -> %d", r, prev, d)
+		}
+		if d < 1 || d > 200 {
+			t.Fatalf("degree %d out of range at r=%d", d, r)
+		}
+		prev = d
+	}
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewEncoder(3, [][]byte{{1}}); err == nil {
+		t.Error("wrong source count accepted")
+	}
+	if _, err := NewEncoder(2, [][]byte{{1}, {2, 3}}); err == nil {
+		t.Error("ragged sources accepted")
+	}
+}
+
+func TestEncodeDegreeBounds(t *testing.T) {
+	e, err := NewEncoder(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := e.Encode(rng, 0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := e.Encode(rng, 6); err == nil {
+		t.Error("degree > n accepted")
+	}
+	s, err := e.Encode(rng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Indices) != 3 {
+		t.Errorf("degree-3 symbol has %d indices", len(s.Indices))
+	}
+	seen := map[int]bool{}
+	for _, i := range s.Indices {
+		if seen[i] {
+			t.Error("duplicate index in symbol")
+		}
+		seen[i] = true
+	}
+}
+
+func TestEncodePayloadIsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sources := [][]byte{{1, 2}, {3, 4}, {5, 6}}
+	e, err := NewEncoder(3, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Encode(rng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 2)
+	for _, i := range s.Indices {
+		want[0] ^= sources[i][0]
+		want[1] ^= sources[i][1]
+	}
+	if !bytes.Equal(s.Payload, want) {
+		t.Errorf("payload %v, want %v", s.Payload, want)
+	}
+}
+
+func TestDecoderValidation(t *testing.T) {
+	if _, err := NewDecoder(0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewDecoder(3, -1); err == nil {
+		t.Error("negative payload length accepted")
+	}
+	d, err := NewDecoder(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add(nil); err == nil {
+		t.Error("nil symbol accepted")
+	}
+	if _, err := d.Add(&Symbol{Indices: []int{5}, Payload: []byte{}}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := d.Add(&Symbol{Indices: []int{1, 1}, Payload: []byte{}}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := d.Add(&Symbol{Indices: []int{1}, Payload: []byte{9}}); err == nil {
+		t.Error("wrong payload length accepted")
+	}
+	if d.Received() != 0 {
+		t.Error("rejected symbols counted")
+	}
+}
+
+func TestPeelingCascade(t *testing.T) {
+	// Symbols: {0}, {0,1}, {1,2} — adding in reverse order decodes nothing
+	// until {0} arrives, then the cascade recovers all three.
+	sources := [][]byte{{10}, {20}, {30}}
+	d, err := NewDecoder(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(indices ...int) int {
+		t.Helper()
+		p := make([]byte, 1)
+		for _, i := range indices {
+			p[0] ^= sources[i][0]
+		}
+		n, err := d.Add(&Symbol{Indices: indices, Payload: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if got := add(1, 2); got != 0 {
+		t.Fatalf("degree-2 first symbol decoded %d", got)
+	}
+	if got := add(0, 1); got != 0 {
+		t.Fatalf("degree-2 second symbol decoded %d", got)
+	}
+	if got := add(0); got != 3 {
+		t.Fatalf("cascade decoded %d, want 3", got)
+	}
+	for i, want := range sources {
+		got, err := d.Payload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("payload %d = %v, want %v", i, got, want)
+		}
+	}
+	if !d.Complete() {
+		t.Error("decoder not complete")
+	}
+}
+
+func TestRedundantSymbolIgnored(t *testing.T) {
+	d, err := NewDecoder(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add(&Symbol{Indices: []int{0}, Payload: []byte{}}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.Add(&Symbol{Indices: []int{0}, Payload: []byte{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || d.DecodedCount() != 1 {
+		t.Errorf("redundant symbol decoded %d (count %d)", n, d.DecodedCount())
+	}
+}
+
+func TestPayloadErrors(t *testing.T) {
+	d, err := NewDecoder(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Payload(0); err == nil {
+		t.Error("undecoded payload returned")
+	}
+	if _, err := d.Payload(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+// TestScheduledFullRecovery runs the idealized feedback loop: encode with
+// the schedule driven by the decoder's actual recovery count; full
+// recovery should need far fewer than the coupon-collector bound.
+func TestScheduledFullRecovery(t *testing.T) {
+	const n = 120
+	rng := rand.New(rand.NewSource(3))
+	sources := make([][]byte, n)
+	for i := range sources {
+		sources[i] = make([]byte, 4)
+		rng.Read(sources[i])
+	}
+	e, err := NewEncoder(n, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for !d.Complete() && used < 20*n {
+		s, err := e.EncodeScheduled(rng, d.DecodedCount())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		used++
+	}
+	if !d.Complete() {
+		t.Fatalf("no full recovery after %d symbols", used)
+	}
+	// Coupon collector for n=120 needs ~ n ln n ≈ 575; Growth Codes should
+	// beat that comfortably.
+	if used > 500 {
+		t.Errorf("scheduled growth codes needed %d symbols (coupon collector ~575)", used)
+	}
+	for i := range sources {
+		got, err := d.Payload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, sources[i]) {
+			t.Errorf("payload %d corrupted", i)
+		}
+	}
+}
+
+// TestEarlyRecoveryBeatsRLC is the Growth-Codes headline property: with
+// M < N symbols, a substantial fraction of sources is already recovered
+// (where RLC would have recovered none).
+func TestEarlyRecoveryBeatsRLC(t *testing.T) {
+	const n = 100
+	rng := rand.New(rand.NewSource(4))
+	e, err := NewEncoder(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n/2; i++ {
+		s, err := e.EncodeScheduled(rng, d.DecodedCount())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.DecodedCount() < n/4 {
+		t.Errorf("only %d/%d recovered from N/2 symbols", d.DecodedCount(), n)
+	}
+}
+
+// TestQuickPeelingMatchesGaussian cross-checks peeling against the rank
+// view: the peeling decoder can never decode MORE than the rank of the
+// 0/1 index matrix allows, and decodes exactly the full set when peeling
+// reaches rank n.
+func TestQuickPeelingMatchesGaussian(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		e, err := NewEncoder(n, nil)
+		if err != nil {
+			return false
+		}
+		d, err := NewDecoder(n, 0)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3*n; i++ {
+			s, err := e.EncodeScheduled(rng, d.DecodedCount())
+			if err != nil {
+				return false
+			}
+			if _, err := d.Add(s); err != nil {
+				return false
+			}
+		}
+		count := 0
+		for i := 0; i < n; i++ {
+			if d.Decoded(i) {
+				count++
+			}
+		}
+		return count == d.DecodedCount() && count <= n
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduledDecode500(b *testing.B) {
+	const n = 500
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		e, err := NewEncoder(n, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := NewDecoder(n, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for !d.Complete() {
+			s, err := e.EncodeScheduled(rng, d.DecodedCount())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Add(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package predist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gf256"
+)
+
+// Repair restores the redundancy destroyed by node failures — the
+// regeneration step the distributed-storage line of related work (Dimakis
+// et al., "Network Coding for Distributed Storage Systems") adds on top
+// of one-shot pre-distribution. After a collector has recovered the
+// source blocks, every cache slot whose owner died is re-homed onto the
+// closest surviving node and refilled with a freshly coded block over the
+// slot's full support, delivered from the given origin node. Surviving
+// slots are left untouched.
+//
+// It returns the number of slots repaired. The alive predicate must
+// reflect the same liveness the Transport routes around.
+func (d *Deployment) Repair(rng *rand.Rand, tr Transport, origin int, sources [][]byte, alive func(int) bool) (int, error) {
+	if !d.resolved {
+		return 0, fmt.Errorf("predist: ResolveOwners must run before Repair")
+	}
+	if alive == nil {
+		return 0, fmt.Errorf("predist: nil alive predicate")
+	}
+	if len(sources) != d.cfg.Levels.Total() {
+		return 0, fmt.Errorf("predist: %d source payloads, want %d", len(sources), d.cfg.Levels.Total())
+	}
+	for i, s := range sources {
+		if len(s) != d.cfg.PayloadLen {
+			return 0, fmt.Errorf("predist: source %d has %d bytes, want %d", i, len(s), d.cfg.PayloadLen)
+		}
+	}
+	repaired := 0
+	for slot := range d.locations {
+		if d.owner[slot] >= 0 && alive(d.owner[slot]) {
+			continue // the cache survived in place
+		}
+		lo, hi, err := d.cfg.Scheme.Support(d.cfg.Levels, d.partOf[slot])
+		if err != nil {
+			return repaired, err
+		}
+		coeff := make([]byte, d.cfg.Levels.Total())
+		payload := make([]byte, d.cfg.PayloadLen)
+		for j := lo; j < hi; j++ {
+			beta := byte(1 + rng.Intn(255))
+			coeff[j] = beta
+			if d.cfg.PayloadLen > 0 {
+				gf256.AddMulSlice(payload, sources[j], beta)
+			}
+		}
+		node, hops, err := tr.Route(origin, d.locations[slot])
+		if err != nil {
+			return repaired, fmt.Errorf("predist: repair slot %d: %w", slot, err)
+		}
+		d.owner[slot] = node
+		d.coeff[slot] = coeff
+		d.payload[slot] = payload
+		d.stats.Messages++
+		d.stats.Hops += hops
+		repaired++
+	}
+	return repaired, nil
+}

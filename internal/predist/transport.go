@@ -1,0 +1,72 @@
+package predist
+
+import (
+	"fmt"
+
+	"repro/internal/chord"
+	"repro/internal/geom"
+	"repro/internal/gpsr"
+)
+
+// GeoTransport adapts a GPSR router to the Transport interface — the
+// sensor-network instantiation of the protocol.
+type GeoTransport struct {
+	Router *gpsr.Router
+	Nodes  int
+}
+
+var _ Transport = (*GeoTransport)(nil)
+
+// NewGeoTransport wraps a GPSR router over a graph with the given node
+// count.
+func NewGeoTransport(r *gpsr.Router, nodes int) (*GeoTransport, error) {
+	if r == nil {
+		return nil, fmt.Errorf("predist: nil router")
+	}
+	return &GeoTransport{Router: r, Nodes: nodes}, nil
+}
+
+// NumNodes returns the node population size.
+func (t *GeoTransport) NumNodes() int { return t.Nodes }
+
+// Home returns the alive node closest to p.
+func (t *GeoTransport) Home(p geom.Point) (int, error) { return t.Router.HomeNode(p) }
+
+// Route GPSR-routes from origin to p's home node.
+func (t *GeoTransport) Route(origin int, p geom.Point) (int, int, error) {
+	path, err := t.Router.Route(origin, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return path[len(path)-1], len(path) - 1, nil
+}
+
+// DHTTransport adapts a Chord ring to the Transport interface — the P2P
+// instantiation. A location maps to a ring key through its X coordinate,
+// matching the paper's one-dimensional DHT geometric space.
+type DHTTransport struct {
+	Ring *chord.Ring
+}
+
+var _ Transport = (*DHTTransport)(nil)
+
+// NewDHTTransport wraps a Chord ring.
+func NewDHTTransport(r *chord.Ring) (*DHTTransport, error) {
+	if r == nil {
+		return nil, fmt.Errorf("predist: nil ring")
+	}
+	return &DHTTransport{Ring: r}, nil
+}
+
+// NumNodes returns the ring population size.
+func (t *DHTTransport) NumNodes() int { return t.Ring.Len() }
+
+// Home returns the alive successor of the location's key.
+func (t *DHTTransport) Home(p geom.Point) (int, error) {
+	return t.Ring.Successor(chord.PointToKey(p.X))
+}
+
+// Route performs a Chord lookup from origin for the location's key.
+func (t *DHTTransport) Route(origin int, p geom.Point) (int, int, error) {
+	return t.Ring.Lookup(origin, chord.PointToKey(p.X))
+}

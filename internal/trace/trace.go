@@ -1,0 +1,299 @@
+// Package trace generates the measurement data the paper's scenarios
+// persist, and implements the multi-resolution prioritization its strict
+// priority model motivates ("multi-resolution sensor image dissemination
+// [22]"): a smooth synthetic sensor field is sampled on a grid and
+// decomposed into a resolution pyramid whose coarse levels are the
+// high-priority source blocks — recovering a prefix of the levels yields a
+// faithful low-resolution approximation of the whole field, and every
+// additional level sharpens it.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Field is a smooth synthetic scalar field over the unit square, built as
+// a sum of Gaussian bumps — a stand-in for temperature/humidity surfaces.
+type Field struct {
+	bumps []bump
+}
+
+type bump struct {
+	center geom.Point
+	amp    float64
+	sigma2 float64
+}
+
+// NewField samples a random field with the given number of bumps.
+func NewField(rng *rand.Rand, bumps int) (*Field, error) {
+	if bumps <= 0 {
+		return nil, fmt.Errorf("trace: bump count %d, want > 0", bumps)
+	}
+	f := &Field{bumps: make([]bump, bumps)}
+	for i := range f.bumps {
+		s := 0.05 + 0.2*rng.Float64()
+		f.bumps[i] = bump{
+			center: geom.Point{X: rng.Float64(), Y: rng.Float64()},
+			amp:    0.3 + 0.7*rng.Float64(),
+			sigma2: s * s,
+		}
+	}
+	return f, nil
+}
+
+// At evaluates the field at a point.
+func (f *Field) At(p geom.Point) float64 {
+	v := 0.0
+	for _, b := range f.bumps {
+		v += b.amp * math.Exp(-p.Dist2(b.center)/(2*b.sigma2))
+	}
+	return v
+}
+
+// SampleGrid evaluates the field on a res×res grid (row-major, cell
+// centers).
+func (f *Field) SampleGrid(res int) ([]float64, error) {
+	if res <= 0 {
+		return nil, fmt.Errorf("trace: grid resolution %d, want > 0", res)
+	}
+	out := make([]float64, res*res)
+	for y := 0; y < res; y++ {
+		for x := 0; x < res; x++ {
+			p := geom.Point{
+				X: (float64(x) + 0.5) / float64(res),
+				Y: (float64(y) + 0.5) / float64(res),
+			}
+			out[y*res+x] = f.At(p)
+		}
+	}
+	return out, nil
+}
+
+// Pyramid is a multi-resolution decomposition of a square grid: level 0
+// holds the 1×1 mean, and each further level holds the residual detail
+// against the nearest-neighbor upsampling of the previous reconstruction.
+// Level ℓ has resolution 2^ℓ. Transmitting levels 0..k reconstructs the
+// field at resolution 2^k exactly, with finer detail zeroed.
+type Pyramid struct {
+	res    int         // full resolution (power of two)
+	levels [][]float64 // levels[l] has (2^l)^2 entries
+}
+
+// BuildPyramid decomposes a res×res grid (res must be a power of two).
+func BuildPyramid(grid []float64, res int) (*Pyramid, error) {
+	if res <= 0 || res&(res-1) != 0 {
+		return nil, fmt.Errorf("trace: resolution %d is not a positive power of two", res)
+	}
+	if len(grid) != res*res {
+		return nil, fmt.Errorf("trace: grid has %d cells, want %d", len(grid), res*res)
+	}
+	// Downsample chain: averages at each resolution.
+	nLevels := bits(res) + 1 // res = 2^(nLevels-1)
+	avgs := make([][]float64, nLevels)
+	avgs[nLevels-1] = append([]float64(nil), grid...)
+	for l := nLevels - 2; l >= 0; l-- {
+		r := 1 << uint(l)
+		cur := make([]float64, r*r)
+		prev := avgs[l+1]
+		pr := r * 2
+		for y := 0; y < r; y++ {
+			for x := 0; x < r; x++ {
+				sum := prev[(2*y)*pr+2*x] + prev[(2*y)*pr+2*x+1] +
+					prev[(2*y+1)*pr+2*x] + prev[(2*y+1)*pr+2*x+1]
+				cur[y*r+x] = sum / 4
+			}
+		}
+		avgs[l] = cur
+	}
+	// Residuals: level l detail = avgs[l] − upsample(avgs[l-1]).
+	p := &Pyramid{res: res, levels: make([][]float64, nLevels)}
+	p.levels[0] = avgs[0]
+	for l := 1; l < nLevels; l++ {
+		r := 1 << uint(l)
+		up := upsample(avgs[l-1], r/2)
+		detail := make([]float64, r*r)
+		for i := range detail {
+			detail[i] = avgs[l][i] - up[i]
+		}
+		p.levels[l] = detail
+	}
+	return p, nil
+}
+
+func bits(res int) int {
+	n := 0
+	for res > 1 {
+		res >>= 1
+		n++
+	}
+	return n
+}
+
+// upsample doubles a square grid by nearest-neighbor replication.
+func upsample(grid []float64, r int) []float64 {
+	out := make([]float64, 4*r*r)
+	pr := 2 * r
+	for y := 0; y < pr; y++ {
+		for x := 0; x < pr; x++ {
+			out[y*pr+x] = grid[(y/2)*r+(x/2)]
+		}
+	}
+	return out
+}
+
+// Levels returns the number of pyramid levels.
+func (p *Pyramid) Levels() int { return len(p.levels) }
+
+// Res returns the full grid resolution.
+func (p *Pyramid) Res() int { return p.res }
+
+// Reconstruct rebuilds the full-resolution grid using levels 0..upTo
+// (inclusive); finer details are treated as zero, so the result is the
+// resolution-2^upTo approximation upsampled to full size. upTo ≥ Levels-1
+// reproduces the original exactly.
+func (p *Pyramid) Reconstruct(upTo int) ([]float64, error) {
+	if upTo < 0 {
+		return nil, fmt.Errorf("trace: reconstruct up to level %d, want >= 0", upTo)
+	}
+	if upTo >= len(p.levels) {
+		upTo = len(p.levels) - 1
+	}
+	cur := append([]float64(nil), p.levels[0]...)
+	for l := 1; l <= upTo; l++ {
+		r := 1 << uint(l)
+		up := upsample(cur, r/2)
+		for i := range up {
+			up[i] += p.levels[l][i]
+		}
+		cur = up
+	}
+	// Upsample the approximation to full resolution.
+	for r := 1 << uint(upTo); r < p.res; r *= 2 {
+		cur = upsample(cur, r)
+	}
+	return cur, nil
+}
+
+// RMSE returns the root-mean-square error between two equal-length grids.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("trace: RMSE over %d vs %d cells", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	ss := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(a))), nil
+}
+
+// Serialization: each pyramid level becomes a run of fixed-size source
+// blocks (float64 coefficients, big endian), so the pyramid maps directly
+// onto a core.Levels priority structure — coarse levels first.
+
+// coeffsPerBlock is how many float64 coefficients fit one source block.
+const coeffBytes = 8
+
+// BlockLayout describes how a pyramid maps to prioritized source blocks.
+type BlockLayout struct {
+	// LevelSizes is the number of source blocks per priority level,
+	// aligned with the pyramid levels.
+	LevelSizes []int
+	// PayloadLen is the source-block size in bytes.
+	PayloadLen int
+}
+
+// ToBlocks serializes the pyramid into source blocks of the given payload
+// size (a multiple of 8), returning the blocks in priority order and the
+// layout needed to rebuild.
+func (p *Pyramid) ToBlocks(payloadLen int) ([][]byte, BlockLayout, error) {
+	if payloadLen <= 0 || payloadLen%coeffBytes != 0 {
+		return nil, BlockLayout{}, fmt.Errorf("trace: payload length %d, want a positive multiple of %d", payloadLen, coeffBytes)
+	}
+	perBlock := payloadLen / coeffBytes
+	var blocks [][]byte
+	layout := BlockLayout{PayloadLen: payloadLen}
+	for _, level := range p.levels {
+		count := (len(level) + perBlock - 1) / perBlock
+		layout.LevelSizes = append(layout.LevelSizes, count)
+		for b := 0; b < count; b++ {
+			block := make([]byte, payloadLen)
+			for i := 0; i < perBlock; i++ {
+				idx := b*perBlock + i
+				if idx >= len(level) {
+					break
+				}
+				binary.BigEndian.PutUint64(block[i*coeffBytes:], math.Float64bits(level[idx]))
+			}
+			blocks = append(blocks, block)
+		}
+	}
+	return blocks, layout, nil
+}
+
+// FromBlocks rebuilds a pyramid from (a prefix of) decoded source blocks.
+// blocks[i] may be nil for undecoded blocks; only pyramid levels whose
+// blocks are all present are populated, and the returned count says how
+// many leading levels were rebuilt.
+func FromBlocks(blocks [][]byte, layout BlockLayout, res int) (*Pyramid, int, error) {
+	if layout.PayloadLen <= 0 || layout.PayloadLen%coeffBytes != 0 {
+		return nil, 0, fmt.Errorf("trace: invalid layout payload length %d", layout.PayloadLen)
+	}
+	if res <= 0 || res&(res-1) != 0 {
+		return nil, 0, fmt.Errorf("trace: resolution %d is not a positive power of two", res)
+	}
+	if want := bits(res) + 1; len(layout.LevelSizes) != want {
+		return nil, 0, fmt.Errorf("trace: layout has %d levels, want %d for res %d",
+			len(layout.LevelSizes), want, res)
+	}
+	perBlock := layout.PayloadLen / coeffBytes
+	p := &Pyramid{res: res, levels: make([][]float64, len(layout.LevelSizes))}
+	offset := 0
+	rebuilt := 0
+	for l, count := range layout.LevelSizes {
+		if offset+count > len(blocks) {
+			return nil, 0, fmt.Errorf("trace: layout wants %d blocks, have %d", offset+count, len(blocks))
+		}
+		complete := true
+		for b := 0; b < count; b++ {
+			if blocks[offset+b] == nil {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			break
+		}
+		r := 1 << uint(l)
+		coeffs := make([]float64, r*r)
+		for i := range coeffs {
+			blk := blocks[offset+i/perBlock]
+			if len(blk) != layout.PayloadLen {
+				return nil, 0, fmt.Errorf("trace: block %d has %d bytes, want %d",
+					offset+i/perBlock, len(blk), layout.PayloadLen)
+			}
+			pos := (i % perBlock) * coeffBytes
+			coeffs[i] = math.Float64frombits(binary.BigEndian.Uint64(blk[pos:]))
+		}
+		p.levels[l] = coeffs
+		rebuilt++
+		offset += count
+	}
+	// Zero-fill the missing fine levels so Reconstruct stays usable.
+	for l := rebuilt; l < len(p.levels); l++ {
+		r := 1 << uint(l)
+		p.levels[l] = make([]float64, r*r)
+	}
+	if rebuilt == 0 {
+		return nil, 0, fmt.Errorf("trace: no complete pyramid level decodable")
+	}
+	return p, rebuilt, nil
+}

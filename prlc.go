@@ -1,0 +1,320 @@
+// Package prlc is a Go implementation of Priority Random Linear Codes for
+// differentiated data persistence in autonomous networks (Lin, Li, Liang —
+// ICDCS 2007).
+//
+// Measurement data produced inside a P2P overlay or sensor network is
+// partitioned into priority levels and stored within the network itself as
+// coded blocks. Unlike classic Random Linear Codes, whose decoding is all
+// or nothing, the two priority schemes allow partial recovery in priority
+// order when churn and failures leave too few blocks for full recovery:
+//
+//   - SLC (Stacked Linear Codes) codes each priority level independently;
+//   - PLC (Progressive Linear Codes) codes level k over all blocks of
+//     levels 1..k, decoding progressively via incremental Gauss–Jordan
+//     elimination and strictly dominating SLC.
+//
+// The package exposes four layers:
+//
+//   - Coding: Levels, Encoder, Decoder, CodedBlock — encode source blocks
+//     into coded blocks and partially decode in priority order.
+//   - Analysis: ExpectedDecodedLevels and DecodingCurve — the Sec. 3.3
+//     numerical model of decoding performance.
+//   - Design: DesignDistribution — the Sec. 3.4 feasibility solver that
+//     turns decoding constraints into a priority distribution.
+//   - Protocol: Deployment plus the GPSR and Chord transports — the
+//     Sec. 4 pre-distribution protocol with decentralized encoding
+//     (c ← c + βx), O(ln N) fanout, and two-choices load balancing.
+//
+// Everything is deterministic given explicit *rand.Rand seeds.
+package prlc
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/chord"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/feasibility"
+	"repro/internal/geom"
+	"repro/internal/gpsr"
+	"repro/internal/predist"
+	"repro/internal/trace"
+)
+
+// Coding layer.
+type (
+	// Levels is the priority structure: N source blocks partitioned into
+	// levels of descending importance.
+	Levels = core.Levels
+	// Scheme selects RLC, SLC or PLC.
+	Scheme = core.Scheme
+	// PriorityDistribution is the per-level share of coded blocks.
+	PriorityDistribution = core.PriorityDistribution
+	// CodedBlock is one encoded unit stored in the network.
+	CodedBlock = core.CodedBlock
+	// Encoder generates coded blocks for a scheme and level structure.
+	Encoder = core.Encoder
+	// Decoder partially decodes coded blocks in priority order.
+	Decoder = core.Decoder
+	// EncoderOption customizes an Encoder (see WithSparsity).
+	EncoderOption = core.EncoderOption
+)
+
+// Coding schemes.
+const (
+	// RLC is the all-or-nothing Random Linear Code baseline.
+	RLC = core.RLC
+	// SLC is the Stacked Linear Code (independent per-level coding).
+	SLC = core.SLC
+	// PLC is the Progressive Linear Code (prefix coding, progressive
+	// decoding).
+	PLC = core.PLC
+)
+
+// NewLevels constructs a priority structure from per-level block counts
+// in descending importance.
+func NewLevels(sizes ...int) (*Levels, error) { return core.NewLevels(sizes...) }
+
+// UniformLevels returns n levels of perLevel blocks each.
+func UniformLevels(n, perLevel int) (*Levels, error) { return core.UniformLevels(n, perLevel) }
+
+// ParseScheme converts "RLC", "SLC" or "PLC" to a Scheme.
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
+// UniformDistribution returns the uniform priority distribution over n
+// levels.
+func UniformDistribution(n int) PriorityDistribution { return core.NewUniformDistribution(n) }
+
+// NewEncoder constructs an encoder over the given source payloads (nil
+// for coefficient-only experiments).
+func NewEncoder(scheme Scheme, levels *Levels, sources [][]byte, opts ...EncoderOption) (*Encoder, error) {
+	return core.NewEncoder(scheme, levels, sources, opts...)
+}
+
+// NewDecoder constructs a partial decoder.
+func NewDecoder(scheme Scheme, levels *Levels, payloadLen int) (*Decoder, error) {
+	return core.NewDecoder(scheme, levels, payloadLen)
+}
+
+// Stream couples a decoder with in-order payload delivery to an
+// io.Writer — the streaming face of progressive decoding.
+type Stream = core.Stream
+
+// NewStream constructs a streaming decoder writing decoded prefix
+// payloads to sink as coded blocks arrive.
+func NewStream(scheme Scheme, levels *Levels, payloadLen int, sink io.Writer) (*Stream, error) {
+	return core.NewStream(scheme, levels, payloadLen, sink)
+}
+
+// WithSparsity bounds each coded block to d nonzero coefficients.
+func WithSparsity(d int) EncoderOption { return core.WithSparsity(d) }
+
+// LogSparsity returns the 3·ln(N) coefficient budget of the sparse-code
+// result the protocol relies on.
+func LogSparsity(n int) int { return core.LogSparsity(n) }
+
+// Analysis layer.
+
+// AnalysisResult is the analytical decoding performance at one point:
+// E(X) plus the per-level survival probabilities Pr(X ≥ k).
+type AnalysisResult = analysis.Result
+
+// ExpectedDecodedLevels evaluates the Sec. 3.3 model: the expected number
+// of decoded priority levels from m randomly accumulated coded blocks.
+func ExpectedDecodedLevels(scheme Scheme, levels *Levels, p PriorityDistribution, m int) (AnalysisResult, error) {
+	return analysis.Eval(scheme, levels, p, m)
+}
+
+// DecodingCurve evaluates the model over a sweep of block counts.
+func DecodingCurve(scheme Scheme, levels *Levels, p PriorityDistribution, ms []int) ([]AnalysisResult, error) {
+	return analysis.Curve(scheme, levels, p, ms)
+}
+
+// MinBlocks returns the smallest number of coded blocks from which the
+// first k levels decode with probability at least prob (the provisioning
+// dual of the decoding curve). maxM bounds the search; 0 means 4N.
+func MinBlocks(scheme Scheme, levels *Levels, p PriorityDistribution, k int, prob float64, maxM int) (int, error) {
+	return analysis.MinBlocks(scheme, levels, p, k, prob, maxM)
+}
+
+// Design layer.
+type (
+	// DecodingConstraint is one (M, k) requirement: from M coded blocks,
+	// expect at least k decoded levels.
+	DecodingConstraint = feasibility.Constraint
+	// DesignProblem is a full Sec. 3.4 feasibility instance.
+	DesignProblem = feasibility.Problem
+	// DesignOptions tunes the feasibility search.
+	DesignOptions = feasibility.Options
+	// DesignSolution is the solver outcome.
+	DesignSolution = feasibility.Solution
+)
+
+// DesignDistribution searches for a priority distribution satisfying the
+// given decoding constraints (and, when alpha > 0, the full-recovery
+// constraint Pr(X_{αN} = n) > 1−ε).
+func DesignDistribution(prob DesignProblem, opts DesignOptions) (DesignSolution, error) {
+	return feasibility.Solve(prob, opts)
+}
+
+// Utility extension — the "less stringent priority model" the paper
+// defers: per-level utilities replace strict priority, and the
+// distribution is chosen to maximize expected utility.
+type (
+	// Utility assigns a marginal utility to each priority level.
+	Utility = feasibility.Utility
+	// OptimizeProblem is a utility-maximization design instance.
+	OptimizeProblem = feasibility.OptimizeProblem
+	// OptimizeSolution is the utility-maximization outcome.
+	OptimizeSolution = feasibility.OptimizeSolution
+)
+
+// OptimizeDistribution maximizes E[U] = Σ_k u_k·Pr(X ≥ k) over the
+// simplex, subject to any constraints attached to the problem.
+func OptimizeDistribution(prob OptimizeProblem, opts DesignOptions) (OptimizeSolution, error) {
+	return feasibility.Optimize(prob, opts)
+}
+
+// GeometricUtility returns u_k = base^k — strict priority as base → 0,
+// volume maximization at base = 1.
+func GeometricUtility(n int, base float64) (Utility, error) {
+	return feasibility.GeometricUtility(n, base)
+}
+
+// ProportionalUtility weights each level by its block count.
+func ProportionalUtility(l *Levels) Utility { return feasibility.ProportionalUtility(l) }
+
+// Protocol layer.
+type (
+	// Point is a location in the unit square.
+	Point = geom.Point
+	// Graph is a geometric connectivity graph.
+	Graph = geom.Graph
+	// GeoRouter is a GPSR router over a sensor deployment.
+	GeoRouter = gpsr.Router
+	// ChordRing is a Chord DHT over a P2P population.
+	ChordRing = chord.Ring
+	// Transport abstracts the routing substrate for pre-distribution.
+	Transport = predist.Transport
+	// DeployConfig parameterizes a pre-distribution deployment.
+	DeployConfig = predist.Config
+	// Deployment is the network-wide state of one pre-distribution run.
+	Deployment = predist.Deployment
+	// DeployStats is the dissemination bandwidth cost.
+	DeployStats = predist.Stats
+	// CollectOptions controls a collection run.
+	CollectOptions = collect.Options
+	// CollectResult summarizes a collection run.
+	CollectResult = collect.Result
+)
+
+// Measurement-data layer: synthetic sensor fields and the multi-resolution
+// prioritization the strict priority model motivates (coarse levels are
+// the important ones; every recovered level sharpens the reconstruction).
+type (
+	// SensorField is a smooth synthetic scalar field over the unit square.
+	SensorField = trace.Field
+	// ResolutionPyramid is a multi-resolution decomposition of a grid.
+	ResolutionPyramid = trace.Pyramid
+	// BlockLayout maps pyramid levels onto prioritized source blocks.
+	BlockLayout = trace.BlockLayout
+)
+
+// NewSensorField samples a random field with the given number of Gaussian
+// bumps.
+func NewSensorField(rng *rand.Rand, bumps int) (*SensorField, error) {
+	return trace.NewField(rng, bumps)
+}
+
+// BuildPyramid decomposes a res×res grid (res a power of two) into a
+// resolution pyramid whose levels align with coding priority levels.
+func BuildPyramid(grid []float64, res int) (*ResolutionPyramid, error) {
+	return trace.BuildPyramid(grid, res)
+}
+
+// PyramidFromBlocks rebuilds a pyramid from (partially) decoded source
+// blocks, returning how many leading levels were recoverable.
+func PyramidFromBlocks(blocks [][]byte, layout BlockLayout, res int) (*ResolutionPyramid, int, error) {
+	return trace.FromBlocks(blocks, layout, res)
+}
+
+// FieldRMSE is the root-mean-square error between two grids.
+func FieldRMSE(a, b []float64) (float64, error) { return trace.RMSE(a, b) }
+
+// Churn experiment.
+type (
+	// ChurnConfig parameterizes a persistence-under-churn timeline run.
+	ChurnConfig = exper.ChurnConfig
+	// ChurnPoint is one timeline sample of the churn experiment.
+	ChurnPoint = exper.ChurnPoint
+)
+
+// PersistenceUnderChurn pre-distributes data on a sensor field at t = 0,
+// lets nodes die at exponential lifetimes, and samples the decodable
+// priority levels at the configured times.
+func PersistenceUnderChurn(cfg ChurnConfig) ([]ChurnPoint, error) {
+	return exper.PersistenceUnderChurn(cfg)
+}
+
+// NewSensorNetwork builds a connected unit-disk sensor deployment of the
+// given size and radio range (re-sampling positions until connected) and
+// returns its GPSR router and graph.
+func NewSensorNetwork(rng *rand.Rand, nodes int, radius float64) (*GeoRouter, *Graph, error) {
+	for attempt := 0; ; attempt++ {
+		pos := geom.RandomPoints(rng, nodes)
+		g, err := geom.NewUnitDiskGraph(pos, radius)
+		if err != nil {
+			return nil, nil, err
+		}
+		if g.Connected() {
+			r, err := gpsr.New(g)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, g, nil
+		}
+		if attempt >= 200 {
+			return nil, nil, errDisconnected(nodes, radius)
+		}
+	}
+}
+
+// NewChordOverlay builds a Chord ring of n nodes with random IDs.
+func NewChordOverlay(rng *rand.Rand, n int) (*ChordRing, error) {
+	return chord.NewRandom(rng, n)
+}
+
+// NewGeoTransport adapts a GPSR router for pre-distribution.
+func NewGeoTransport(r *GeoRouter, nodes int) (Transport, error) {
+	return predist.NewGeoTransport(r, nodes)
+}
+
+// NewDHTTransport adapts a Chord ring for pre-distribution.
+func NewDHTTransport(r *ChordRing) (Transport, error) {
+	return predist.NewDHTTransport(r)
+}
+
+// NewDeployment derives the seeded cache locations for a deployment.
+func NewDeployment(cfg DeployConfig) (*Deployment, error) { return predist.NewDeployment(cfg) }
+
+// Collect pulls coded blocks in random order into a fresh decoder,
+// stopping when the options' target is met.
+func Collect(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlock, opts CollectOptions) (CollectResult, *Decoder, error) {
+	return collect.Run(rng, scheme, levels, blocks, opts)
+}
+
+type disconnectedError struct {
+	nodes  int
+	radius float64
+}
+
+func errDisconnected(nodes int, radius float64) error {
+	return &disconnectedError{nodes: nodes, radius: radius}
+}
+
+func (e *disconnectedError) Error() string {
+	return "prlc: could not sample a connected deployment; increase the radio range or node count"
+}
