@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples clean
+.PHONY: all build vet test race bench bench-kernels check figures examples clean
 
 all: build vet test
 
@@ -23,6 +23,22 @@ race:
 # One testing.B per paper table/figure plus the extension benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Kernel-layer perf baseline: GF(2^8) vector kernels (fast vs scalar
+# reference) and the encode/decode pipeline at N=64/256/1024, captured as
+# BENCH_kernels.json so later perf PRs have numbers to diff against.
+bench-kernels:
+	{ $(GO) test -run='^$$' -bench 'Benchmark(Add)?MulSlice' -benchtime=500ms ./internal/gf256 && \
+	  $(GO) test -run='^$$' -bench 'Benchmark(Encode|Decode)N' -benchtime=5x ./internal/core ; } \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_kernels.json \
+	    -note "Ref benchmarks are the pre-kernel scalar baseline; WorkersK pair against the 1-worker pipeline and are bounded by num_cpu"
+
+# Fast correctness gate: vet everything, race-test the packages with
+# concurrent hot paths (the word-parallel kernels, the row arenas and the
+# parallel encoder).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core
 
 # Regenerate every figure and table of the paper at full scale
 # (N = 1000, 100 trials; several minutes on one core). CSVs land in

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -72,6 +73,7 @@ func encode(args []string) error {
 		distStr   string
 		schemeStr string
 		seed      int64
+		workers   int
 	)
 	fs.StringVar(&in, "in", "", "input file")
 	fs.StringVar(&out, "out", "", "output directory for block files")
@@ -81,6 +83,7 @@ func encode(args []string) error {
 	fs.StringVar(&distStr, "dist", "", "priority distribution over levels (default uniform)")
 	fs.StringVar(&schemeStr, "scheme", "plc", "coding scheme: rlc, slc or plc")
 	fs.Int64Var(&seed, "seed", 1, "random seed")
+	fs.IntVar(&workers, "workers", runtime.GOMAXPROCS(0), "encoder worker count (output is seed-deterministic for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,12 +156,15 @@ func encode(args []string) error {
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	penc, err := core.NewParallelEncoder(enc, workers)
+	if err != nil {
+		return err
+	}
 	out = filepath.Clean(out)
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	cb, err := enc.EncodeBatch(rng, dist, coded)
+	cb, err := penc.EncodeBatch(seed, dist, coded)
 	if err != nil {
 		return err
 	}

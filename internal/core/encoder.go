@@ -18,11 +18,20 @@ type CodedBlock struct {
 	Payload []byte
 }
 
-// Clone returns a deep copy of the block.
+// Clone returns a deep copy of the block. Nil-ness and emptiness of the
+// slices are preserved: a nil Coeff stays nil and an empty non-nil Payload
+// stays empty non-nil, so clones remain reflect.DeepEqual to marshaled
+// round-trips of the original.
 func (b *CodedBlock) Clone() *CodedBlock {
 	c := &CodedBlock{Level: b.Level}
-	c.Coeff = append([]byte(nil), b.Coeff...)
-	c.Payload = append([]byte(nil), b.Payload...)
+	if b.Coeff != nil {
+		c.Coeff = make([]byte, len(b.Coeff))
+		copy(c.Coeff, b.Coeff)
+	}
+	if b.Payload != nil {
+		c.Payload = make([]byte, len(b.Payload))
+		copy(c.Payload, b.Payload)
+	}
 	return c
 }
 
@@ -115,12 +124,31 @@ func (e *Encoder) PayloadLen() int { return e.payloadLen }
 // drawn uniformly from the nonzero field elements over the scheme's support
 // (or over a sparse random subset of it when WithSparsity is set).
 func (e *Encoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error) {
-	lo, hi, err := e.scheme.Support(e.levels, level)
+	coeff, lo, hi, err := e.drawCoeff(rng, level)
 	if err != nil {
 		return nil, err
 	}
-	n := e.levels.Total()
-	coeff := make([]byte, n)
+	b := &CodedBlock{Level: level, Coeff: coeff}
+	if e.payloadLen > 0 {
+		b.Payload = make([]byte, e.payloadLen)
+		e.foldPayloadStripe(b.Payload, coeff, lo, hi, 0)
+	} else {
+		b.Payload = []byte{}
+	}
+	return b, nil
+}
+
+// drawCoeff draws one coded block's coefficient vector for the given level
+// and returns it together with the scheme's support range. Splitting this
+// out of Encode keeps the random-number consumption in one place, so the
+// striped and sequential payload paths produce bit-identical blocks from
+// the same generator state.
+func (e *Encoder) drawCoeff(rng *rand.Rand, level int) (coeff []byte, lo, hi int, err error) {
+	lo, hi, err = e.scheme.Support(e.levels, level)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	coeff = make([]byte, e.levels.Total())
 	span := hi - lo
 	if e.sparsity > 0 && e.sparsity < span {
 		// Sparse: choose e.sparsity distinct positions within the support.
@@ -132,18 +160,19 @@ func (e *Encoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error) {
 			coeff[j] = byte(1 + rng.Intn(255))
 		}
 	}
-	b := &CodedBlock{Level: level, Coeff: coeff}
-	if e.payloadLen > 0 {
-		b.Payload = make([]byte, e.payloadLen)
-		for j := lo; j < hi; j++ {
-			if c := coeff[j]; c != 0 {
-				gf256.AddMulSlice(b.Payload, e.sources[j], c)
-			}
+	return coeff, lo, hi, nil
+}
+
+// foldPayloadStripe accumulates the coded payload bytes [off, off+len(dst))
+// into dst: dst ^= coeff[j]·sources[j][off:...] over the support [lo, hi).
+// Disjoint stripes of the same block are independent, which is what the
+// parallel payload path exploits.
+func (e *Encoder) foldPayloadStripe(dst, coeff []byte, lo, hi, off int) {
+	for j := lo; j < hi; j++ {
+		if c := coeff[j]; c != 0 {
+			gf256.AddMulSlice(dst, e.sources[j][off:off+len(dst)], c)
 		}
-	} else {
-		b.Payload = []byte{}
 	}
-	return b, nil
 }
 
 // EncodeBatch draws `count` coded-block levels from the priority

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+)
+
+// ParallelEncoder fans coded-block generation out over a worker pool. Two
+// independent axes of parallelism are exploited:
+//
+//   - Across blocks (EncodeBatch): every coded block of a batch is an
+//     independent random combination of the sources, so workers generate
+//     whole blocks concurrently. Each block encodes from its own
+//     deterministically derived seed, making the batch bit-identical for a
+//     fixed parent seed regardless of the worker count or scheduling.
+//
+//   - Within a block (Encode): for large payloads the payload bytes are
+//     split into disjoint stripes and the workers fold all source blocks
+//     into their own stripe — the multiply-accumulate over byte range
+//     [s, t) of the coded payload only reads byte range [s, t) of every
+//     source, so stripes never touch each other's memory.
+//
+// A ParallelEncoder is safe for concurrent use by multiple goroutines as
+// long as the *rand.Rand handed to Encode is externally synchronized, same
+// as Encoder.
+type ParallelEncoder struct {
+	enc     *Encoder
+	workers int
+}
+
+// stripeMinBytes is the payload size below which striping a single block is
+// not worth the goroutine fan-out; such blocks are encoded sequentially.
+const stripeMinBytes = 16 << 10
+
+// stripeAlign keeps stripe boundaries on 64-byte lines so the SIMD bulk of
+// AddMulSlice stays aligned and workers don't false-share cache lines.
+const stripeAlign = 64
+
+// NewParallelEncoder wraps an encoder with a pool of the given size.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewParallelEncoder(enc *Encoder, workers int) (*ParallelEncoder, error) {
+	if enc == nil {
+		return nil, fmt.Errorf("core: nil encoder")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelEncoder{enc: enc, workers: workers}, nil
+}
+
+// Workers returns the pool size.
+func (pe *ParallelEncoder) Workers() int { return pe.workers }
+
+// Encoder returns the wrapped sequential encoder.
+func (pe *ParallelEncoder) Encoder() *Encoder { return pe.enc }
+
+// Encode generates one coded block for the given level, striping the
+// payload fold across the pool when the payload is large enough. The result
+// is bit-identical to Encoder.Encode from the same generator state: the
+// coefficient draw consumes the same random stream, and the payload is a
+// deterministic function of the coefficients.
+func (pe *ParallelEncoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error) {
+	coeff, lo, hi, err := pe.enc.drawCoeff(rng, level)
+	if err != nil {
+		return nil, err
+	}
+	b := &CodedBlock{Level: level, Coeff: coeff}
+	plen := pe.enc.payloadLen
+	if plen == 0 {
+		b.Payload = []byte{}
+		return b, nil
+	}
+	b.Payload = make([]byte, plen)
+	workers := pe.workers
+	if plen < stripeMinBytes || workers <= 1 {
+		pe.enc.foldPayloadStripe(b.Payload, coeff, lo, hi, 0)
+		return b, nil
+	}
+
+	// Stripe width: even split rounded up to an aligned boundary.
+	stripe := (plen + workers - 1) / workers
+	stripe = (stripe + stripeAlign - 1) &^ (stripeAlign - 1)
+	var wg sync.WaitGroup
+	for off := 0; off < plen; off += stripe {
+		end := off + stripe
+		if end > plen {
+			end = plen
+		}
+		wg.Add(1)
+		go func(off, end int) {
+			defer wg.Done()
+			pe.enc.foldPayloadStripe(b.Payload[off:end], coeff, lo, hi, off)
+		}(off, end)
+	}
+	wg.Wait()
+	return b, nil
+}
+
+// EncodeBatch draws count coded-block levels from the priority distribution
+// and encodes them across the pool — the parallel counterpart of
+// Encoder.EncodeBatch. The parent seed drives a single sequential pass that
+// fixes each block's level and its private encoding seed, so the output is
+// identical for any worker count; workers then encode whole blocks
+// concurrently, each with its own rand.Rand reseeded per block.
+func (pe *ParallelEncoder) EncodeBatch(seed int64, p PriorityDistribution, count int) ([]*CodedBlock, error) {
+	if err := p.Validate(pe.enc.levels); err != nil {
+		return nil, err
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("core: negative batch count %d", count)
+	}
+	sampler, err := dist.NewCategorical(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: build level sampler: %w", err)
+	}
+
+	// Sequential prologue: one pass over the parent stream pins down every
+	// block's (level, seed) pair before any worker starts.
+	parent := rand.New(rand.NewSource(seed))
+	blockLevel := make([]int, count)
+	blockSeed := make([]int64, count)
+	for i := 0; i < count; i++ {
+		blockLevel[i] = sampler.Draw(parent)
+		blockSeed[i] = parent.Int63()
+	}
+
+	out := make([]*CodedBlock, count)
+	workers := pe.workers
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		rng := rand.New(rand.NewSource(0))
+		for i := 0; i < count; i++ {
+			rng.Seed(blockSeed[i])
+			b, err := pe.enc.Encode(rng, blockLevel[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = b
+		}
+		return out, nil
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		errs = make([]error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(0))
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= count {
+					return
+				}
+				rng.Seed(blockSeed[i])
+				b, err := pe.enc.Encode(rng, blockLevel[i])
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("core: parallel encode block %d: %w", i, err)
+					}
+					continue
+				}
+				out[i] = b
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

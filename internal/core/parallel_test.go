@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testSources(t *testing.T, n, payloadLen int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, payloadLen)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func testEncoder(t *testing.T, scheme Scheme, sizes []int, payloadLen int, opts ...EncoderOption) *Encoder {
+	t.Helper()
+	levels, err := NewLevels(sizes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sources [][]byte
+	if payloadLen > 0 {
+		sources = testSources(t, levels.Total(), payloadLen, 99)
+	}
+	enc, err := NewEncoder(scheme, levels, sources, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestParallelEncodeBatchDeterministic pins the headline guarantee: for a
+// fixed seed the batch is bit-identical whatever the worker count.
+func TestParallelEncodeBatchDeterministic(t *testing.T) {
+	for _, scheme := range []Scheme{RLC, SLC, PLC} {
+		enc := testEncoder(t, scheme, []int{4, 8, 12}, 256)
+		p := NewUniformDistribution(3)
+		var want []*CodedBlock
+		for _, workers := range []int{1, 2, 3, 4, 7} {
+			pe, err := NewParallelEncoder(enc, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pe.EncodeBatch(12345, p, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: EncodeBatch with %d workers differs from 1 worker", scheme, workers)
+			}
+		}
+	}
+}
+
+// TestParallelEncodeBatchSparseDeterministic repeats the determinism check
+// with the sparse O(ln N) coefficient variant, whose per-block random
+// consumption is irregular (Perm + Intn).
+func TestParallelEncodeBatchSparseDeterministic(t *testing.T) {
+	enc := testEncoder(t, PLC, []int{8, 8, 16}, 128, WithSparsity(LogSparsity(32)))
+	p := NewUniformDistribution(3)
+	pe1, _ := NewParallelEncoder(enc, 1)
+	pe4, _ := NewParallelEncoder(enc, 4)
+	a, err := pe1.EncodeBatch(777, p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pe4.EncodeBatch(777, p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sparse EncodeBatch differs across worker counts")
+	}
+}
+
+// TestParallelEncodeMatchesSequential verifies the striped single-block
+// path is bit-identical to Encoder.Encode from the same generator state,
+// using a payload big enough to cross the striping threshold.
+func TestParallelEncodeMatchesSequential(t *testing.T) {
+	enc := testEncoder(t, PLC, []int{2, 3, 3}, 3*stripeMinBytes+123)
+	pe, err := NewParallelEncoder(enc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level := 0; level < 3; level++ {
+		seq, err := enc.Encode(rand.New(rand.NewSource(5)), level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := pe.Encode(rand.New(rand.NewSource(5)), level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seq.Coeff, par.Coeff) {
+			t.Fatalf("level %d: striped Encode drew different coefficients", level)
+		}
+		if !bytes.Equal(seq.Payload, par.Payload) {
+			t.Fatalf("level %d: striped Encode produced different payload", level)
+		}
+	}
+}
+
+// TestParallelEncodeBatchDecodes runs the full loop: parallel-encoded
+// blocks must decode back to the sources.
+func TestParallelEncodeBatchDecodes(t *testing.T) {
+	enc := testEncoder(t, PLC, []int{4, 6, 6}, 64)
+	pe, err := NewParallelEncoder(enc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := pe.EncodeBatch(31337, NewUniformDistribution(3), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(PLC, enc.Levels(), enc.PayloadLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if _, err := dec.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		if dec.Complete() {
+			break
+		}
+	}
+	if !dec.Complete() {
+		t.Fatalf("decoder incomplete: rank %d/%d after %d blocks", dec.Rank(), enc.Levels().Total(), len(blocks))
+	}
+	for i := 0; i < enc.Levels().Total(); i++ {
+		got, err := dec.Source(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, enc.sources[i]) {
+			t.Fatalf("source %d decoded incorrectly", i)
+		}
+	}
+}
+
+// TestParallelEncoderCoefficientOnly covers payloadLen == 0 (Monte-Carlo
+// mode): batches still generate and stay deterministic.
+func TestParallelEncoderCoefficientOnly(t *testing.T) {
+	levels, err := NewLevels(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(SLC, levels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewParallelEncoder(enc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pe.EncodeBatch(1, NewUniformDistribution(2), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pe.EncodeBatch(1, NewUniformDistribution(2), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("coefficient-only EncodeBatch not reproducible")
+	}
+	for _, blk := range a {
+		if blk.Payload == nil || len(blk.Payload) != 0 {
+			t.Fatal("coefficient-only block should carry empty non-nil payload")
+		}
+	}
+}
+
+// TestCodedBlockCloneEmptiness pins the satellite fix: Clone must preserve
+// nil-ness and emptiness instead of collapsing empty slices to nil.
+func TestCodedBlockCloneEmptiness(t *testing.T) {
+	empty := &CodedBlock{Level: 1, Coeff: []byte{}, Payload: []byte{}}
+	c := empty.Clone()
+	if c.Coeff == nil || c.Payload == nil {
+		t.Fatal("Clone turned empty non-nil slices into nil")
+	}
+	if !reflect.DeepEqual(empty, c) {
+		t.Fatal("Clone of empty-slice block is not DeepEqual to the original")
+	}
+
+	nilBlock := &CodedBlock{Level: 2}
+	c = nilBlock.Clone()
+	if c.Coeff != nil || c.Payload != nil {
+		t.Fatal("Clone materialized nil slices")
+	}
+	if !reflect.DeepEqual(nilBlock, c) {
+		t.Fatal("Clone of nil-slice block is not DeepEqual to the original")
+	}
+
+	full := &CodedBlock{Level: 0, Coeff: []byte{1, 2}, Payload: []byte{3}}
+	c = full.Clone()
+	if !reflect.DeepEqual(full, c) {
+		t.Fatal("Clone of populated block is not DeepEqual")
+	}
+	c.Coeff[0] = 9
+	c.Payload[0] = 9
+	if full.Coeff[0] == 9 || full.Payload[0] == 9 {
+		t.Fatal("Clone aliases the original's storage")
+	}
+}

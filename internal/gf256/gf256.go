@@ -119,10 +119,13 @@ func Pow(a byte, e int) byte {
 	if a == 0 {
 		return 0
 	}
+	// Normalize the exponent into [0, 255) before multiplying: la*e can be
+	// a large negative intermediate whose remainder a single post-hoc +255
+	// would not bring back into range.
 	la := int(_tables.log[a])
-	le := (la * (e % 255)) % 255
-	if le < 0 {
-		le += 255
+	em := e % 255
+	if em < 0 {
+		em += 255
 	}
-	return _tables.exp[le]
+	return _tables.exp[(la*em)%255]
 }

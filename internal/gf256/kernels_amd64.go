@@ -1,0 +1,69 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// AVX2 dispatch. The split-nibble tables of kernels.go map directly onto
+// VPSHUFB: one shuffle resolves 32 nibble lookups, so the assembly kernels
+// in kernels_amd64.s process 32 bytes per iteration. Feature detection is
+// done once at init via CPUID/XGETBV (AVX needs OS XSAVE support for the
+// YMM state, not just the CPU flag).
+
+//go:noescape
+func addMulNibblesAVX2(dst, src *byte, n int, tab *nibTables)
+
+//go:noescape
+func mulNibblesAVX2(dst, src *byte, n int, tab *nibTables)
+
+func cpuidex(op, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+var useAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set by the OS.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// Accelerated reports whether a SIMD kernel path is active on this CPU.
+func Accelerated() bool { return useAVX2 }
+
+// accelMin is the length below which the SIMD call overhead is not worth
+// it; such slices fall through to the pure-Go word kernel.
+const accelMin = 32
+
+// addMulAccel processes a 32-byte-aligned prefix of dst/src with the AVX2
+// kernel and returns how many bytes it handled (0 when unavailable).
+func addMulAccel(dst, src []byte, t *nibTables) int {
+	if !useAVX2 || len(dst) < accelMin {
+		return 0
+	}
+	n := len(dst) &^ 31
+	addMulNibblesAVX2(&dst[0], &src[0], n, t)
+	return n
+}
+
+// mulAccel is the MulSlice counterpart of addMulAccel.
+func mulAccel(dst, src []byte, t *nibTables) int {
+	if !useAVX2 || len(dst) < accelMin {
+		return 0
+	}
+	n := len(dst) &^ 31
+	mulNibblesAVX2(&dst[0], &src[0], n, t)
+	return n
+}

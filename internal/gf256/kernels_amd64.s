@@ -1,0 +1,91 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 split-nibble kernels. The 16-entry low/high nibble product tables
+// built in kernels.go are exactly a VPSHUFB shuffle control: broadcast each
+// table into both 128-bit lanes of a YMM register and one VPSHUFB resolves
+// 32 nibble lookups at once. Both kernels process 32 bytes per iteration;
+// the Go wrappers guarantee n > 0 and n % 32 == 0 and handle the tail.
+
+DATA nibbleMask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+0x10(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+0x18(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA, $32
+
+// func addMulNibblesAVX2(dst, src *byte, n int, tab *nibTables)
+// dst[i] ^= c·src[i] for i in [0, n); n > 0, n % 32 == 0.
+TEXT ·addMulNibblesAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), AX
+	VBROADCASTI128 (AX), Y0      // low-nibble product table, both lanes
+	VBROADCASTI128 16(AX), Y1    // high-nibble product table, both lanes
+	VMOVDQU nibbleMask<>(SB), Y2
+
+addmul_loop:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4           // high nibbles (plus cross-byte garbage)
+	VPAND   Y2, Y3, Y3           // low nibbles
+	VPAND   Y2, Y4, Y4           // high nibbles, garbage masked
+	VPSHUFB Y3, Y0, Y3           // c·(low nibble)
+	VPSHUFB Y4, Y1, Y4           // c·(high nibble << 4)
+	VPXOR   Y3, Y4, Y3           // c·src
+	VPXOR   (DI), Y3, Y3         // dst ^= c·src
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     addmul_loop
+
+	VZEROUPPER
+	RET
+
+// func mulNibblesAVX2(dst, src *byte, n int, tab *nibTables)
+// dst[i] = c·src[i] for i in [0, n); n > 0, n % 32 == 0.
+TEXT ·mulNibblesAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), AX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	VMOVDQU nibbleMask<>(SB), Y2
+
+mul_loop:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mul_loop
+
+	VZEROUPPER
+	RET
+
+// func cpuidex(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

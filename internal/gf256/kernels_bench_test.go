@@ -1,0 +1,58 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the kernel layer. "Dense" rows are uniform random
+// bytes (the common case for coded payloads); "sparse" rows are mostly zero
+// (coefficient vectors of sparse codes), which the scalar kernel's zero
+// branch loves and the branch-free word kernel must not regress badly on.
+
+func benchPayload(n int, sparse bool) []byte {
+	rng := rand.New(rand.NewSource(int64(n)))
+	b := make([]byte, n)
+	for i := range b {
+		if sparse && rng.Intn(8) != 0 {
+			continue // leave ~7/8 of the bytes zero
+		}
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+func benchAddMul(b *testing.B, n int, sparse bool, f func(dst, src []byte, c byte)) {
+	src := benchPayload(n, sparse)
+	dst := benchPayload(n, false)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, src, byte(2+i%253))
+	}
+}
+
+func BenchmarkAddMulSlice_64B(b *testing.B)        { benchAddMul(b, 64, false, AddMulSlice) }
+func BenchmarkAddMulSlice_1KiB(b *testing.B)       { benchAddMul(b, 1024, false, AddMulSlice) }
+func BenchmarkAddMulSlice_64KiB(b *testing.B)      { benchAddMul(b, 64*1024, false, AddMulSlice) }
+func BenchmarkAddMulSliceSparse_1KiB(b *testing.B) { benchAddMul(b, 1024, true, AddMulSlice) }
+
+func BenchmarkAddMulSliceRef_64B(b *testing.B)   { benchAddMul(b, 64, false, AddMulSliceRef) }
+func BenchmarkAddMulSliceRef_1KiB(b *testing.B)  { benchAddMul(b, 1024, false, AddMulSliceRef) }
+func BenchmarkAddMulSliceRef_64KiB(b *testing.B) { benchAddMul(b, 64*1024, false, AddMulSliceRef) }
+func BenchmarkAddMulSliceRefSparse_1KiB(b *testing.B) {
+	benchAddMul(b, 1024, true, AddMulSliceRef)
+}
+
+func benchMul(b *testing.B, n int, f func(dst, src []byte, c byte)) {
+	src := benchPayload(n, false)
+	dst := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, src, byte(2+i%253))
+	}
+}
+
+func BenchmarkMulSlice_1KiB(b *testing.B)    { benchMul(b, 1024, MulSlice) }
+func BenchmarkMulSliceRef_1KiB(b *testing.B) { benchMul(b, 1024, MulSliceRef) }

@@ -1,0 +1,168 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestNibTables checks the split-nibble factorization against Mul for every
+// coefficient and every byte value.
+func TestNibTables(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		tab := nibblesFor(byte(c))
+		for x := 0; x < 256; x++ {
+			want := Mul(byte(c), byte(x))
+			if got := tab.mulByte(byte(x)); got != want {
+				t.Fatalf("nibTables(%#02x).mulByte(%#02x) = %#02x, want %#02x", c, x, got, want)
+			}
+		}
+	}
+}
+
+// TestAddMulSliceMatchesGeneric drives the dispatching AddMulSlice across
+// lengths that exercise the AVX2 bulk path, the word loop, the byte tail
+// and the short-slice generic path, and cross-checks every byte against the
+// scalar reference.
+func TestAddMulSliceMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lengths := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 63, 64, 65, 100, 127, 128, 129, 1000, 1024, 4097}
+	coeffs := []byte{0, 1, 2, 3, 0x1d, 0x80, 0xff}
+	for _, n := range lengths {
+		for _, c := range coeffs {
+			src := make([]byte, n)
+			rng.Read(src)
+			dst := make([]byte, n)
+			rng.Read(dst)
+			want := append([]byte(nil), dst...)
+
+			AddMulSlice(dst, src, c)
+			AddMulSliceRef(want, src, c)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("AddMulSlice(n=%d, c=%#02x) diverges from reference", n, c)
+			}
+		}
+	}
+}
+
+// TestMulSliceMatchesGeneric is the MulSlice counterpart, including exact
+// aliasing (dst == src), which ScaleInPlace relies on.
+func TestMulSliceMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	lengths := []int{0, 1, 7, 8, 15, 16, 17, 31, 32, 33, 64, 100, 1024}
+	coeffs := []byte{0, 1, 2, 0x53, 0xff}
+	for _, n := range lengths {
+		for _, c := range coeffs {
+			src := make([]byte, n)
+			rng.Read(src)
+			dst := make([]byte, n)
+			want := make([]byte, n)
+
+			MulSlice(dst, src, c)
+			MulSliceRef(want, src, c)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSlice(n=%d, c=%#02x) diverges from reference", n, c)
+			}
+
+			// Aliased: scale src in place and compare.
+			aliased := append([]byte(nil), src...)
+			MulSlice(aliased, aliased, c)
+			if !bytes.Equal(aliased, want) {
+				t.Fatalf("aliased MulSlice(n=%d, c=%#02x) diverges from reference", n, c)
+			}
+		}
+	}
+}
+
+// TestAddMulSliceUnaligned slides a window across a larger buffer so the
+// kernels see every start alignment within a 32-byte SIMD block.
+func TestAddMulSliceUnaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	buf := make([]byte, 256)
+	rng.Read(buf)
+	for off := 0; off < 32; off++ {
+		for _, n := range []int{33, 64, 95} {
+			src := buf[off : off+n]
+			dst := make([]byte, n)
+			rng.Read(dst)
+			want := append([]byte(nil), dst...)
+			AddMulSlice(dst, src, 0xa7)
+			AddMulSliceRef(want, src, 0xa7)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("AddMulSlice(offset=%d, n=%d) diverges from reference", off, n)
+			}
+		}
+	}
+}
+
+// TestAddMulSliceDistributes checks the algebra end to end on the fast
+// path: (a+b)·x == a·x + b·x accumulated into the same destination.
+func TestAddMulSliceDistributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	src := make([]byte, 1024)
+	rng.Read(src)
+	for _, pair := range [][2]byte{{3, 5}, {0x80, 0x80}, {0xfe, 1}} {
+		a, b := pair[0], pair[1]
+		one := make([]byte, len(src))
+		AddMulSlice(one, src, a^b) // (a+b)·x
+		two := make([]byte, len(src))
+		AddMulSlice(two, src, a)
+		AddMulSlice(two, src, b)
+		if !bytes.Equal(one, two) {
+			t.Fatalf("(a+b)·x != a·x + b·x for a=%#02x b=%#02x", a, b)
+		}
+	}
+}
+
+func TestPowNegativeExponents(t *testing.T) {
+	cases := []struct {
+		a    byte
+		e    int
+		want func(a byte) byte
+	}{
+		{a: 1, e: -1, want: func(byte) byte { return 1 }},
+		{a: 1, e: -1000, want: func(byte) byte { return 1 }},
+	}
+	for _, tc := range cases {
+		if got := Pow(tc.a, tc.e); got != tc.want(tc.a) {
+			t.Errorf("Pow(%#02x, %d) = %#02x, want %#02x", tc.a, tc.e, got, tc.want(tc.a))
+		}
+	}
+
+	// Pow(a, -1) must equal Inv(a) for every nonzero a — the case the old
+	// negative-intermediate fixup got wrong whenever |log(a)·e| >= 255.
+	for a := 1; a < 256; a++ {
+		inv, err := Inv(byte(a))
+		if err != nil {
+			t.Fatalf("Inv(%#02x): %v", a, err)
+		}
+		if got := Pow(byte(a), -1); got != inv {
+			t.Errorf("Pow(%#02x, -1) = %#02x, want Inv = %#02x", a, got, inv)
+		}
+	}
+
+	// Pow(a, -e) must be the inverse of Pow(a, e) for a sweep of exponents,
+	// including ones far outside [-255, 255].
+	for _, a := range []byte{2, 3, 0x1d, 0x80, 0xff} {
+		for _, e := range []int{1, 2, 7, 254, 255, 256, 1000, 100000} {
+			p, q := Pow(a, e), Pow(a, -e)
+			if got := Mul(p, q); got != 1 {
+				t.Errorf("Pow(%#02x, %d) * Pow(%#02x, -%d) = %#02x, want 1", a, e, a, e, got)
+			}
+		}
+	}
+
+	// Table-driven spot checks: Pow(a, e) == repeated multiplication.
+	for _, a := range []byte{2, 0x35, 0xc1} {
+		acc := byte(1)
+		for e := 1; e <= 520; e++ {
+			acc = Mul(acc, a)
+			if got := Pow(a, e); got != acc {
+				t.Fatalf("Pow(%#02x, %d) = %#02x, want %#02x", a, e, got, acc)
+			}
+			if gotNeg := Pow(a, -e); Mul(gotNeg, acc) != 1 {
+				t.Fatalf("Pow(%#02x, -%d) is not the inverse of Pow(%#02x, %d)", a, e, a, e)
+			}
+		}
+	}
+}

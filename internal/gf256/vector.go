@@ -1,9 +1,10 @@
 package gf256
 
 // Vector kernels. These are the hot paths for encoding and decoding: every
-// coded block is produced and reduced through AddMulSlice. The kernels use
-// the log/exp tables directly, hoisting the log of the scalar out of the
-// loop, and avoid bounds checks by reslicing to a common length.
+// coded block is produced and reduced through AddMulSlice. The exported
+// entry points dispatch between two implementations: the scalar log/exp
+// kernels below for short vectors, and the word-parallel split-nibble
+// kernels in kernels.go for anything at least wordKernelMin bytes long.
 
 // MulSlice sets dst[i] = c * src[i] for all i. dst and src must have the
 // same length; dst and src may alias.
@@ -21,6 +22,17 @@ func MulSlice(dst, src []byte, c byte) {
 		copy(dst, src)
 		return
 	}
+	if len(dst) >= wordKernelMin {
+		mulSliceWords(dst, src, nibblesFor(c))
+		return
+	}
+	mulSliceGeneric(dst, src, c)
+}
+
+// mulSliceGeneric is the scalar log/exp kernel behind MulSlice, retained
+// for short slices and as the reference oracle. Callers guarantee equal
+// lengths and c ∉ {0, 1}.
+func mulSliceGeneric(dst, src []byte, c byte) {
 	lc := _tables.log[c]
 	exp := _tables.exp[lc : lc+255]
 	for i, s := range src {
@@ -47,6 +59,17 @@ func AddMulSlice(dst, src []byte, c byte) {
 		AddSlice(dst, src)
 		return
 	}
+	if len(dst) >= wordKernelMin {
+		addMulSliceWords(dst, src, nibblesFor(c))
+		return
+	}
+	addMulSliceGeneric(dst, src, c)
+}
+
+// addMulSliceGeneric is the scalar log/exp kernel behind AddMulSlice,
+// retained for short slices and as the reference oracle. Callers guarantee
+// equal lengths and c ∉ {0, 1}.
+func addMulSliceGeneric(dst, src []byte, c byte) {
 	lc := _tables.log[c]
 	exp := _tables.exp[lc : lc+255]
 	for i, s := range src {
@@ -54,6 +77,45 @@ func AddMulSlice(dst, src []byte, c byte) {
 			dst[i] ^= exp[_tables.log[s]]
 		}
 	}
+}
+
+// MulSliceRef and AddMulSliceRef run the full scalar reference pipeline —
+// the zero/one special cases plus the generic log/exp kernel — bypassing
+// the word-parallel dispatch. They exist for differential tests and for
+// benchmarking the fast kernels against the historical baseline; production
+// callers want MulSlice / AddMulSlice.
+
+// MulSliceRef sets dst[i] = c * src[i] using only the scalar kernels.
+func MulSliceRef(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSliceRef length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	mulSliceGeneric(dst, src, c)
+}
+
+// AddMulSliceRef sets dst[i] ^= c * src[i] using only the scalar kernels.
+func AddMulSliceRef(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: AddMulSliceRef length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		AddSlice(dst, src)
+		return
+	}
+	addMulSliceGeneric(dst, src, c)
 }
 
 // AddSlice sets dst[i] ^= src[i] for all i. dst and src must have the same

@@ -1,0 +1,70 @@
+package gfmat
+
+// Row arenas. Both decoders used to allocate two fresh slices per absorbed
+// block; at production block counts the garbage collector ends up doing a
+// measurable share of the decode work. The arenas below hand out rows
+// sliced from large backing arrays instead. Rows are never reallocated once
+// handed out, so slices into an arena stay valid for the arena's lifetime.
+
+// rowArena is a grow-once arena: one backing []byte sized for a fixed
+// maximum number of rows, allocated lazily on the first request. The
+// incremental Decoder uses it — it commits at most numSymbols innovative
+// rows, so the bound is known up front.
+type rowArena struct {
+	rowLen  int
+	maxRows int
+	buf     []byte
+	used    int
+}
+
+// init configures the arena without allocating. rowLen == 0 is permitted
+// (payload-free decoders); alloc then returns empty, non-nil rows.
+func (a *rowArena) init(rowLen, maxRows int) {
+	a.rowLen = rowLen
+	a.maxRows = maxRows
+}
+
+// alloc returns the next row, a zeroed slice of rowLen bytes with full
+// capacity clamped so appends cannot bleed into the neighboring row.
+func (a *rowArena) alloc() []byte {
+	if a.buf == nil {
+		a.buf = make([]byte, a.maxRows*a.rowLen)
+	}
+	row := a.buf[a.used : a.used+a.rowLen : a.used+a.rowLen]
+	a.used += a.rowLen
+	return row
+}
+
+// chunkArena is the unbounded-variant for BatchDecoder, which may buffer
+// arbitrarily many redundant blocks: rows are carved out of fixed-size
+// chunks, and a fresh chunk is allocated when the current one runs out.
+// Previously handed-out rows always stay valid — exhausted chunks are left
+// alone, only the arena's current-chunk pointer moves on.
+type chunkArena struct {
+	rowLen    int
+	chunkRows int
+	cur       []byte
+	off       int
+}
+
+func (a *chunkArena) init(rowLen, chunkRows int) {
+	a.rowLen = rowLen
+	if chunkRows < 1 {
+		chunkRows = 1
+	}
+	a.chunkRows = chunkRows
+}
+
+// alloc returns the next zeroed row, starting a new chunk when needed.
+func (a *chunkArena) alloc() []byte {
+	if a.rowLen == 0 {
+		return []byte{}
+	}
+	if a.off+a.rowLen > len(a.cur) {
+		a.cur = make([]byte, a.chunkRows*a.rowLen)
+		a.off = 0
+	}
+	row := a.cur[a.off : a.off+a.rowLen : a.off+a.rowLen]
+	a.off += a.rowLen
+	return row
+}

@@ -20,6 +20,10 @@ type BatchDecoder struct {
 	payloadLen int
 	coeffs     [][]byte
 	payloads   [][]byte
+
+	// arena backs the buffered rows in chunks of numSymbols rows, so Add
+	// stops paying two heap allocations per block.
+	arena chunkArena
 }
 
 // NewBatchDecoder returns a batch decoder over numSymbols unknowns.
@@ -30,7 +34,9 @@ func NewBatchDecoder(numSymbols, payloadLen int) (*BatchDecoder, error) {
 	if payloadLen < 0 {
 		return nil, fmt.Errorf("gfmat: NewBatchDecoder: negative payload length %d", payloadLen)
 	}
-	return &BatchDecoder{numSymbols: numSymbols, payloadLen: payloadLen}, nil
+	d := &BatchDecoder{numSymbols: numSymbols, payloadLen: payloadLen}
+	d.arena.init(numSymbols+payloadLen, numSymbols)
+	return d, nil
 }
 
 // Add buffers one coded block without processing it.
@@ -43,8 +49,13 @@ func (d *BatchDecoder) Add(coeff, payload []byte) error {
 		return fmt.Errorf("%w: payload length %d, want %d",
 			ErrDimensionMismatch, len(payload), d.payloadLen)
 	}
-	d.coeffs = append(d.coeffs, append([]byte(nil), coeff...))
-	d.payloads = append(d.payloads, append([]byte(nil), payload...))
+	row := d.arena.alloc()
+	c := row[:d.numSymbols:d.numSymbols]
+	p := row[d.numSymbols:]
+	copy(c, coeff)
+	copy(p, payload)
+	d.coeffs = append(d.coeffs, c)
+	d.payloads = append(d.payloads, p)
 	return nil
 }
 
@@ -61,12 +72,18 @@ func (d *BatchDecoder) Solve() ([][]byte, error) {
 	if rows < n {
 		return nil, fmt.Errorf("gfmat: underdetermined system: %d blocks for %d symbols", rows, n)
 	}
-	// Work on copies; Solve must be re-runnable after more Adds.
+	// Work on copies; Solve must be re-runnable after more Adds. The
+	// working rows are sliced out of two one-shot backing arrays rather
+	// than allocated individually.
 	a := make([][]byte, rows)
 	b := make([][]byte, rows)
+	abuf := make([]byte, rows*n)
+	bbuf := make([]byte, rows*d.payloadLen)
 	for i := range d.coeffs {
-		a[i] = append([]byte(nil), d.coeffs[i]...)
-		b[i] = append([]byte(nil), d.payloads[i]...)
+		a[i] = abuf[i*n : (i+1)*n : (i+1)*n]
+		copy(a[i], d.coeffs[i])
+		b[i] = bbuf[i*d.payloadLen : (i+1)*d.payloadLen : (i+1)*d.payloadLen]
+		copy(b[i], d.payloads[i])
 	}
 
 	// Forward elimination with partial pivoting by first nonzero.
@@ -104,20 +121,42 @@ func (d *BatchDecoder) Solve() ([][]byte, error) {
 		return nil, fmt.Errorf("gfmat: rank %d < %d symbols", rank, n)
 	}
 
-	// Back-substitution from the last pivot upward.
-	for col := n - 1; col >= 0; col-- {
-		pr := pivotRow[col]
-		for r := 0; r < pr; r++ {
-			if c := a[r][col]; c != 0 {
-				gf256.AddMulSlice(a[r], a[pr], c)
-				gf256.AddMulSlice(b[r], b[pr], c)
-			}
-		}
-	}
+	// Batched back-substitution from the last pivot upward.
+	ReduceRows(a, b, pivotRow)
 
 	out := make([][]byte, n)
 	for col := 0; col < n; col++ {
 		out[col] = append([]byte(nil), b[pivotRow[col]]...)
 	}
 	return out, nil
+}
+
+// ReduceRows is the batched back-substitution pass shared by one-shot
+// solvers: given rows in row-echelon form — pivotRow[col] names the row
+// holding column col's pivot, pivots normalized to 1, and every pivot row
+// index strictly increasing with col — it eliminates each pivot column from
+// all rows above it, bringing the system to reduced row-echelon form.
+// Identical row operations are applied to payloads; payloads may be nil
+// when only the coefficient matrix matters.
+//
+// Running one batched pass over a fully determined system does each
+// elimination exactly once, which is what makes BatchDecoder.Solve cheaper
+// than maintaining the RREF invariant incrementally per row.
+func ReduceRows(coeffs, payloads [][]byte, pivotRow []int) {
+	for col := len(pivotRow) - 1; col >= 0; col-- {
+		pr := pivotRow[col]
+		pc := coeffs[pr]
+		var pp []byte
+		if payloads != nil {
+			pp = payloads[pr]
+		}
+		for r := 0; r < pr; r++ {
+			if c := coeffs[r][col]; c != 0 {
+				gf256.AddMulSlice(coeffs[r], pc, c)
+				if payloads != nil {
+					gf256.AddMulSlice(payloads[r], pp, c)
+				}
+			}
+		}
+	}
 }

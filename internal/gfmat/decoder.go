@@ -31,6 +31,17 @@ type Decoder struct {
 	pivotRow []int
 	rows     []decRow
 
+	// arena backs the committed rows: at most numSymbols innovative rows of
+	// numSymbols+payloadLen bytes each, so one grow-once allocation covers
+	// the decoder's lifetime.
+	arena rowArena
+
+	// scratchCoeff/scratchPayload hold the incoming row while it is reduced
+	// against the existing pivots. Only rows that turn out innovative are
+	// copied into the arena; dependent rows never touch it.
+	scratchCoeff   []byte
+	scratchPayload []byte
+
 	// decodedPrefix caches the length of the maximal decoded prefix; it only
 	// ever grows.
 	decodedPrefix int
@@ -54,10 +65,13 @@ func NewDecoder(numSymbols, payloadLen int) (*Decoder, error) {
 		return nil, fmt.Errorf("gfmat: NewDecoder: negative payload length %d", payloadLen)
 	}
 	d := &Decoder{
-		numSymbols: numSymbols,
-		payloadLen: payloadLen,
-		pivotRow:   make([]int, numSymbols),
+		numSymbols:     numSymbols,
+		payloadLen:     payloadLen,
+		pivotRow:       make([]int, numSymbols),
+		scratchCoeff:   make([]byte, numSymbols),
+		scratchPayload: make([]byte, payloadLen),
 	}
+	d.arena.init(numSymbols+payloadLen, numSymbols)
 	for i := range d.pivotRow {
 		d.pivotRow[i] = -1
 	}
@@ -90,9 +104,11 @@ func (d *Decoder) Add(coeff, payload []byte) (bool, error) {
 			ErrDimensionMismatch, len(payload), d.payloadLen)
 	}
 
-	c := make([]byte, d.numSymbols)
+	// Reduce into the reusable scratch row: a dependent (non-innovative)
+	// block is discarded without ever allocating or copying into the arena.
+	c := d.scratchCoeff
 	copy(c, coeff)
-	p := make([]byte, d.payloadLen)
+	p := d.scratchPayload
 	copy(p, payload)
 
 	// Forward-reduce the incoming row against existing pivots.
@@ -130,18 +146,30 @@ func (d *Decoder) Add(coeff, payload []byte) (bool, error) {
 	gf256.ScaleInPlace(c, inv)
 	gf256.ScaleInPlace(p, inv)
 
+	// Commit the innovative row: slice its storage out of the arena
+	// (coefficients and payload adjacent for locality) and copy the reduced
+	// scratch row in.
+	if cap(d.rows) == 0 {
+		d.rows = make([]decRow, 0, d.numSymbols)
+	}
+	row := d.arena.alloc()
+	rc := row[:d.numSymbols:d.numSymbols]
+	rp := row[d.numSymbols:]
+	copy(rc, c)
+	copy(rp, p)
+
 	// Back-substitute: eliminate this pivot column from every existing row
 	// so the matrix stays in RREF.
 	newIdx := len(d.rows)
 	for i := range d.rows {
 		r := &d.rows[i]
 		if v := r.coeff[pivot]; v != 0 {
-			gf256.AddMulSlice(r.coeff, c, v)
-			gf256.AddMulSlice(r.payload, p, v)
+			gf256.AddMulSlice(r.coeff, rc, v)
+			gf256.AddMulSlice(r.payload, rp, v)
 			r.nnz = countNonzero(r.coeff)
 		}
 	}
-	d.rows = append(d.rows, decRow{coeff: c, payload: p, pivot: pivot, nnz: countNonzero(c)})
+	d.rows = append(d.rows, decRow{coeff: rc, payload: rp, pivot: pivot, nnz: countNonzero(rc)})
 	d.pivotRow[pivot] = newIdx
 
 	d.advancePrefix()
