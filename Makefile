@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernels check figures examples clean
+.PHONY: all build vet test race bench bench-kernels bench-decode check figures examples clean
 
 all: build vet test
 
@@ -32,6 +32,15 @@ bench-kernels:
 	  $(GO) test -run='^$$' -bench 'Benchmark(Encode|Decode)N' -benchtime=5x ./internal/core ; } \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_kernels.json \
 	    -note "Ref benchmarks are the pre-kernel scalar baseline; WorkersK pair against the 1-worker pipeline and are bounded by num_cpu"
+
+# Decode-path perf baseline: structure-aware progressive decoding (level
+# truncation + per-level SLC sub-decoders) against the dense structure-blind
+# elimination (Ref), plus the payload-striping pipeline, captured as
+# BENCH_decode.json.
+bench-decode:
+	$(GO) test -run='^$$' -bench 'BenchmarkDecode(PLC|SLC|Striped)N' -benchtime=10x ./internal/core \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_decode.json -by "make bench-decode" \
+	    -note "DecodeXXXNk vs DecodeXXXNkRef is structured (level-truncated, per-level) vs dense decode of the same block stream; 64 B payloads keep elimination dominant; StripedNk WorkersK pair against the 1-worker pipeline and are bounded by num_cpu"
 
 # Fast correctness gate: vet everything, race-test the packages with
 # concurrent hot paths (the word-parallel kernels, the row arenas and the

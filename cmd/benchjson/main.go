@@ -12,6 +12,9 @@
 // Usage:
 //
 //	go test -run=NONE -bench ... ./... | benchjson -out BENCH_kernels.json
+//
+// -by names the producing make target in the snapshot's generated_by field
+// (default "make bench-kernels").
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 func main() {
 	out := "BENCH_kernels.json"
 	note := ""
+	by := "make bench-kernels"
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -46,12 +50,19 @@ func main() {
 			}
 			i++
 			note = args[i]
+		case "-by", "--by":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -by needs a string")
+				os.Exit(2)
+			}
+			i++
+			by = args[i]
 		default:
 			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %q\n", args[i])
 			os.Exit(2)
 		}
 	}
-	if err := run(os.Stdin, out, note); err != nil {
+	if err := run(os.Stdin, out, note, by); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -92,7 +103,7 @@ type Snapshot struct {
 // The -N GOMAXPROCS suffix is stripped from the name; MB/s is optional.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) MB/s)?`)
 
-func run(r io.Reader, out, note string) error {
+func run(r io.Reader, out, note, by string) error {
 	snap, err := parse(r)
 	if err != nil {
 		return err
@@ -100,6 +111,7 @@ func run(r io.Reader, out, note string) error {
 	if len(snap.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
+	snap.GeneratedBy = by
 	snap.NumCPU = runtime.NumCPU()
 	snap.Note = note
 	snap.Speedups = pairSpeedups(snap.Benchmarks)

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exper"
@@ -37,12 +38,15 @@ type config struct {
 	fig     string
 	table   int
 	all     bool
+	perf    bool
 	trials  int
 	scale   int
 	stride  int
 	seed    int64
 	csvDir  string
 	workers int
+	payload int
+	perfDur time.Duration
 }
 
 func run(args []string) error {
@@ -57,12 +61,15 @@ func run(args []string) error {
 	fs.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	fs.StringVar(&cfg.csvDir, "csv", "", "directory to write CSV copies into")
 	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "simulation worker count (results are seed-deterministic for any value)")
+	fs.BoolVar(&cfg.perf, "perf", false, "measure encode/decode throughput (MB/s) and rank-only trial rate per scheme")
+	fs.IntVar(&cfg.payload, "payload", 1024, "payload bytes per block for -perf throughput measurements")
+	fs.DurationVar(&cfg.perfDur, "perfdur", 500*time.Millisecond, "minimum measuring time per -perf metric")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !cfg.all && cfg.fig == "" && cfg.table == 0 {
+	if !cfg.all && cfg.fig == "" && cfg.table == 0 && !cfg.perf {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -all, -fig or -table")
+		return fmt.Errorf("nothing to do: pass -all, -fig, -table or -perf")
 	}
 	if cfg.csvDir != "" {
 		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
@@ -86,6 +93,45 @@ func run(args []string) error {
 		if err := runTable1(cfg); err != nil {
 			return fmt.Errorf("table 1: %w", err)
 		}
+	}
+	if cfg.perf {
+		if err := runPerf(cfg); err != nil {
+			return fmt.Errorf("perf: %w", err)
+		}
+	}
+	return nil
+}
+
+// runPerf measures the hot paths at the Fig. 4b/5b problem shape (N = 1000,
+// 50 levels, shrunk by -scale) for every scheme — the one-command A/B that
+// performance PRs quote decode numbers from.
+func runPerf(cfg config) error {
+	n := 1000 / cfg.scale
+	nLevels := 50
+	if per := n / nLevels; per < 1 {
+		nLevels = n
+	}
+	levels, err := core.UniformLevels(nLevels, n/nLevels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Hot-path throughput: N=%d, %d levels, payload %d B, workers %d\n",
+		levels.Total(), levels.Count(), cfg.payload, cfg.workers)
+	fmt.Printf("%-8s %14s %14s %10s %20s\n", "scheme", "encode MB/s", "decode MB/s", "decoded", "rank-only trials/s")
+	for _, scheme := range []core.Scheme{core.RLC, core.SLC, core.PLC} {
+		res, err := exper.MeasurePerf(exper.PerfConfig{
+			Scheme:     scheme,
+			Levels:     levels,
+			PayloadLen:  cfg.payload,
+			Workers:     cfg.workers,
+			Seed:        cfg.seed,
+			MinDuration: cfg.perfDur,
+		})
+		if err != nil {
+			return fmt.Errorf("%v: %w", scheme, err)
+		}
+		fmt.Printf("%-8s %14.1f %14.1f %6d/%-4d %20.2f\n",
+			res.Scheme, res.EncodeMBps, res.DecodeMBps, res.DecodedBlocks, res.TotalBlocks, res.RankTrialsPerSec)
 	}
 	return nil
 }

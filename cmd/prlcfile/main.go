@@ -191,9 +191,11 @@ func decode(args []string) error {
 	fs := flag.NewFlagSet("prlcfile decode", flag.ContinueOnError)
 	var in, out string
 	var seed int64
+	var workers int
 	fs.StringVar(&in, "in", "", "directory of block files")
 	fs.StringVar(&out, "out", "", "output file for the recovered prefix")
 	fs.Int64Var(&seed, "seed", 1, "random seed for the processing order")
+	fs.IntVar(&workers, "workers", runtime.GOMAXPROCS(0), "decoder payload worker count (output is identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -238,6 +240,7 @@ func decode(args []string) error {
 			if err != nil {
 				return err
 			}
+			dec.SetWorkers(workers)
 		} else if !headersCompatible(h0, h) {
 			fmt.Fprintf(os.Stderr, "prlcfile: skipping %s: incompatible header\n", paths[idx])
 			continue

@@ -230,3 +230,34 @@ func TestBlockFileRoundTrip(t *testing.T) {
 		t.Errorf("block mismatch: %+v vs %+v", b2, b)
 	}
 }
+
+// TestDecodeWorkersRoundTrip runs the decode CLI at several -workers
+// settings and requires the recovered file to be byte-identical in all of
+// them — the payload-striping pipeline must not change results.
+func TestDecodeWorkersRoundTrip(t *testing.T) {
+	in := writeTempFile(t, 9000)
+	blocksDir := filepath.Join(t.TempDir(), "blocks")
+	if err := run([]string{
+		"encode", "-in", in, "-out", blocksDir,
+		"-blocks", "30", "-coded", "55", "-levels", "0.3,0.7", "-scheme", "plc",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []string{"1", "2", "4", "0"} {
+		outFile := filepath.Join(t.TempDir(), "out_"+workers+".bin")
+		if err := run([]string{"decode", "-in", blocksDir, "-out", outFile, "-workers", workers}); err != nil {
+			t.Fatalf("decode -workers %s: %v", workers, err)
+		}
+		got, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("decode -workers %s: output differs from input", workers)
+		}
+	}
+}

@@ -91,11 +91,31 @@ func (d *Decoder) Add(b *CodedBlock) (bool, error) {
 		}
 		return innovative, nil
 	}
-	innovative, err := d.global.Add(b.Coeff, b.Payload)
+	// The support check above just proved the coefficients vanish at and
+	// beyond hi, so the elimination only needs the first hi columns — for
+	// PLC that is the block's level boundary b_k, the structural invariant
+	// the level-truncated decode path exploits.
+	innovative, err := d.global.AddBounded(b.Coeff, b.Payload, hi)
 	if err != nil {
 		return false, fmt.Errorf("core: %v decode: %w", d.scheme, err)
 	}
 	return innovative, nil
+}
+
+// SetWorkers configures payload-striping parallelism on the underlying
+// eliminations: payload row operations of each absorbed block are striped
+// across up to n goroutines when payloads are large enough to amortize the
+// fan-out (see gfmat.Decoder.SetPayloadWorkers). n <= 0 selects
+// GOMAXPROCS. Decoded output is bit-identical for any worker count. Not
+// safe to call concurrently with Add.
+func (d *Decoder) SetWorkers(n int) {
+	if d.scheme == SLC {
+		for _, ld := range d.perLevel {
+			ld.SetPayloadWorkers(n)
+		}
+		return
+	}
+	d.global.SetPayloadWorkers(n)
 }
 
 // Rank returns the total number of innovative blocks absorbed.

@@ -1,0 +1,169 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Perf harness: wall-clock throughput of the encode and decode hot paths,
+// plus the rank-only trial rate that bounds how fast the Monte-Carlo
+// experiments (Fig. 4/5, N trials per curve point) can run. prlcbench
+// exposes it via -perf so performance PRs have a one-command A/B for both
+// sides of the pipeline.
+
+// PerfConfig parameterizes one perf measurement.
+type PerfConfig struct {
+	Scheme core.Scheme
+	Levels *core.Levels
+	// PayloadLen is the per-block payload size for the throughput
+	// measurements (the rank-only rate always uses zero-length payloads).
+	PayloadLen int
+	// Workers sizes the encode and decode worker pools (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives all randomness; results are deterministic given a seed.
+	Seed int64
+	// MinDuration is the minimum measuring time per metric (0 = 500ms).
+	MinDuration time.Duration
+}
+
+// PerfResult reports one scheme's hot-path throughput.
+type PerfResult struct {
+	Scheme core.Scheme
+	// EncodeMBps is coded-payload production in MB/s over full batches.
+	EncodeMBps float64
+	// DecodeMBps is coded-payload absorption in MB/s while decoding a batch
+	// to completion (or exhaustion).
+	DecodeMBps float64
+	// DecodedBlocks/TotalBlocks report how much of the source the decode
+	// pass recovered, so a throughput number is never read without its
+	// recovery context.
+	DecodedBlocks, TotalBlocks int
+	// RankTrialsPerSec is the rate of payload-free full-decode trials — the
+	// inner loop of every simulated curve point.
+	RankTrialsPerSec float64
+}
+
+func (c PerfConfig) validate() error {
+	if c.Levels == nil {
+		return fmt.Errorf("exper: nil levels")
+	}
+	if !c.Scheme.Valid() {
+		return fmt.Errorf("exper: invalid scheme %v", c.Scheme)
+	}
+	if c.PayloadLen <= 0 {
+		return fmt.Errorf("exper: perf payload length %d, want > 0", c.PayloadLen)
+	}
+	return nil
+}
+
+// MeasurePerf runs the three measurements of cfg and returns the rates.
+func MeasurePerf(cfg PerfConfig) (*PerfResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	minDur := cfg.MinDuration
+	if minDur <= 0 {
+		minDur = 500 * time.Millisecond
+	}
+	levels := cfg.Levels
+	n := levels.Total()
+	p := core.NewUniformDistribution(levels.Count())
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sources := make([][]byte, n)
+	for i := range sources {
+		sources[i] = make([]byte, cfg.PayloadLen)
+		rng.Read(sources[i])
+	}
+	enc, err := core.NewEncoder(cfg.Scheme, levels, sources)
+	if err != nil {
+		return nil, err
+	}
+	penc, err := core.NewParallelEncoder(enc, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	count := n + n/4
+
+	res := &PerfResult{Scheme: cfg.Scheme, TotalBlocks: n}
+
+	// Encode throughput: full batches, fresh seed per batch.
+	var blocks []*core.CodedBlock
+	encoded := 0
+	start := time.Now()
+	for round := 0; time.Since(start) < minDur || round == 0; round++ {
+		blocks, err = penc.EncodeBatch(cfg.Seed+int64(round), p, count)
+		if err != nil {
+			return nil, err
+		}
+		encoded += count
+	}
+	res.EncodeMBps = mbps(encoded*cfg.PayloadLen, time.Since(start))
+
+	// Decode throughput: absorb the last batch into a fresh decoder until
+	// complete or exhausted; MB/s counts the coded payload bytes processed.
+	absorbed := 0
+	start = time.Now()
+	for round := 0; time.Since(start) < minDur || round == 0; round++ {
+		dec, err := core.NewDecoder(cfg.Scheme, levels, cfg.PayloadLen)
+		if err != nil {
+			return nil, err
+		}
+		dec.SetWorkers(cfg.Workers)
+		for _, b := range blocks {
+			if _, err := dec.Add(b); err != nil {
+				return nil, err
+			}
+			absorbed++
+			if dec.Complete() {
+				break
+			}
+		}
+		res.DecodedBlocks = dec.DecodedBlocks()
+	}
+	res.DecodeMBps = mbps(absorbed*cfg.PayloadLen, time.Since(start))
+
+	// Rank-only trial rate: the exact shape of the Monte-Carlo inner loop —
+	// payload-free encoder and decoder, stream until complete or 2N blocks.
+	rankEnc, err := core.NewEncoder(cfg.Scheme, levels, nil)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := dist.NewCategorical(p)
+	if err != nil {
+		return nil, err
+	}
+	trials := 0
+	start = time.Now()
+	for time.Since(start) < minDur || trials == 0 {
+		trng := rand.New(rand.NewSource(cfg.Seed + int64(trials)*1_000_003))
+		dec, err := core.NewDecoder(cfg.Scheme, levels, 0)
+		if err != nil {
+			return nil, err
+		}
+		for m := 0; m < 2*n && !dec.Complete(); m++ {
+			b, err := rankEnc.Encode(trng, sampler.Draw(trng))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := dec.Add(b); err != nil {
+				return nil, err
+			}
+		}
+		trials++
+	}
+	res.RankTrialsPerSec = float64(trials) / time.Since(start).Seconds()
+
+	return res, nil
+}
+
+func mbps(bytes int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / d.Seconds()
+}

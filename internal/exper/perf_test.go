@@ -1,0 +1,56 @@
+package exper
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestMeasurePerfValidation(t *testing.T) {
+	if _, err := MeasurePerf(PerfConfig{}); err == nil {
+		t.Error("MeasurePerf accepted a zero config")
+	}
+	levels, err := core.UniformLevels(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasurePerf(PerfConfig{Scheme: core.PLC, Levels: levels}); err == nil {
+		t.Error("MeasurePerf accepted zero payload length")
+	}
+	if _, err := MeasurePerf(PerfConfig{Scheme: core.Scheme(9), Levels: levels, PayloadLen: 8}); err == nil {
+		t.Error("MeasurePerf accepted an invalid scheme")
+	}
+}
+
+func TestMeasurePerfReportsPositiveRates(t *testing.T) {
+	levels, err := core.UniformLevels(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []core.Scheme{core.SLC, core.PLC} {
+		res, err := MeasurePerf(PerfConfig{
+			Scheme:      scheme,
+			Levels:      levels,
+			PayloadLen:  64,
+			Workers:     1,
+			Seed:        7,
+			MinDuration: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Scheme != scheme {
+			t.Errorf("scheme = %v, want %v", res.Scheme, scheme)
+		}
+		if res.EncodeMBps <= 0 || res.DecodeMBps <= 0 || res.RankTrialsPerSec <= 0 {
+			t.Errorf("%v: non-positive rates: %+v", scheme, res)
+		}
+		if res.TotalBlocks != levels.Total() {
+			t.Errorf("%v: TotalBlocks = %d, want %d", scheme, res.TotalBlocks, levels.Total())
+		}
+		if res.DecodedBlocks < 0 || res.DecodedBlocks > res.TotalBlocks {
+			t.Errorf("%v: DecodedBlocks = %d out of range", scheme, res.DecodedBlocks)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package gfmat
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -21,6 +22,16 @@ var ErrDimensionMismatch = errors.New("gfmat: dimension mismatch")
 // pre-sorting required, since the RREF of a matrix is invariant under row
 // permutation.
 //
+// The decoder exploits the coefficient structure the priority schemes
+// guarantee by construction. Every stored row carries an active span
+// [pivot, width): coefficients before the pivot and at or beyond width are
+// known zero, so elimination kernels run only over the overlap of the two
+// rows' spans. PLC rows are lower-triangular by blocks (zero beyond the
+// block's level boundary) and callers pass that boundary via AddBounded,
+// shrinking the per-row work from O(K) to O(level prefix); spans are
+// maintained as rows combine, so the invariant holds for every linear
+// combination the elimination produces.
+//
 // The zero value is not usable; construct with NewDecoder.
 type Decoder struct {
 	numSymbols int
@@ -36,22 +47,52 @@ type Decoder struct {
 	// the decoder's lifetime.
 	arena rowArena
 
-	// scratchCoeff/scratchPayload hold the incoming row while it is reduced
+	// scratchCoeff holds the incoming coefficient vector while it is reduced
 	// against the existing pivots. Only rows that turn out innovative are
-	// copied into the arena; dependent rows never touch it.
+	// copied into the arena; dependent rows never touch it. scratchWidth is
+	// the dirty prefix left behind by the previous Add, so bounded adds only
+	// zero what was actually used. scratchPayload is used by the dense AddRef
+	// reference path only; the structured path works on arena storage
+	// directly and never copies a dependent block's payload at all.
 	scratchCoeff   []byte
+	scratchWidth   int
 	scratchPayload []byte
 
+	// fwdOps and backOps record, per Add, the row operations of the
+	// coefficient-side elimination so the identical operations can be
+	// replayed on the payload side afterwards — sequentially, or striped
+	// across a worker pool for large payloads (see parallel.go). Payload work
+	// for dependent (non-innovative) blocks is skipped entirely: the
+	// coefficient reduction alone decides innovation.
+	fwdOps  []payloadOp
+	backOps []payloadOp
+
+	// workers is the payload-striping pool size; see SetPayloadWorkers.
+	workers int
+
 	// decodedPrefix caches the length of the maximal decoded prefix; it only
-	// ever grows.
+	// ever grows. decodedCount tracks the number of solved (unit-vector) rows
+	// incrementally, making DecodedCount O(1). Both rely on solved rows never
+	// being touched again: a unit vector's only nonzero is its own pivot,
+	// which can never coincide with a fresh pivot column.
 	decodedPrefix int
+	decodedCount  int
 }
 
 type decRow struct {
 	coeff   []byte
 	payload []byte
-	pivot   int // pivot column
-	nnz     int // number of nonzero coefficients; nnz==1 means the symbol at pivot is solved
+	pivot   int  // pivot column; coeff[:pivot] is all zero
+	width   int  // upper bound on 1 + last nonzero column; coeff[width:] is all zero
+	solved  bool // row is a unit vector: the symbol at pivot is decoded
+}
+
+// payloadOp is one deferred payload row operation: add v times row's payload
+// (forward reduction) or add v times the new pivot payload into row
+// (back-substitution).
+type payloadOp struct {
+	row int
+	v   byte
 }
 
 // NewDecoder returns a decoder over numSymbols unknowns with payloads of
@@ -95,6 +136,161 @@ func (d *Decoder) Complete() bool { return len(d.rows) == d.numSymbols }
 // (increased the rank) and false if it was linearly dependent on previously
 // absorbed blocks. The inputs are copied; the caller may reuse the slices.
 func (d *Decoder) Add(coeff, payload []byte) (bool, error) {
+	return d.AddBounded(coeff, payload, d.numSymbols)
+}
+
+// AddBounded absorbs one coded block whose coefficients are known by
+// construction to be zero at and beyond column bound — the level boundary
+// of a PLC block, or NumSymbols when nothing is known. The elimination then
+// touches only the first bound columns (growing as wider pivot rows fold
+// in), which is what makes structured decoding cheaper than dense: a
+// low-level PLC block costs O(level prefix) instead of O(K).
+//
+// The bound is a caller promise, not re-checked here: a nonzero coefficient
+// at or beyond bound silently corrupts the decoding. Callers that cannot
+// guarantee the invariant must use Add, which assumes nothing.
+func (d *Decoder) AddBounded(coeff, payload []byte, bound int) (bool, error) {
+	if len(coeff) != d.numSymbols {
+		return false, fmt.Errorf("%w: coefficient vector length %d, want %d",
+			ErrDimensionMismatch, len(coeff), d.numSymbols)
+	}
+	if len(payload) != d.payloadLen {
+		return false, fmt.Errorf("%w: payload length %d, want %d",
+			ErrDimensionMismatch, len(payload), d.payloadLen)
+	}
+	if bound < 0 || bound > d.numSymbols {
+		return false, fmt.Errorf("%w: boundary %d outside [0, %d]",
+			ErrDimensionMismatch, bound, d.numSymbols)
+	}
+
+	// Reduce into the reusable scratch row, zeroing only the prefix the
+	// previous Add dirtied beyond this block's bound.
+	c := d.scratchCoeff
+	copy(c[:bound], coeff[:bound])
+	if d.scratchWidth > bound {
+		clear(c[bound:d.scratchWidth])
+	}
+
+	// Forward-reduce the incoming row against existing pivots. The active
+	// width w grows when a wider pivot row folds in; columns already passed
+	// stay final because a pivot row has no nonzeros before its pivot. The
+	// first nonzero column with no pivot row is the new pivot; reduction
+	// continues past it so the row ends up with zeros at every existing
+	// pivot column (the RREF invariant for the new row).
+	w := bound
+	pivot := -1
+	d.fwdOps = d.fwdOps[:0]
+	for col := 0; col < w; col++ {
+		v := c[col]
+		if v == 0 {
+			continue
+		}
+		ri := d.pivotRow[col]
+		if ri < 0 {
+			if pivot < 0 {
+				pivot = col
+			}
+			continue
+		}
+		r := &d.rows[ri]
+		rw := r.width
+		gf256.AddMulSlice(c[col:rw], r.coeff[col:rw], v)
+		if rw > w {
+			w = rw
+		}
+		if d.payloadLen > 0 {
+			d.fwdOps = append(d.fwdOps, payloadOp{row: ri, v: v})
+		}
+	}
+	d.scratchWidth = w
+	if pivot < 0 {
+		return false, nil // linearly dependent; payload work skipped entirely
+	}
+
+	// Trim trailing zeros so the stored span is as tight as the data allows
+	// — combinations of same-level PLC rows stay within the level boundary
+	// even when the caller passed no bound.
+	for w > pivot+1 && c[w-1] == 0 {
+		w--
+	}
+
+	inv, err := gf256.Inv(c[pivot])
+	if err != nil {
+		return false, fmt.Errorf("gfmat: normalize pivot: %w", err)
+	}
+	gf256.ScaleInPlace(c[pivot:w], inv)
+
+	// Commit the innovative row: slice its storage out of the arena
+	// (coefficients and payload adjacent for locality) and copy the reduced
+	// span in; the arena row arrives zeroed.
+	if cap(d.rows) == 0 {
+		d.rows = make([]decRow, 0, d.numSymbols)
+	}
+	row := d.arena.alloc()
+	rc := row[:d.numSymbols:d.numSymbols]
+	rp := row[d.numSymbols:]
+	copy(rc[pivot:w], c[pivot:w])
+	// After the trailing trim, rc[w-1] != 0 — so the new row is a unit
+	// vector exactly when its span is the single pivot byte.
+	solved := w == pivot+1
+
+	// Back-substitute: eliminate this pivot column from every existing row
+	// so the matrix stays in RREF. Only rows whose span reaches the pivot
+	// can hold a nonzero there, and the update touches columns [pivot, w)
+	// only. A touched row keeps coeff[r.pivot] == 1 (the fresh pivot is a
+	// different column) and zeros before it, so it became solved exactly
+	// when the rest of its span drained to zero — an early-exit word scan
+	// instead of the old full-row countNonzero per touch.
+	newIdx := len(d.rows)
+	d.backOps = d.backOps[:0]
+	for i := range d.rows {
+		r := &d.rows[i]
+		if r.width <= pivot {
+			continue
+		}
+		v := r.coeff[pivot]
+		if v == 0 {
+			continue
+		}
+		gf256.AddMulSlice(r.coeff[pivot:w], rc[pivot:w], v)
+		if w > r.width {
+			r.width = w
+		}
+		// Solved rows are never touched again (their only nonzero is their
+		// own pivot), so this transition fires at most once per row.
+		if !r.solved && isZeroRange(r.coeff[r.pivot+1:r.width]) {
+			r.solved = true
+			r.width = r.pivot + 1
+			d.decodedCount++
+		}
+		if d.payloadLen > 0 {
+			d.backOps = append(d.backOps, payloadOp{row: i, v: v})
+		}
+	}
+	d.rows = append(d.rows, decRow{coeff: rc, payload: rp, pivot: pivot, width: w, solved: solved})
+	d.pivotRow[pivot] = newIdx
+	if solved {
+		d.decodedCount++
+	}
+
+	// Replay the recorded row operations on the payload side — the identical
+	// linear combination, applied once, optionally striped across workers.
+	if d.payloadLen > 0 {
+		d.applyPayload(rp, payload, inv)
+	}
+
+	d.advancePrefix()
+	return true, nil
+}
+
+// AddRef absorbs one coded block via the dense, structure-blind elimination
+// the structured path replaced: full-width row operations, a full-row
+// nonzero rescan after every back-substitution touch, no payload deferral.
+// It maintains exactly the same decoder state (interleaving Add and AddRef
+// is legal) and exists as the reference oracle for differential tests and
+// as the baseline side of the dense-vs-truncated decode benchmarks —
+// mirroring AddMulSliceRef one layer down.
+func (d *Decoder) AddRef(coeff, payload []byte) (bool, error) {
 	if len(coeff) != d.numSymbols {
 		return false, fmt.Errorf("%w: coefficient vector length %d, want %d",
 			ErrDimensionMismatch, len(coeff), d.numSymbols)
@@ -104,14 +300,12 @@ func (d *Decoder) Add(coeff, payload []byte) (bool, error) {
 			ErrDimensionMismatch, len(payload), d.payloadLen)
 	}
 
-	// Reduce into the reusable scratch row: a dependent (non-innovative)
-	// block is discarded without ever allocating or copying into the arena.
 	c := d.scratchCoeff
 	copy(c, coeff)
+	d.scratchWidth = d.numSymbols
 	p := d.scratchPayload
 	copy(p, payload)
 
-	// Forward-reduce the incoming row against existing pivots.
 	for col := 0; col < d.numSymbols; col++ {
 		v := c[col]
 		if v == 0 {
@@ -126,7 +320,6 @@ func (d *Decoder) Add(coeff, payload []byte) (bool, error) {
 		gf256.AddMulSlice(p, r.payload, v)
 	}
 
-	// Locate the new pivot.
 	pivot := -1
 	for col, v := range c {
 		if v != 0 {
@@ -135,10 +328,9 @@ func (d *Decoder) Add(coeff, payload []byte) (bool, error) {
 		}
 	}
 	if pivot < 0 {
-		return false, nil // linearly dependent
+		return false, nil
 	}
 
-	// Normalize so the pivot is 1.
 	inv, err := gf256.Inv(c[pivot])
 	if err != nil {
 		return false, fmt.Errorf("gfmat: normalize pivot: %w", err)
@@ -146,9 +338,6 @@ func (d *Decoder) Add(coeff, payload []byte) (bool, error) {
 	gf256.ScaleInPlace(c, inv)
 	gf256.ScaleInPlace(p, inv)
 
-	// Commit the innovative row: slice its storage out of the arena
-	// (coefficients and payload adjacent for locality) and copy the reduced
-	// scratch row in.
 	if cap(d.rows) == 0 {
 		d.rows = make([]decRow, 0, d.numSymbols)
 	}
@@ -158,28 +347,65 @@ func (d *Decoder) Add(coeff, payload []byte) (bool, error) {
 	copy(rc, c)
 	copy(rp, p)
 
-	// Back-substitute: eliminate this pivot column from every existing row
-	// so the matrix stays in RREF.
 	newIdx := len(d.rows)
 	for i := range d.rows {
 		r := &d.rows[i]
 		if v := r.coeff[pivot]; v != 0 {
 			gf256.AddMulSlice(r.coeff, rc, v)
 			gf256.AddMulSlice(r.payload, rp, v)
-			r.nnz = countNonzero(r.coeff)
+			r.width = d.numSymbols
+			if !r.solved && countNonzeroRange(r.coeff) == 1 {
+				r.solved = true
+				d.decodedCount++
+			}
 		}
 	}
-	d.rows = append(d.rows, decRow{coeff: rc, payload: rp, pivot: pivot, nnz: countNonzero(rc)})
+	solved := countNonzeroRange(rc) == 1
+	d.rows = append(d.rows, decRow{coeff: rc, payload: rp, pivot: pivot, width: d.numSymbols, solved: solved})
 	d.pivotRow[pivot] = newIdx
+	if solved {
+		d.decodedCount++
+	}
 
 	d.advancePrefix()
 	return true, nil
 }
 
-func countNonzero(v []byte) int {
+// isZeroRange reports whether every byte of v is zero, a word at a time
+// with early exit — the hot check that tells a back-substituted row it has
+// collapsed to a unit vector.
+func isZeroRange(v []byte) bool {
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		if binary.LittleEndian.Uint64(v[i:]) != 0 {
+			return false
+		}
+	}
+	for ; i < len(v); i++ {
+		if v[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// countNonzeroRange counts the nonzero bytes of v, skipping zero regions a
+// word at a time — the common case inside an RREF row's span.
+func countNonzeroRange(v []byte) int {
 	n := 0
-	for _, x := range v {
-		if x != 0 {
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		if binary.LittleEndian.Uint64(v[i:]) == 0 {
+			continue
+		}
+		for _, x := range v[i : i+8] {
+			if x != 0 {
+				n++
+			}
+		}
+	}
+	for ; i < len(v); i++ {
+		if v[i] != 0 {
 			n++
 		}
 	}
@@ -191,7 +417,7 @@ func countNonzero(v []byte) int {
 func (d *Decoder) advancePrefix() {
 	for d.decodedPrefix < d.numSymbols {
 		ri := d.pivotRow[d.decodedPrefix]
-		if ri < 0 || d.rows[ri].nnz != 1 {
+		if ri < 0 || !d.rows[ri].solved {
 			return
 		}
 		d.decodedPrefix++
@@ -211,19 +437,12 @@ func (d *Decoder) Decoded(i int) bool {
 		return false
 	}
 	ri := d.pivotRow[i]
-	return ri >= 0 && d.rows[ri].nnz == 1
+	return ri >= 0 && d.rows[ri].solved
 }
 
 // DecodedCount returns the number of individually decoded source symbols.
-func (d *Decoder) DecodedCount() int {
-	n := 0
-	for i := 0; i < d.numSymbols; i++ {
-		if d.Decoded(i) {
-			n++
-		}
-	}
-	return n
-}
+// The count is maintained incrementally, so this is O(1).
+func (d *Decoder) DecodedCount() int { return d.decodedCount }
 
 // Symbol returns the decoded payload of source symbol i, or an error if the
 // symbol is not yet decoded. The returned slice is a copy.
@@ -253,10 +472,10 @@ func (d *Decoder) Symbols() [][]byte {
 
 // CoefficientMatrix returns a copy of the current (RREF) coefficient matrix,
 // one row per innovative block absorbed, mainly for tests and debugging.
-func (d *Decoder) CoefficientMatrix() *Matrix {
+func (d *Decoder) CoefficientMatrix() (*Matrix, error) {
 	m, err := New(len(d.rows), d.numSymbols)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("gfmat: CoefficientMatrix: %w", err)
 	}
 	// Emit rows in pivot order so the result is literally in RREF.
 	i := 0
@@ -266,5 +485,5 @@ func (d *Decoder) CoefficientMatrix() *Matrix {
 			i++
 		}
 	}
-	return m
+	return m, nil
 }

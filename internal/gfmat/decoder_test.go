@@ -248,7 +248,11 @@ func TestMatrixStaysInRREF(t *testing.T) {
 		if _, err := d.Add(coeff, nil); err != nil {
 			t.Fatal(err)
 		}
-		if m := d.CoefficientMatrix(); !m.IsRREF() {
+		m, err := d.CoefficientMatrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.IsRREF() {
 			t.Fatalf("after %d adds, coefficient matrix is not in RREF:\n%s", i+1, m)
 		}
 	}

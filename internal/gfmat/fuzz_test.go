@@ -1,0 +1,130 @@
+package gfmat
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecoderEquivBatch drives random level-structured systems through
+// every decode path this package offers — the structured incremental
+// decoder (AddBounded), the dense incremental reference (AddRef), and the
+// one-shot BatchDecoder in both bounded and dense form — and asserts they
+// agree on rank, per-symbol decodability and the decoded payloads. Rank is
+// additionally cross-checked against straight Gaussian elimination on the
+// raw coefficient matrix, the ground truth none of the decoders share code
+// with.
+func FuzzDecoderEquivBatch(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(4), uint8(3), false)
+	f.Add(int64(7), uint8(1), uint8(1), uint8(0), uint8(1), true)
+	f.Add(int64(42), uint8(3), uint8(2), uint8(8), uint8(5), false)
+	f.Add(int64(99), uint8(4), uint8(4), uint8(2), uint8(0), true)
+
+	f.Fuzz(func(t *testing.T, seed int64, nLevelsRaw, perRaw, plenRaw, extraRaw uint8, slcShaped bool) {
+		rng := rand.New(rand.NewSource(seed))
+		nLevels := 1 + int(nLevelsRaw%4)
+		per := 1 + int(perRaw%4)
+		n := nLevels * per
+		plen := int(plenRaw % 9)
+		// extra controls redundancy: extra == 0 keeps some systems
+		// underdetermined so the partial-decode states get compared too.
+		rowsPerLevel := per + int(extraRaw%3)
+
+		symbols := randomSymbols(rng, n, plen)
+		blocks := randomLevelBlocks(rng, symbols, n, nLevels, plen, rowsPerLevel, slcShaped)
+
+		structured, err := NewDecoder(n, plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := NewDecoder(n, plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchBounded, err := NewBatchDecoder(n, plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchDense, err := NewBatchDecoder(n, plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := New(len(blocks), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range blocks {
+			i1, err := structured.AddBounded(b.coeff, b.payload, b.bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i2, err := dense.AddRef(b.coeff, b.payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i1 != i2 {
+				t.Fatalf("block %d: innovation disagrees (structured %v, dense %v)", i, i1, i2)
+			}
+			if err := batchBounded.AddBounded(b.coeff, b.payload, b.bound); err != nil {
+				t.Fatal(err)
+			}
+			if err := batchDense.Add(b.coeff, b.payload); err != nil {
+				t.Fatal(err)
+			}
+			copy(raw.Row(i), b.coeff)
+		}
+
+		// Incremental paths must agree on every observable, decoded symbol
+		// values included.
+		if structured.Rank() != dense.Rank() {
+			t.Fatalf("rank: structured %d, dense %d", structured.Rank(), dense.Rank())
+		}
+		if structured.Rank() != raw.Rank() {
+			t.Fatalf("rank: incremental %d, ground truth %d", structured.Rank(), raw.Rank())
+		}
+		if structured.DecodedPrefix() != dense.DecodedPrefix() {
+			t.Fatalf("prefix: structured %d, dense %d", structured.DecodedPrefix(), dense.DecodedPrefix())
+		}
+		if structured.DecodedCount() != dense.DecodedCount() {
+			t.Fatalf("decoded count: structured %d, dense %d", structured.DecodedCount(), dense.DecodedCount())
+		}
+		for i := 0; i < n; i++ {
+			if structured.Decoded(i) != dense.Decoded(i) {
+				t.Fatalf("Decoded(%d): structured %v, dense %v", i, structured.Decoded(i), dense.Decoded(i))
+			}
+			if !structured.Decoded(i) {
+				continue
+			}
+			ss, err := structured.Symbol(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := dense.Symbol(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ss, ds) || !bytes.Equal(ss, symbols[i]) {
+				t.Fatalf("symbol %d: structured/dense/truth disagree", i)
+			}
+		}
+
+		// The batch solvers are all-or-nothing: when the incremental decoder
+		// completed they must both solve to the same symbols; otherwise both
+		// must refuse.
+		sb, errB := batchBounded.Solve()
+		sd, errD := batchDense.Solve()
+		if (errB == nil) != (errD == nil) {
+			t.Fatalf("batch solvers disagree: bounded err %v, dense err %v", errB, errD)
+		}
+		if structured.Complete() != (errB == nil) {
+			t.Fatalf("incremental complete = %v but batch solve err = %v", structured.Complete(), errB)
+		}
+		if errB == nil {
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(sb[i], sd[i]) || !bytes.Equal(sb[i], symbols[i]) {
+					t.Fatalf("batch symbol %d: bounded/dense/truth disagree", i)
+				}
+			}
+		}
+	})
+}

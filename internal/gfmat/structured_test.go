@@ -1,0 +1,366 @@
+package gfmat
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Tests for the structure-aware decode path: level-truncated rows
+// (AddBounded), the dense reference oracle (AddRef), incremental
+// nnz/DecodedCount bookkeeping, and the striped payload pipeline.
+
+// levelBlock is one synthetic level-structured coded block: coefficients
+// supported on [lo, hi), so hi doubles as the AddBounded boundary hint.
+type levelBlock struct {
+	coeff   []byte
+	payload []byte
+	bound   int
+}
+
+// randomLevelBlocks generates level-structured blocks over n symbols split
+// into nLevels equal levels: per level, rowsPerLevel rows shaped either
+// like PLC (support [0, b_k)) or like SLC (support [b_{k-1}, b_k)),
+// shuffled so decoders see levels interleaved. n must be a multiple of
+// nLevels.
+func randomLevelBlocks(rng *rand.Rand, symbols [][]byte, n, nLevels, plen, rowsPerLevel int, slcShaped bool) []levelBlock {
+	per := n / nLevels
+	var blocks []levelBlock
+	for lvl := 0; lvl < nLevels; lvl++ {
+		lo, hi := lvl*per, (lvl+1)*per
+		if !slcShaped {
+			lo = 0
+		}
+		for r := 0; r < rowsPerLevel; r++ {
+			coeff := make([]byte, n)
+			for j := lo; j < hi; j++ {
+				coeff[j] = byte(rng.Intn(256))
+			}
+			blocks = append(blocks, levelBlock{coeff: coeff, payload: encodeWith(coeff, symbols, plen), bound: hi})
+		}
+	}
+	rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	return blocks
+}
+
+func randomSymbols(rng *rand.Rand, n, plen int) [][]byte {
+	symbols := make([][]byte, n)
+	for i := range symbols {
+		symbols[i] = make([]byte, plen)
+		rng.Read(symbols[i])
+	}
+	return symbols
+}
+
+// compareDecoders asserts two decoders that absorbed the same blocks agree
+// on every observable: rank, prefix, per-symbol decodability and value, and
+// the RREF coefficient matrix itself.
+func compareDecoders(t *testing.T, a, b *Decoder, label string) {
+	t.Helper()
+	if a.Rank() != b.Rank() {
+		t.Fatalf("%s: rank %d vs %d", label, a.Rank(), b.Rank())
+	}
+	if a.DecodedPrefix() != b.DecodedPrefix() {
+		t.Fatalf("%s: prefix %d vs %d", label, a.DecodedPrefix(), b.DecodedPrefix())
+	}
+	if a.DecodedCount() != b.DecodedCount() {
+		t.Fatalf("%s: decoded count %d vs %d", label, a.DecodedCount(), b.DecodedCount())
+	}
+	for i := 0; i < a.NumSymbols(); i++ {
+		if a.Decoded(i) != b.Decoded(i) {
+			t.Fatalf("%s: Decoded(%d) %v vs %v", label, i, a.Decoded(i), b.Decoded(i))
+		}
+		if a.Decoded(i) {
+			sa, err := a.Symbol(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := b.Symbol(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sa, sb) {
+				t.Fatalf("%s: symbol %d differs", label, i)
+			}
+		}
+	}
+	ma, err := a.CoefficientMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.CoefficientMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ma.Equal(mb) {
+		t.Fatalf("%s: coefficient matrices differ:\n%s\nvs\n%s", label, ma, mb)
+	}
+}
+
+// TestAddBoundedMatchesAdd: feeding the same level-structured blocks with
+// and without boundary hints must produce identical decoder state — the
+// hints are a performance lever, never a semantic one.
+func TestAddBoundedMatchesAdd(t *testing.T) {
+	for _, slcShaped := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(31))
+		const n, nLevels, plen = 12, 3, 5
+		symbols := randomSymbols(rng, n, plen)
+		blocks := randomLevelBlocks(rng, symbols, n, nLevels, plen, n/nLevels+2, slcShaped)
+
+		plain, err := NewDecoder(n, plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hinted, err := NewDecoder(n, plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			i1, err := plain.Add(b.coeff, b.payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i2, err := hinted.AddBounded(b.coeff, b.payload, b.bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i1 != i2 {
+				t.Fatalf("innovation disagrees: %v vs %v", i1, i2)
+			}
+		}
+		label := "plc-shaped"
+		if slcShaped {
+			label = "slc-shaped"
+		}
+		compareDecoders(t, plain, hinted, label)
+		if !plain.Complete() {
+			t.Fatalf("%s: system should be complete (rank %d/%d)", label, plain.Rank(), n)
+		}
+	}
+}
+
+// TestAddRefMatchesAdd: the dense reference path and the structured path
+// must maintain identical state, including under interleaving.
+func TestAddRefMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	const n, nLevels, plen = 12, 4, 3
+	symbols := randomSymbols(rng, n, plen)
+	blocks := randomLevelBlocks(rng, symbols, n, nLevels, plen, n/nLevels+2, false)
+
+	structured, err := NewDecoder(n, plen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := NewDecoder(n, plen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := NewDecoder(n, plen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blocks {
+		if _, err := structured.AddBounded(b.coeff, b.payload, b.bound); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dense.AddRef(b.coeff, b.payload); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if i%2 == 0 {
+			_, err = mixed.AddBounded(b.coeff, b.payload, b.bound)
+		} else {
+			_, err = mixed.AddRef(b.coeff, b.payload)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareDecoders(t, structured, dense, "structured vs dense")
+	compareDecoders(t, structured, mixed, "structured vs interleaved")
+}
+
+func TestAddBoundedValidation(t *testing.T) {
+	d, err := NewDecoder(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeff := []byte{1, 2, 3, 4}
+	if _, err := d.AddBounded(coeff, nil, -1); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := d.AddBounded(coeff, nil, 5); err == nil {
+		t.Error("bound beyond numSymbols accepted")
+	}
+	if _, err := d.AddBounded(coeff, nil, 4); err != nil {
+		t.Errorf("bound == numSymbols rejected: %v", err)
+	}
+	// A zero bound is a legal (if useless) promise: the block is all-zero.
+	if innov, err := d.AddBounded(make([]byte, 4), nil, 0); err != nil || innov {
+		t.Errorf("zero bound: innovative=%v err=%v, want false, nil", innov, err)
+	}
+}
+
+// TestDecodedCountIncremental cross-checks the O(1) counter against a brute
+// recount after every absorbed block.
+func TestDecodedCountIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const n, nLevels = 10, 5
+	symbols := randomSymbols(rng, n, 0)
+	blocks := randomLevelBlocks(rng, symbols, n, nLevels, 0, n/nLevels+1, true)
+	d, err := NewDecoder(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if _, err := d.AddBounded(b.coeff, b.payload, b.bound); err != nil {
+			t.Fatal(err)
+		}
+		brute := 0
+		for i := 0; i < n; i++ {
+			if d.Decoded(i) {
+				brute++
+			}
+		}
+		if got := d.DecodedCount(); got != brute {
+			t.Fatalf("DecodedCount = %d, brute recount = %d", got, brute)
+		}
+	}
+}
+
+// TestPayloadWorkersBitIdentical: with payloads above the striping
+// threshold, decoded output must be byte-identical for any worker count.
+func TestPayloadWorkersBitIdentical(t *testing.T) {
+	const n, nLevels, plen = 6, 3, payloadStripeMin + 777
+	rng := rand.New(rand.NewSource(34))
+	symbols := randomSymbols(rng, n, plen)
+	blocks := randomLevelBlocks(rng, symbols, n, nLevels, plen, n/nLevels+1, false)
+
+	decode := func(workers int) *Decoder {
+		d, err := NewDecoder(n, plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers != 0 {
+			d.SetPayloadWorkers(workers)
+		}
+		for _, b := range blocks {
+			if _, err := d.AddBounded(b.coeff, b.payload, b.bound); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+
+	base := decode(1)
+	if !base.Complete() {
+		t.Fatalf("system incomplete: rank %d/%d", base.Rank(), n)
+	}
+	for i := range symbols {
+		got, err := base.Symbol(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, symbols[i]) {
+			t.Fatalf("symbol %d decoded incorrectly", i)
+		}
+	}
+	for _, workers := range []int{0, 2, 3, 7} {
+		compareDecoders(t, base, decode(workers), "sequential vs striped")
+	}
+}
+
+func TestSetPayloadWorkersDefaults(t *testing.T) {
+	d, err := NewDecoder(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PayloadWorkers(); got != 0 {
+		t.Errorf("fresh decoder PayloadWorkers = %d, want 0", got)
+	}
+	d.SetPayloadWorkers(0)
+	if got := d.PayloadWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("SetPayloadWorkers(0): PayloadWorkers = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	d.SetPayloadWorkers(3)
+	if got := d.PayloadWorkers(); got != 3 {
+		t.Errorf("SetPayloadWorkers(3): PayloadWorkers = %d", got)
+	}
+}
+
+// TestCoefficientMatrixEmpty guards the satellite fix: an empty decoder
+// yields a valid zero-row matrix, not a silent nil.
+func TestCoefficientMatrixEmpty(t *testing.T) {
+	d, err := NewDecoder(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.CoefficientMatrix()
+	if err != nil {
+		t.Fatalf("CoefficientMatrix on empty decoder: %v", err)
+	}
+	if m == nil {
+		t.Fatal("CoefficientMatrix returned nil matrix without error")
+	}
+	if m.Rows() != 0 || m.Cols() != 3 {
+		t.Errorf("dims = %dx%d, want 0x3", m.Rows(), m.Cols())
+	}
+}
+
+// TestBatchAddBoundedSolveMatchesDense: the truncated batch elimination
+// must solve to the same payloads as the dense one.
+func TestBatchAddBoundedSolveMatchesDense(t *testing.T) {
+	for _, slcShaped := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(35))
+		const n, nLevels, plen = 12, 3, 4
+		symbols := randomSymbols(rng, n, plen)
+		blocks := randomLevelBlocks(rng, symbols, n, nLevels, plen, n/nLevels+2, slcShaped)
+
+		bounded, err := NewBatchDecoder(n, plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := NewBatchDecoder(n, plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			if err := bounded.AddBounded(b.coeff, b.payload, b.bound); err != nil {
+				t.Fatal(err)
+			}
+			if err := dense.Add(b.coeff, b.payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sb, err := bounded.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := dense.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range symbols {
+			if !bytes.Equal(sb[i], symbols[i]) {
+				t.Fatalf("bounded solve: symbol %d wrong", i)
+			}
+			if !bytes.Equal(sb[i], sd[i]) {
+				t.Fatalf("bounded vs dense solve: symbol %d differs", i)
+			}
+		}
+	}
+}
+
+func TestBatchAddBoundedValidation(t *testing.T) {
+	d, err := NewBatchDecoder(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddBounded([]byte{1, 2, 3}, nil, -1); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if err := d.AddBounded([]byte{1, 2, 3}, nil, 4); err == nil {
+		t.Error("bound beyond numSymbols accepted")
+	}
+}
