@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernels bench-decode check figures examples clean
+.PHONY: all build vet test race bench bench-kernels bench-decode check fuzz-smoke daemon-demo figures examples clean
 
 all: build vet test
 
@@ -43,11 +43,33 @@ bench-decode:
 	    -note "DecodeXXXNk vs DecodeXXXNkRef is structured (level-truncated, per-level) vs dense decode of the same block stream; 64 B payloads keep elimination dominant; StripedNk WorkersK pair against the 1-worker pipeline and are bounded by num_cpu"
 
 # Fast correctness gate: vet everything, race-test the packages with
-# concurrent hot paths (the word-parallel kernels, the row arenas and the
-# parallel encoder).
+# concurrent hot paths (the word-parallel kernels, the row arenas, the
+# parallel encoder and the networked store).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core
+	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/store
+
+# Short fuzz pass over every fuzz target: the block-file parser, the wire
+# format, the decoder equivalence oracle and the GF(2^8) kernels. ~20s per
+# target; CI runs this on every push.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz FuzzReadBlock -fuzztime $(FUZZTIME) ./cmd/prlcfile
+	$(GO) test -run='^$$' -fuzz FuzzUnmarshalBinary -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz FuzzDecoderEquivBatch -fuzztime $(FUZZTIME) ./internal/gfmat
+	$(GO) test -run='^$$' -fuzz FuzzAddMulSliceEquiv -fuzztime $(FUZZTIME) ./internal/gf256
+
+# Three prlcd daemons on loopback ports, the tcpstore demo against them
+# (it shuts daemon 1 down over the wire), then kill the rest.
+daemon-demo: build
+	@$(GO) build -o /tmp/prlcd ./cmd/prlcd
+	@/tmp/prlcd serve -addr 127.0.0.1:7071 & echo $$! > /tmp/prlcd1.pid
+	@/tmp/prlcd serve -addr 127.0.0.1:7072 & echo $$! > /tmp/prlcd2.pid
+	@/tmp/prlcd serve -addr 127.0.0.1:7073 & echo $$! > /tmp/prlcd3.pid
+	@sleep 1
+	$(GO) run ./examples/tcpstore -addrs 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073
+	@for f in /tmp/prlcd1.pid /tmp/prlcd2.pid /tmp/prlcd3.pid; do \
+		kill `cat $$f` 2>/dev/null || true; rm -f $$f; done
 
 # Regenerate every figure and table of the paper at full scale
 # (N = 1000, 100 trials; several minutes on one core). CSVs land in

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func startDaemons(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := store.NewServer(store.ServerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		nil,
+		{"bogus"},
+		{"store"},
+		{"store", "bogus"},
+		{"store", "ping"},             // missing -addr
+		{"store", "put", "-in", "x"},  // missing -addrs
+		{"store", "get", "-out", "x"}, // missing -addrs/-sizes
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted bad usage", args)
+		}
+	}
+}
+
+func TestPingAndStat(t *testing.T) {
+	addrs := startDaemons(t, 1)
+	var out bytes.Buffer
+	if err := run([]string{"store", "ping", "-addr", addrs[0]}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alive") {
+		t.Fatalf("ping output: %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"store", "stat", "-addr", addrs[0]}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 blocks") {
+		t.Fatalf("stat output: %q", out.String())
+	}
+}
+
+// TestPutGetRoundTripWithDeadReplica ships a file into 3 daemons, kills
+// one, and recovers the complete file from the survivors via the printed
+// get command's parameters.
+func TestPutGetRoundTripWithDeadReplica(t *testing.T) {
+	addrs := startDaemons(t, 3)
+	addrList := strings.Join(addrs, ",")
+
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(5)).Read(data)
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err := run([]string{
+		"store", "put", "-addrs", addrList, "-in", in,
+		"-blocks", "20", "-coded", "40", "-levels", "0.3,0.7", "-scheme", "plc",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-sizes 6,14") {
+		t.Fatalf("put did not print the recovery command: %q", out.String())
+	}
+
+	// Kill daemon 0; the critical data is replicated on the survivors.
+	var shut bytes.Buffer
+	if err := run([]string{"store", "shutdown", "-addr", addrs[0]}, &shut); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := filepath.Join(dir, "rec.bin")
+	out.Reset()
+	err = run([]string{
+		"store", "get", "-addrs", addrList, "-out", rec,
+		"-scheme", "plc", "-sizes", "6,14", "-size", "4096",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("recovered %d bytes differ from input (output: %q)", len(got), out.String())
+	}
+	if !strings.Contains(out.String(), "complete file") {
+		t.Fatalf("get output: %q", out.String())
+	}
+}

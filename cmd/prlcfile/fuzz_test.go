@@ -28,7 +28,8 @@ func FuzzReadBlock(f *testing.F) {
 	f.Add(data)
 	f.Add(data[:len(data)/2])
 	f.Add([]byte("PRLC"))
-	f.Add([]byte("PRLC\x01\x03\x00\x02"))
+	f.Add([]byte("PRLC\x02\x03\x00\x02"))
+	f.Add([]byte("PRLC\x01\x03\x00\x02")) // old v1 header: must be rejected, not parsed
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, in []byte) {

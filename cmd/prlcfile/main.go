@@ -20,16 +20,25 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
-	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 )
 
+// Block-file format v2: a self-describing header followed by the block
+// in the standard CodedBlock wire encoding (MarshalBinary), so the file
+// format and the store's network format share one serialization.
 const (
 	magic       = "PRLC"
-	formatVer   = 1
+	formatVer   = 2
 	blockSuffix = ".prlc"
+)
+
+// Shared CLI helpers, aliased for the tests.
+var (
+	parseFloats      = cliutil.ParseFloats
+	fractionsToSizes = cliutil.FractionsToSizes
 )
 
 func main() {
@@ -60,7 +69,6 @@ type header struct {
 	levelSizes []int
 	fileSize   uint64
 	payloadLen int
-	blockLevel int
 }
 
 func encode(args []string) error {
@@ -115,15 +123,8 @@ func encode(args []string) error {
 	}
 
 	// Split the file into equal payloads (zero-padded tail).
-	payloadLen := (len(data) + blocks - 1) / blocks
-	sources := make([][]byte, blocks)
-	for i := range sources {
-		sources[i] = make([]byte, payloadLen)
-		lo := i * payloadLen
-		if lo < len(data) {
-			copy(sources[i], data[lo:minInt(lo+payloadLen, len(data))])
-		}
-	}
+	sources := cliutil.SplitPayloads(data, blocks)
+	payloadLen := len(sources[0])
 
 	// Level sizes from fractions.
 	fracs, err := parseFloats(levelsStr)
@@ -175,7 +176,6 @@ func encode(args []string) error {
 		payloadLen: payloadLen,
 	}
 	for i, b := range cb {
-		h.blockLevel = b.Level
 		path := filepath.Join(out, fmt.Sprintf("block_%05d%s", i, blockSuffix))
 		if err := writeBlock(path, h, b); err != nil {
 			return err
@@ -302,34 +302,7 @@ func headersCompatible(a, b header) bool {
 	return true
 }
 
-func fractionsToSizes(fracs []float64, blocks int) ([]int, error) {
-	if len(fracs) == 0 {
-		return nil, fmt.Errorf("no level fractions")
-	}
-	sum := 0.0
-	for _, f := range fracs {
-		if f <= 0 {
-			return nil, fmt.Errorf("level fraction %g, want > 0", f)
-		}
-		sum += f
-	}
-	sizes := make([]int, len(fracs))
-	used := 0
-	for i, f := range fracs {
-		sizes[i] = int(f / sum * float64(blocks))
-		if sizes[i] < 1 {
-			sizes[i] = 1
-		}
-		used += sizes[i]
-	}
-	// Fix rounding drift on the last (least important) level.
-	sizes[len(sizes)-1] += blocks - used
-	if sizes[len(sizes)-1] < 1 {
-		return nil, fmt.Errorf("too many levels (%d) for %d blocks", len(fracs), blocks)
-	}
-	return sizes, nil
-}
-
+// writeBlock writes header then the block's standard wire encoding.
 func writeBlock(path string, h header, b *core.CodedBlock) error {
 	var buf []byte
 	buf = append(buf, magic...)
@@ -341,10 +314,11 @@ func writeBlock(path string, h header, b *core.CodedBlock) error {
 	}
 	buf = binary.BigEndian.AppendUint64(buf, h.fileSize)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(h.payloadLen))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(b.Level))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b.Coeff)))
-	buf = append(buf, b.Coeff...)
-	buf = append(buf, b.Payload...)
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	buf = append(buf, wire...)
 	return os.WriteFile(path, buf, 0o644)
 }
 
@@ -382,44 +356,20 @@ func readBlock(path string) (header, *core.CodedBlock, error) {
 		h.levelSizes[i] = int(binary.BigEndian.Uint32(data[off:]))
 		off += 4
 	}
-	if err := need(8 + 4 + 2 + 4); err != nil {
+	if err := need(8 + 4); err != nil {
 		return header{}, nil, err
 	}
 	h.fileSize = binary.BigEndian.Uint64(data[off:])
 	off += 8
 	h.payloadLen = int(binary.BigEndian.Uint32(data[off:]))
 	off += 4
-	h.blockLevel = int(binary.BigEndian.Uint16(data[off:]))
-	off += 2
-	coeffLen := int(binary.BigEndian.Uint32(data[off:]))
-	off += 4
-	if err := need(coeffLen + h.payloadLen); err != nil {
+	// The remainder is the block's standard wire encoding.
+	b := &core.CodedBlock{}
+	if err := b.UnmarshalBinary(data[off:]); err != nil {
 		return header{}, nil, err
 	}
-	b := &core.CodedBlock{
-		Level:   h.blockLevel,
-		Coeff:   append([]byte(nil), data[off:off+coeffLen]...),
-		Payload: append([]byte(nil), data[off+coeffLen:off+coeffLen+h.payloadLen]...),
+	if len(b.Payload) != h.payloadLen {
+		return header{}, nil, fmt.Errorf("block payload %d bytes, header says %d", len(b.Payload), h.payloadLen)
 	}
 	return h, b, nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,213 +1,58 @@
-// Tcpstore: priority-coded persistence over real sockets. Three storage
-// daemons listen on loopback TCP; a producer encodes prioritized
-// measurements into coded blocks and ships them over the wire (the
-// CodedBlock binary format, length-prefixed); then one daemon "fails"
-// (shuts down) and a collector fetches the surviving blocks and decodes —
-// the critical level survives the loss of a third of the storage fleet.
+// Tcpstore: priority-coded persistence over real sockets, now as a thin
+// consumer of the prlc store layer. Three storage daemons hold coded
+// blocks behind a priority-replicated store (the critical level on every
+// replica, bulk data on f+1); a producer encodes prioritized
+// measurements and ships them over TCP; then one daemon fails and a
+// collector recovers everything from the survivors — the critical level
+// survives the loss of a third of the storage fleet.
+//
+// By default the three daemons run in-process on ephemeral ports. With
+// -addrs a,b,c the demo drives external `prlcd serve` daemons instead
+// (see `make daemon-demo`), shutting the first one down over the wire.
 package main
 
 import (
-	"encoding/binary"
-	"errors"
+	"context"
+	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
-	"net"
-	"sync"
+	"time"
 
 	prlc "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
-	if err := run(); err != nil {
+	addrs := flag.String("addrs", "", "comma-separated external daemon addresses (default: 3 in-process daemons)")
+	flag.Parse()
+	if err := run(cliutil.SplitAddrs(*addrs)); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// --- Storage daemon -------------------------------------------------------
+func run(addrs []string) error {
+	ctx := context.Background()
 
-// daemon is a TCP block store: 'S' frames store a coded block, a 'G'
-// frame dumps every stored block back.
-type daemon struct {
-	ln     net.Listener
-	mu     sync.Mutex
-	blocks [][]byte // marshaled coded blocks
-	wg     sync.WaitGroup
-}
-
-func startDaemon() (*daemon, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	d := &daemon{ln: ln}
-	d.wg.Add(1)
-	go d.acceptLoop()
-	return d, nil
-}
-
-func (d *daemon) addr() string { return d.ln.Addr().String() }
-
-func (d *daemon) acceptLoop() {
-	defer d.wg.Done()
-	for {
-		conn, err := d.ln.Accept()
-		if err != nil {
-			return // listener closed: daemon is down
-		}
-		d.wg.Add(1)
-		go func() {
-			defer d.wg.Done()
-			defer conn.Close()
-			d.serve(conn)
-		}()
-	}
-}
-
-func (d *daemon) serve(conn net.Conn) {
-	for {
-		cmd := make([]byte, 1)
-		if _, err := io.ReadFull(conn, cmd); err != nil {
-			return
-		}
-		switch cmd[0] {
-		case 'S':
-			frame, err := readFrame(conn)
+	// Storage fleet: external daemons, or three in-process ones.
+	var servers []*prlc.StoreServer
+	if len(addrs) == 0 {
+		for i := 0; i < 3; i++ {
+			srv, err := prlc.NewStoreServer(prlc.StoreServerConfig{})
 			if err != nil {
-				return
+				return err
 			}
-			d.mu.Lock()
-			d.blocks = append(d.blocks, frame)
-			d.mu.Unlock()
-			if _, err := conn.Write([]byte{'+'}); err != nil {
-				return
-			}
-		case 'G':
-			d.mu.Lock()
-			snapshot := make([][]byte, len(d.blocks))
-			copy(snapshot, d.blocks)
-			d.mu.Unlock()
-			var count [4]byte
-			binary.BigEndian.PutUint32(count[:], uint32(len(snapshot)))
-			if _, err := conn.Write(count[:]); err != nil {
-				return
-			}
-			for _, b := range snapshot {
-				if err := writeFrame(conn, b); err != nil {
-					return
-				}
-			}
-		default:
-			return
+			defer func() {
+				sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				defer cancel()
+				srv.Shutdown(sctx)
+			}()
+			servers = append(servers, srv)
+			addrs = append(addrs, srv.Addr())
+			fmt.Printf("storage daemon %d at %s\n", i, srv.Addr())
 		}
-	}
-}
-
-// stop closes the listener and waits for in-flight connections.
-func (d *daemon) stop() {
-	d.ln.Close()
-	d.wg.Wait()
-}
-
-// --- Wire helpers ----------------------------------------------------------
-
-func writeFrame(w io.Writer, b []byte) error {
-	var n [4]byte
-	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
-	if _, err := w.Write(n[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(b)
-	return err
-}
-
-func readFrame(r io.Reader) ([]byte, error) {
-	var n [4]byte
-	if _, err := io.ReadFull(r, n[:]); err != nil {
-		return nil, err
-	}
-	size := binary.BigEndian.Uint32(n[:])
-	if size > 1<<20 {
-		return nil, errors.New("frame too large")
-	}
-	frame := make([]byte, size)
-	if _, err := io.ReadFull(r, frame); err != nil {
-		return nil, err
-	}
-	return frame, nil
-}
-
-// --- Client side -----------------------------------------------------------
-
-func storeBlock(addr string, b *prlc.CodedBlock) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	data, err := b.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	if _, err := conn.Write([]byte{'S'}); err != nil {
-		return err
-	}
-	if err := writeFrame(conn, data); err != nil {
-		return err
-	}
-	ack := make([]byte, 1)
-	if _, err := io.ReadFull(conn, ack); err != nil {
-		return err
-	}
-	if ack[0] != '+' {
-		return fmt.Errorf("daemon %s rejected the block", addr)
-	}
-	return nil
-}
-
-func fetchBlocks(addr string) ([]*prlc.CodedBlock, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	if _, err := conn.Write([]byte{'G'}); err != nil {
-		return nil, err
-	}
-	var n [4]byte
-	if _, err := io.ReadFull(conn, n[:]); err != nil {
-		return nil, err
-	}
-	count := binary.BigEndian.Uint32(n[:])
-	out := make([]*prlc.CodedBlock, 0, count)
-	for i := uint32(0); i < count; i++ {
-		frame, err := readFrame(conn)
-		if err != nil {
-			return nil, err
-		}
-		var b prlc.CodedBlock
-		if err := b.UnmarshalBinary(frame); err != nil {
-			return nil, err
-		}
-		out = append(out, &b)
-	}
-	return out, nil
-}
-
-// --- Scenario ----------------------------------------------------------------
-
-func run() error {
-	// Three storage daemons.
-	daemons := make([]*daemon, 3)
-	for i := range daemons {
-		d, err := startDaemon()
-		if err != nil {
-			return err
-		}
-		daemons[i] = d
-		defer d.stop()
-		fmt.Printf("storage daemon %d at %s\n", i, d.addr())
+	} else if len(addrs) < 2 {
+		return fmt.Errorf("need at least 2 daemon addresses, got %d", len(addrs))
 	}
 
 	// Prioritized data: 3 critical + 9 bulk blocks of 32 bytes.
@@ -225,34 +70,49 @@ func run() error {
 	if err != nil {
 		return err
 	}
-
-	// Ship 30 coded blocks round robin over TCP.
-	dist := prlc.PriorityDistribution{0.4, 0.6}
-	blocks, err := enc.EncodeBatch(rng, dist, 30)
+	blocks, err := enc.EncodeBatch(rng, prlc.PriorityDistribution{0.4, 0.6}, 30)
 	if err != nil {
 		return err
 	}
-	for i, b := range blocks {
-		if err := storeBlock(daemons[i%3].addr(), b); err != nil {
-			return err
-		}
-	}
-	fmt.Printf("shipped %d coded blocks over TCP (10 per daemon)\n\n", len(blocks))
 
-	// Daemon 0 dies.
-	daemons[0].stop()
-	fmt.Println("daemon 0 failed; collecting from the survivors")
-
-	// Collect from survivors and decode.
-	var survived []*prlc.CodedBlock
-	for _, d := range daemons[1:] {
-		got, err := fetchBlocks(d.addr())
+	// Replicated store: critical level on all replicas, bulk on f+1.
+	clients := make([]*prlc.StoreClient, len(addrs))
+	for i, a := range addrs {
+		clients[i], err = prlc.NewStoreClient(prlc.StoreClientConfig{Addr: a})
 		if err != nil {
 			return err
 		}
-		survived = append(survived, got...)
+		defer clients[i].Close()
 	}
-	res, dec, err := prlc.Collect(rng, prlc.PLC, levels, survived, prlc.CollectOptions{PayloadLen: 32})
+	repl, err := prlc.NewReplicatedStore(clients, levels.Count(), prlc.ReplicatedStoreConfig{Tolerance: 1})
+	if err != nil {
+		return err
+	}
+	if _, err := repl.PutAll(ctx, blocks); err != nil {
+		return err
+	}
+	fmt.Printf("shipped %d coded blocks over TCP (critical level x%d, bulk x%d)\n\n",
+		len(blocks), repl.ReplicasFor(0), repl.ReplicasFor(levels.Count()-1))
+
+	// Daemon 0 dies: direct shutdown in-process, over the wire otherwise.
+	if len(servers) > 0 {
+		sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		if err := servers[0].Shutdown(sctx); err != nil {
+			return err
+		}
+	} else if err := clients[0].Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Println("daemon 0 failed; collecting from the survivors")
+
+	// Collect from the survivors and decode.
+	survived, err := repl.Collect(ctx, -1)
+	if err != nil {
+		return err
+	}
+	res, dec, err := prlc.Collect(rng, prlc.PLC, levels, survived,
+		prlc.CollectOptions{Context: ctx, PayloadLen: 32})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,75 @@
+package cliutil
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats(" 0.1, 0.2,0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.1 || got[2] != 0.7 {
+		t.Fatalf("ParseFloats = %v", got)
+	}
+	if _, err := ParseFloats("1,x"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("4, 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 4 || got[1] != 12 {
+		t.Fatalf("ParseInts = %v", got)
+	}
+	if _, err := ParseInts("4,1.5"); err == nil {
+		t.Fatal("float accepted as int")
+	}
+}
+
+func TestSplitAddrs(t *testing.T) {
+	got := SplitAddrs(" a:1 ,, b:2,")
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("SplitAddrs = %v", got)
+	}
+}
+
+func TestFractionsToSizes(t *testing.T) {
+	sizes, err := FractionsToSizes([]float64{0.1, 0.2, 0.7}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum != 100 || sizes[0] != 10 {
+		t.Fatalf("FractionsToSizes = %v (sum %d)", sizes, sum)
+	}
+	if _, err := FractionsToSizes([]float64{1, 1, 1, 1}, 3); err == nil {
+		t.Fatal("more levels than blocks accepted")
+	}
+	if _, err := FractionsToSizes([]float64{0, 1}, 10); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	// Tiny fractions round up to one block.
+	sizes, err = FractionsToSizes([]float64{0.001, 0.999}, 10)
+	if err != nil || sizes[0] != 1 {
+		t.Fatalf("tiny fraction: %v, %v", sizes, err)
+	}
+}
+
+func TestSplitPayloads(t *testing.T) {
+	data := []byte("abcdefghij") // 10 bytes into 3 blocks of 4
+	got := SplitPayloads(data, 3)
+	if len(got) != 3 || len(got[0]) != 4 {
+		t.Fatalf("SplitPayloads shape: %v", got)
+	}
+	if !bytes.Equal(got[0], []byte("abcd")) || !bytes.Equal(got[2], []byte("ij\x00\x00")) {
+		t.Fatalf("SplitPayloads content: %q", got)
+	}
+}

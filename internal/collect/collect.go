@@ -6,6 +6,7 @@
 package collect
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -14,6 +15,10 @@ import (
 
 // Options controls a collection run.
 type Options struct {
+	// Context, when non-nil, makes a long collection run cancelable:
+	// Run checks it between blocks and returns the context's error on
+	// cancellation or deadline expiry.
+	Context context.Context
 	// TargetLevels stops collection once this many priority levels have
 	// decoded; 0 means "decode as much as the caches allow".
 	TargetLevels int
@@ -62,9 +67,16 @@ func Run(rng *rand.Rand, scheme core.Scheme, levels *core.Levels, blocks []*core
 	if err != nil {
 		return Result{}, nil, err
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var res Result
 	order := rng.Perm(len(blocks))
 	for _, idx := range order {
+		if err := ctx.Err(); err != nil {
+			return Result{}, nil, err
+		}
 		if opts.MaxBlocks > 0 && res.Processed >= opts.MaxBlocks {
 			break
 		}

@@ -3,8 +3,14 @@ package core
 import (
 	"encoding"
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
+
+// ErrWireFormat is wrapped by every UnmarshalBinary failure, so callers
+// sorting good blocks from corrupt ones branch with errors.Is instead of
+// string matching.
+var ErrWireFormat = errors.New("core: malformed wire block")
 
 // Wire format for coded blocks, so deployments can ship them over
 // sockets or store them on disk:
@@ -47,20 +53,20 @@ func (b *CodedBlock) MarshalBinary() ([]byte, error) {
 // input.
 func (b *CodedBlock) UnmarshalBinary(data []byte) error {
 	if len(data) < wireHeader {
-		return fmt.Errorf("core: wire block truncated at %d bytes", len(data))
+		return fmt.Errorf("%w: truncated at %d bytes", ErrWireFormat, len(data))
 	}
 	if string(data[:2]) != wireMagic {
-		return fmt.Errorf("core: bad wire magic %q", data[:2])
+		return fmt.Errorf("%w: bad magic %q", ErrWireFormat, data[:2])
 	}
 	if data[2] != wireVersion {
-		return fmt.Errorf("core: unsupported wire version %d", data[2])
+		return fmt.Errorf("%w: unsupported version %d", ErrWireFormat, data[2])
 	}
 	level := int(binary.BigEndian.Uint16(data[3:]))
 	nCoeff := int(binary.BigEndian.Uint32(data[5:]))
 	nPay := int(binary.BigEndian.Uint32(data[9:]))
 	if nCoeff < 0 || nPay < 0 || len(data) != wireHeader+nCoeff+nPay {
-		return fmt.Errorf("core: wire block length %d does not match header (%d coeff, %d payload)",
-			len(data), nCoeff, nPay)
+		return fmt.Errorf("%w: length %d does not match header (%d coeff, %d payload)",
+			ErrWireFormat, len(data), nCoeff, nPay)
 	}
 	b.Level = level
 	b.Coeff = append([]byte(nil), data[wireHeader:wireHeader+nCoeff]...)

@@ -1,0 +1,402 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Dialer abstracts connection establishment so tests and experiments can
+// interpose a fault-injecting transport (see FaultDialer).
+type Dialer interface {
+	DialContext(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// RetryPolicy tunes the client's exponential backoff with jitter.
+// Attempt i (from 1) sleeps base*2^(i-1) capped at MaxDelay, then scaled
+// by a random factor in [1-Jitter, 1] so synchronized clients desynchronize.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation. Default 4.
+	MaxAttempts int
+	// BaseDelay is the first backoff. Default 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth. Default 500ms.
+	MaxDelay time.Duration
+	// Jitter in [0,1] is the randomized fraction of each delay.
+	// Default 0.5; negative disables jitter.
+	Jitter float64
+}
+
+func (p *RetryPolicy) fillDefaults() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+}
+
+// ClientConfig parameterizes a store client.
+type ClientConfig struct {
+	// Addr is the server address (required).
+	Addr string
+	// Dialer defaults to a plain net.Dialer.
+	Dialer Dialer
+	// DialTimeout bounds each dial attempt. Default 2s.
+	DialTimeout time.Duration
+	// OpTimeout bounds each request/response attempt. Default 5s.
+	OpTimeout time.Duration
+	// MaxIdleConns bounds the connection pool. Default 2.
+	MaxIdleConns int
+	// MaxFrame bounds response frames. Default DefaultMaxFrame.
+	MaxFrame int
+	// Retry tunes per-operation retries.
+	Retry RetryPolicy
+	// HedgeDelay, when positive, arms hedged reads: if a Get has not
+	// returned after this delay, a second identical request races it on
+	// a fresh connection and the first success wins.
+	HedgeDelay time.Duration
+	// Seed seeds the jitter generator (0 means 1) so experiments stay
+	// reproducible end to end.
+	Seed int64
+}
+
+func (c *ClientConfig) fillDefaults() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+	if c.MaxIdleConns <= 0 {
+		c.MaxIdleConns = 2
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Retry.fillDefaults()
+}
+
+// Client talks to one store server over pooled TCP connections. All
+// operations take a context, retry transient failures with exponential
+// backoff + jitter, and map failures onto the package's sentinel errors.
+// A Client is safe for concurrent use.
+type Client struct {
+	cfg    ClientConfig
+	dialer Dialer
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	rng    *rand.Rand
+	closed bool
+}
+
+// NewClient validates the config and returns a client. No connection is
+// made until the first operation.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("store: client needs an address")
+	}
+	cfg.fillDefaults()
+	d := cfg.Dialer
+	if d == nil {
+		d = &net.Dialer{}
+	}
+	return &Client{
+		cfg:    cfg,
+		dialer: d,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Addr returns the configured server address.
+func (c *Client) Addr() string { return c.cfg.Addr }
+
+// Close releases pooled connections. In-flight operations fail over to
+// ErrClientClosed on their next attempt.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+// Put stores one coded block, retrying transient failures. Retries are
+// idempotent because the server deduplicates identical blocks.
+func (c *Client) Put(ctx context.Context, b *core.CodedBlock) error {
+	if b == nil {
+		return fmt.Errorf("%w: nil block", ErrBadRequest)
+	}
+	body, err := b.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	_, err = c.do(ctx, "put", framePut, body, frameOK)
+	return err
+}
+
+// PutAll stores blocks sequentially, returning how many landed and the
+// first error encountered.
+func (c *Client) PutAll(ctx context.Context, blocks []*core.CodedBlock) (int, error) {
+	for i, b := range blocks {
+		if err := c.Put(ctx, b); err != nil {
+			return i, err
+		}
+	}
+	return len(blocks), nil
+}
+
+// Get fetches every stored block with Level <= maxLevel; maxLevel < 0
+// fetches everything. When HedgeDelay is set, a straggling fetch is
+// raced by a duplicate request.
+func (c *Client) Get(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
+	if c.cfg.HedgeDelay <= 0 {
+		return c.get(ctx, maxLevel)
+	}
+	return c.hedgedGet(ctx, maxLevel)
+}
+
+func (c *Client) get(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
+	wire := uint16(0xFFFF)
+	if maxLevel >= 0 && maxLevel < 0xFFFF {
+		wire = uint16(maxLevel)
+	}
+	body := binary.BigEndian.AppendUint16(nil, wire)
+	resp, err := c.do(ctx, "get", frameGet, body, frameBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBlockList(resp)
+}
+
+func (c *Client) hedgedGet(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
+	type result struct {
+		blocks []*core.CodedBlock
+		err    error
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2)
+	launch := func() {
+		go func() {
+			blocks, err := c.get(hctx, maxLevel)
+			ch <- result{blocks, err}
+		}()
+	}
+	launch()
+	inflight, hedged := 1, false
+	timer := time.NewTimer(c.cfg.HedgeDelay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.blocks, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			inflight--
+			if !hedged {
+				// The primary failed outright; the hedge becomes a
+				// last-chance duplicate rather than waiting for the timer.
+				hedged = true
+				launch()
+				inflight++
+				continue
+			}
+			if inflight == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				launch()
+				inflight++
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Ping checks liveness.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.do(ctx, "ping", framePing, nil, frameOK)
+	return err
+}
+
+// Stat fetches the server's inventory snapshot.
+func (c *Client) Stat(ctx context.Context) (Stats, error) {
+	resp, err := c.do(ctx, "stat", frameStat, nil, frameStats)
+	if err != nil {
+		return Stats{}, err
+	}
+	return decodeStats(resp)
+}
+
+// Shutdown asks the server to drain and exit. The single attempt is not
+// retried: a dead server is already shut down.
+func (c *Client) Shutdown(ctx context.Context) error {
+	_, err := c.attempt(ctx, frameShutdown, nil, frameOK)
+	return err
+}
+
+// do runs one request with retries. Retryable failures: dial errors,
+// I/O errors, corrupt frames, and unavailable responses. Semantic
+// rejections (ErrBadRequest) and context cancellation end immediately.
+func (c *Client) do(ctx context.Context, op string, reqType byte, body []byte, wantResp byte) ([]byte, error) {
+	var lastErr error
+	for i := 0; i < c.cfg.Retry.MaxAttempts; i++ {
+		if i > 0 {
+			if err := c.sleep(ctx, c.backoff(i)); err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := c.attempt(ctx, reqType, body, wantResp)
+		if err == nil {
+			return resp, nil
+		}
+		if errors.Is(err, ErrBadRequest) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrClientClosed) {
+			return nil, fmt.Errorf("store: %s %s: %w", op, c.cfg.Addr, err)
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("store: %s %s failed after %d attempts: %w: %w",
+		op, c.cfg.Addr, c.cfg.Retry.MaxAttempts, ErrStoreUnavailable, lastErr)
+}
+
+// attempt performs one request/response exchange on one connection.
+func (c *Client) attempt(ctx context.Context, reqType byte, body []byte, wantResp byte) ([]byte, error) {
+	conn, err := c.getConn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Poison the connection the moment the context dies, so a blocked
+	// read returns instead of riding out the full OpTimeout.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
+	if err := writeFrame(conn, reqType, body); err != nil {
+		conn.Close()
+		return nil, c.ctxOr(ctx, err)
+	}
+	typ, resp, err := readFrame(conn, c.cfg.MaxFrame)
+	if err != nil {
+		conn.Close()
+		return nil, c.ctxOr(ctx, err)
+	}
+	switch typ {
+	case wantResp:
+		c.release(conn)
+		return resp, nil
+	case frameErr:
+		err := decodeErrFrame(resp)
+		if errors.Is(err, ErrBadRequest) {
+			// The connection is still in sync after a semantic
+			// rejection; corruption and drain responses are terminal.
+			c.release(conn)
+		} else {
+			conn.Close()
+		}
+		return nil, err
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("%w: unexpected %q response frame", ErrCorruptFrame, typ)
+	}
+}
+
+// ctxOr prefers the context's error over a deadline-induced I/O error,
+// so cancellation surfaces as context.Canceled rather than a timeout.
+func (c *Client) ctxOr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+func (c *Client) getConn(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	dctx, cancel := context.WithTimeout(ctx, c.cfg.DialTimeout)
+	defer cancel()
+	conn, err := c.dialer.DialContext(dctx, "tcp", c.cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", c.cfg.Addr, err)
+	}
+	return conn, nil
+}
+
+func (c *Client) release(conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= c.cfg.MaxIdleConns {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.Retry.BaseDelay << (attempt - 1)
+	if d > c.cfg.Retry.MaxDelay || d <= 0 {
+		d = c.cfg.Retry.MaxDelay
+	}
+	if j := c.cfg.Retry.Jitter; j > 0 {
+		c.mu.Lock()
+		f := 1 - j*c.rng.Float64()
+		c.mu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Wire framing. Every message on a store connection is one frame:
+//
+//	length  uint32 BE   bytes after this field: 1 (type) + 4 (crc) + body
+//	type    byte        frame type (see the frame* constants)
+//	crc32   uint32 BE   IEEE CRC over the type byte and the body
+//	body    length-5 bytes
+//
+// The CRC covers the type byte so a flipped opcode is caught like any
+// other corruption. Block bodies reuse the core CodedBlock wire format
+// (version byte preserved), so the store never invents a second
+// serialization of the same data.
+const (
+	frameOverhead = 1 + 4     // type + crc, covered by the length field
+	frameHeader   = 4 + 1 + 4 // length + type + crc
+
+	// DefaultMaxFrame bounds a single frame (16 MiB): large enough for a
+	// full block dump in the experiments, small enough that a corrupted
+	// length field cannot make a peer allocate without bound.
+	DefaultMaxFrame = 16 << 20
+)
+
+// Frame types. Requests are uppercase-ish mnemonics, responses follow
+// shell conventions ('+' ok, '!' error).
+const (
+	framePut      = 'P' // body: one CodedBlock (core wire format)
+	frameGet      = 'G' // body: uint16 max level (0xFFFF = all)
+	frameStat     = 'S' // body: empty
+	framePing     = 'i' // body: empty
+	frameShutdown = 'Q' // body: empty; server acks, drains, and exits
+
+	frameOK     = '+' // body: empty
+	frameErr    = '!' // body: code byte + UTF-8 message
+	frameBlocks = 'B' // body: uint32 n, then n x (uint32 len, block bytes)
+	frameStats  = 's' // body: uint32 total, uint16 n, n x (uint16 level, uint32 count)
+)
+
+// Error codes carried in frameErr bodies. The code tells the client
+// whether retrying the same request can help.
+const (
+	errCodeCorrupt     = 1 // transport corruption: retry on a fresh connection
+	errCodeBad         = 2 // semantic rejection: do not retry
+	errCodeUnavailable = 3 // server draining or full: try another replica
+)
+
+// writeFrame serializes one frame with a single Write call, so a
+// fault-injecting transport that corrupts per-write corrupts per-frame.
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	buf := make([]byte, 0, frameHeader+len(body))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameOverhead+len(body)))
+	buf = append(buf, typ)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(body)
+	buf = binary.BigEndian.AppendUint32(buf, crc.Sum32())
+	buf = append(buf, body...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and validates one frame. Length-field violations and
+// CRC mismatches wrap ErrCorruptFrame; after either, the stream is out
+// of sync and the connection must be closed.
+func readFrame(r io.Reader, maxFrame int) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(lenBuf[:]))
+	if n < frameOverhead {
+		return 0, nil, fmt.Errorf("%w: frame length %d below header", ErrCorruptFrame, n)
+	}
+	if n > maxFrame+frameOverhead {
+		return 0, nil, fmt.Errorf("%w: frame length %d exceeds limit %d", ErrCorruptFrame, n, maxFrame)
+	}
+	rest := make([]byte, n)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return 0, nil, err
+	}
+	typ := rest[0]
+	want := binary.BigEndian.Uint32(rest[1:5])
+	crc := crc32.NewIEEE()
+	crc.Write(rest[:1])
+	crc.Write(rest[5:])
+	if crc.Sum32() != want {
+		return 0, nil, fmt.Errorf("%w: crc mismatch on %q frame", ErrCorruptFrame, typ)
+	}
+	return typ, rest[5:], nil
+}
+
+// writeErrFrame best-effort sends an error response; failures are
+// ignored because the connection is usually about to close anyway.
+func writeErrFrame(w io.Writer, code byte, msg string) {
+	body := make([]byte, 0, 1+len(msg))
+	body = append(body, code)
+	body = append(body, msg...)
+	_ = writeFrame(w, frameErr, body)
+}
+
+// decodeErrFrame maps a frameErr body to a typed error.
+func decodeErrFrame(body []byte) error {
+	if len(body) == 0 {
+		return fmt.Errorf("%w: empty error frame", ErrBadRequest)
+	}
+	code, msg := body[0], string(body[1:])
+	switch code {
+	case errCodeCorrupt:
+		return fmt.Errorf("%w: server: %s", ErrCorruptFrame, msg)
+	case errCodeUnavailable:
+		return fmt.Errorf("%w: server: %s", ErrStoreUnavailable, msg)
+	default:
+		return fmt.Errorf("%w: server: %s", ErrBadRequest, msg)
+	}
+}
+
+// encodeBlockList packs marshaled blocks into a frameBlocks body.
+func encodeBlockList(blocks [][]byte) []byte {
+	size := 4
+	for _, b := range blocks {
+		size += 4 + len(b)
+	}
+	body := make([]byte, 0, size)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(blocks)))
+	for _, b := range blocks {
+		body = binary.BigEndian.AppendUint32(body, uint32(len(b)))
+		body = append(body, b...)
+	}
+	return body
+}
+
+// decodeBlockList unpacks a frameBlocks body into CodedBlocks. The body
+// already passed the frame CRC, so a parse failure here means a peer bug
+// rather than line noise; it is still reported as corruption so clients
+// retry elsewhere.
+func decodeBlockList(body []byte) ([]*core.CodedBlock, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: block list truncated", ErrCorruptFrame)
+	}
+	n := int(binary.BigEndian.Uint32(body))
+	off := 4
+	out := make([]*core.CodedBlock, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body)-off < 4 {
+			return nil, fmt.Errorf("%w: block list truncated at entry %d", ErrCorruptFrame, i)
+		}
+		l := int(binary.BigEndian.Uint32(body[off:]))
+		off += 4
+		if l < 0 || len(body)-off < l {
+			return nil, fmt.Errorf("%w: block %d length %d overruns body", ErrCorruptFrame, i, l)
+		}
+		var b core.CodedBlock
+		if err := b.UnmarshalBinary(body[off : off+l]); err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrCorruptFrame, i, err)
+		}
+		off += l
+		out = append(out, &b)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after block list", ErrCorruptFrame, len(body)-off)
+	}
+	return out, nil
+}
+
+// Stats is a server inventory snapshot.
+type Stats struct {
+	// Blocks is the total number of stored coded blocks.
+	Blocks int
+	// PerLevel counts blocks per priority level, ascending by level.
+	PerLevel []LevelCount
+}
+
+// LevelCount is one per-level entry of a Stats snapshot.
+type LevelCount struct {
+	Level int
+	Count int
+}
+
+func encodeStats(st Stats) []byte {
+	body := make([]byte, 0, 4+2+6*len(st.PerLevel))
+	body = binary.BigEndian.AppendUint32(body, uint32(st.Blocks))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(st.PerLevel)))
+	for _, lc := range st.PerLevel {
+		body = binary.BigEndian.AppendUint16(body, uint16(lc.Level))
+		body = binary.BigEndian.AppendUint32(body, uint32(lc.Count))
+	}
+	return body
+}
+
+func decodeStats(body []byte) (Stats, error) {
+	if len(body) < 6 {
+		return Stats{}, fmt.Errorf("%w: stats frame truncated", ErrCorruptFrame)
+	}
+	st := Stats{Blocks: int(binary.BigEndian.Uint32(body))}
+	n := int(binary.BigEndian.Uint16(body[4:]))
+	if len(body) != 6+6*n {
+		return Stats{}, fmt.Errorf("%w: stats frame length %d, want %d", ErrCorruptFrame, len(body), 6+6*n)
+	}
+	off := 6
+	for i := 0; i < n; i++ {
+		st.PerLevel = append(st.PerLevel, LevelCount{
+			Level: int(binary.BigEndian.Uint16(body[off:])),
+			Count: int(binary.BigEndian.Uint32(body[off+2:])),
+		})
+		off += 6
+	}
+	sort.Slice(st.PerLevel, func(i, j int) bool { return st.PerLevel[i].Level < st.PerLevel[j].Level })
+	return st, nil
+}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ReplicatedConfig parameterizes a Replicated store.
+type ReplicatedConfig struct {
+	// Tolerance is f, the number of simultaneous replica losses the
+	// least-important level must survive: the last level is stored on
+	// f+1 replicas. Default 1.
+	Tolerance int
+	// MinWrites is how many copies must land for Put to succeed; the
+	// remainder is best-effort, absorbed by retries and later repair.
+	// Default 1.
+	MinWrites int
+}
+
+// Replicated fans one logical store out over several servers with a
+// priority-differentiated replication factor: level 0 (most important)
+// goes to every replica, the last level to Tolerance+1, intermediate
+// levels linearly in between. This is the paper's priority semantics at
+// the storage layer — the critical prefix survives more node losses.
+type Replicated struct {
+	clients []*Client
+	levels  int
+	cfg     ReplicatedConfig
+	next    atomic.Uint64
+}
+
+// NewReplicated builds a replicated store over the given clients for a
+// code with `levels` priority levels.
+func NewReplicated(clients []*Client, levels int, cfg ReplicatedConfig) (*Replicated, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("store: replicated store needs at least one client")
+	}
+	if levels <= 0 {
+		return nil, fmt.Errorf("store: replicated store needs at least one level, got %d", levels)
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1
+	}
+	if cfg.MinWrites <= 0 {
+		cfg.MinWrites = 1
+	}
+	if cfg.MinWrites > len(clients) {
+		return nil, fmt.Errorf("store: MinWrites %d exceeds %d replicas", cfg.MinWrites, len(clients))
+	}
+	return &Replicated{clients: clients, levels: levels, cfg: cfg}, nil
+}
+
+// Clients exposes the underlying per-replica clients.
+func (r *Replicated) Clients() []*Client { return r.clients }
+
+// Close closes every client.
+func (r *Replicated) Close() error {
+	for _, c := range r.clients {
+		c.Close()
+	}
+	return nil
+}
+
+// ReplicasFor returns the replication factor of a priority level:
+// linear interpolation from all replicas at level 0 down to
+// Tolerance+1 at the last level, clamped to [1, len(clients)].
+func (r *Replicated) ReplicasFor(level int) int {
+	n := len(r.clients)
+	floor := r.cfg.Tolerance + 1
+	if floor > n {
+		floor = n
+	}
+	if level <= 0 || r.levels <= 1 || n == floor {
+		return n
+	}
+	if level >= r.levels-1 {
+		return floor
+	}
+	rf := n - int(math.Round(float64(level*(n-floor))/float64(r.levels-1)))
+	if rf < floor {
+		rf = floor
+	}
+	if rf > n {
+		rf = n
+	}
+	return rf
+}
+
+// Put stores one block on ReplicasFor(b.Level) replicas, chosen by a
+// rotating window so load spreads evenly. Writes are sequential and the
+// call succeeds once MinWrites copies landed; per-replica failures
+// beyond that are absorbed (retries already ran inside each client).
+func (r *Replicated) Put(ctx context.Context, b *core.CodedBlock) error {
+	if b == nil {
+		return fmt.Errorf("%w: nil block", ErrBadRequest)
+	}
+	targets := r.ReplicasFor(b.Level)
+	start := int((r.next.Add(1) - 1) % uint64(len(r.clients)))
+	stored := 0
+	var errs []error
+	for i := 0; i < targets; i++ {
+		cl := r.clients[(start+i)%len(r.clients)]
+		if err := cl.Put(ctx, b); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			errs = append(errs, err)
+			continue
+		}
+		stored++
+	}
+	if stored >= r.cfg.MinWrites {
+		return nil
+	}
+	return fmt.Errorf("store: put level %d stored %d/%d copies (want >= %d): %w",
+		b.Level, stored, targets, r.cfg.MinWrites, errors.Join(append([]error{ErrStoreUnavailable}, errs...)...))
+}
+
+// PutAll stores blocks in order, returning how many succeeded and the
+// first error.
+func (r *Replicated) PutAll(ctx context.Context, blocks []*core.CodedBlock) (int, error) {
+	for i, b := range blocks {
+		if err := r.Put(ctx, b); err != nil {
+			return i, err
+		}
+	}
+	return len(blocks), nil
+}
+
+// Collect fetches blocks with Level <= maxLevel (maxLevel < 0 for all)
+// from every replica concurrently, deduplicates the replicated copies,
+// and returns the union. It fails only when every replica fails.
+func (r *Replicated) Collect(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
+	perReplica := make([][]*core.CodedBlock, len(r.clients))
+	errs := make([]error, len(r.clients))
+	var wg sync.WaitGroup
+	for i, cl := range r.clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			perReplica[i], errs[i] = cl.Get(ctx, maxLevel)
+		}(i, cl)
+	}
+	wg.Wait()
+	seen := make(map[string]struct{})
+	var out []*core.CodedBlock
+	ok := 0
+	for i, blocks := range perReplica {
+		if errs[i] != nil {
+			continue
+		}
+		ok++
+		for _, b := range blocks {
+			data, err := b.MarshalBinary()
+			if err != nil {
+				continue
+			}
+			if _, dup := seen[string(data)]; dup {
+				continue
+			}
+			seen[string(data)] = struct{}{}
+			out = append(out, b)
+		}
+	}
+	if ok == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("store: collect: all %d replicas failed: %w",
+			len(r.clients), errors.Join(append([]error{ErrStoreUnavailable}, errs...)...))
+	}
+	return out, nil
+}

@@ -1,0 +1,291 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ServerConfig parameterizes a storage daemon.
+type ServerConfig struct {
+	// Addr is the TCP listen address; empty means loopback on an
+	// ephemeral port (the default for tests and in-process demos).
+	Addr string
+	// MaxConns bounds concurrently served connections; excess accepts
+	// are rejected with an unavailable error frame. Default 64.
+	MaxConns int
+	// MaxFrame bounds a single request frame. Default DefaultMaxFrame.
+	MaxFrame int
+	// MaxBlocks caps stored blocks (0 = unlimited); once full, puts are
+	// rejected as unavailable so clients fail over to another replica.
+	MaxBlocks int
+	// IdleTimeout is how long a connection may sit between requests
+	// before the server closes it. Default 30s.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. Default 10s.
+	WriteTimeout time.Duration
+}
+
+func (c *ServerConfig) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+}
+
+type storedBlock struct {
+	level int
+	data  []byte // core wire format, exactly as received
+}
+
+// Server is a TCP block-store daemon: it accepts frames (see frame.go),
+// keeps coded blocks in memory, and drains gracefully on Shutdown.
+// Identical blocks are deduplicated, which makes client put-retries
+// idempotent: a retry after a lost ack cannot double-store.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	blocks   []storedBlock
+	seen     map[string]struct{}
+	perLevel map[int]int
+
+	wg        sync.WaitGroup
+	draining  chan struct{}
+	done      chan struct{}
+	drainOnce sync.Once
+	doneOnce  sync.Once
+}
+
+// NewServer starts a daemon: it binds the configured address and begins
+// serving immediately. Callers must eventually Shutdown it.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg.fillDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("store: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+		seen:     make(map[string]struct{}),
+		perLevel: make(map[int]int),
+		draining: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ephemeral ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Done is closed once the server has fully shut down — either via
+// Shutdown or via a shutdown frame from a client.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Len returns the number of stored blocks.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocks)
+}
+
+// Stats returns an inventory snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Server) statsLocked() Stats {
+	st := Stats{Blocks: len(s.blocks)}
+	for lvl, n := range s.perLevel {
+		st.PerLevel = append(st.PerLevel, LevelCount{Level: lvl, Count: n})
+	}
+	// Deterministic order for wire encoding and printing.
+	for i := 1; i < len(st.PerLevel); i++ {
+		for j := i; j > 0 && st.PerLevel[j].Level < st.PerLevel[j-1].Level; j-- {
+			st.PerLevel[j], st.PerLevel[j-1] = st.PerLevel[j-1], st.PerLevel[j]
+		}
+	}
+	return st
+}
+
+// Shutdown drains the server: the listener closes, idle connections are
+// kicked, in-flight requests finish, and once the context expires any
+// stragglers are force-closed. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		close(s.draining)
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			// Interrupt blocking reads; handlers mid-response finish
+			// their write and then observe the drain.
+			c.SetReadDeadline(time.Unix(1, 0))
+		}
+		s.mu.Unlock()
+	})
+	waited := make(chan struct{})
+	go func() { s.wg.Wait(); close(waited) }()
+	var err error
+	select {
+	case <-waited:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-waited
+		err = ctx.Err()
+	}
+	s.doneOnce.Do(func() { close(s.done) })
+	return err
+}
+
+func (s *Server) drainingNow() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: draining
+		}
+		s.mu.Lock()
+		if len(s.conns) >= s.cfg.MaxConns || s.drainingNow() {
+			s.mu.Unlock()
+			writeErrFrame(conn, errCodeUnavailable, "server busy or draining")
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		if s.drainingNow() {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		typ, body, err := readFrame(conn, s.cfg.MaxFrame)
+		if err != nil {
+			if errors.Is(err, ErrCorruptFrame) {
+				// The stream is out of sync: report and hang up. The
+				// client's retry lands on a fresh connection.
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+				writeErrFrame(conn, errCodeCorrupt, err.Error())
+			}
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		shutdown := false
+		switch typ {
+		case framePut:
+			err = s.handlePut(conn, body)
+		case frameGet:
+			err = s.handleGet(conn, body)
+		case frameStat:
+			err = writeFrame(conn, frameStats, encodeStats(s.Stats()))
+		case framePing:
+			err = writeFrame(conn, frameOK, nil)
+		case frameShutdown:
+			err = writeFrame(conn, frameOK, nil)
+			shutdown = true
+		default:
+			writeErrFrame(conn, errCodeBad, fmt.Sprintf("unknown frame type %q", typ))
+			return
+		}
+		if shutdown {
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				s.Shutdown(ctx)
+			}()
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handlePut(conn net.Conn, body []byte) error {
+	var b core.CodedBlock
+	if err := b.UnmarshalBinary(body); err != nil {
+		writeErrFrame(conn, errCodeBad, fmt.Sprintf("bad block: %v", err))
+		return nil
+	}
+	s.mu.Lock()
+	key := string(body)
+	if _, dup := s.seen[key]; !dup {
+		if s.cfg.MaxBlocks > 0 && len(s.blocks) >= s.cfg.MaxBlocks {
+			s.mu.Unlock()
+			writeErrFrame(conn, errCodeUnavailable, "store full")
+			return nil
+		}
+		s.seen[key] = struct{}{}
+		s.blocks = append(s.blocks, storedBlock{level: b.Level, data: append([]byte(nil), body...)})
+		s.perLevel[b.Level]++
+	}
+	s.mu.Unlock()
+	return writeFrame(conn, frameOK, nil)
+}
+
+func (s *Server) handleGet(conn net.Conn, body []byte) error {
+	if len(body) != 2 {
+		writeErrFrame(conn, errCodeBad, fmt.Sprintf("get body %d bytes, want 2", len(body)))
+		return nil
+	}
+	maxLevel := int(binary.BigEndian.Uint16(body))
+	s.mu.Lock()
+	out := make([][]byte, 0, len(s.blocks))
+	for _, sb := range s.blocks {
+		if maxLevel == 0xFFFF || sb.level <= maxLevel {
+			out = append(out, sb.data)
+		}
+	}
+	s.mu.Unlock()
+	return writeFrame(conn, frameBlocks, encodeBlockList(out))
+}

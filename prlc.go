@@ -13,7 +13,7 @@
 //     levels 1..k, decoding progressively via incremental Gauss–Jordan
 //     elimination and strictly dominating SLC.
 //
-// The package exposes four layers:
+// The package exposes five layers:
 //
 //   - Coding: Levels, Encoder, Decoder, CodedBlock — encode source blocks
 //     into coded blocks and partially decode in priority order.
@@ -24,11 +24,16 @@
 //   - Protocol: Deployment plus the GPSR and Chord transports — the
 //     Sec. 4 pre-distribution protocol with decentralized encoding
 //     (c ← c + βx), O(ln N) fanout, and two-choices load balancing.
+//   - Store: StoreServer, StoreClient and ReplicatedStore — a real-
+//     sockets block store where the replication factor decreases with
+//     priority level, so the critical prefix survives more node losses.
 //
 // Everything is deterministic given explicit *rand.Rand seeds.
 package prlc
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -41,7 +46,24 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gpsr"
 	"repro/internal/predist"
+	"repro/internal/store"
 	"repro/internal/trace"
+)
+
+// Typed errors. Every sentinel works with errors.Is/errors.As, so
+// callers branch on failure modes instead of matching message strings.
+var (
+	// ErrDisconnected reports that NewSensorNetwork could not sample a
+	// connected deployment; increase the radio range or node count.
+	ErrDisconnected = errors.New("prlc: could not sample a connected deployment")
+	// ErrWireFormat reports a malformed CodedBlock wire encoding
+	// (CodedBlock.UnmarshalBinary and everything built on it).
+	ErrWireFormat = core.ErrWireFormat
+	// ErrCorruptFrame reports store-frame corruption caught by CRC32.
+	ErrCorruptFrame = store.ErrCorruptFrame
+	// ErrStoreUnavailable reports that a block store (or too many of its
+	// replicas) could not be reached even after retries.
+	ErrStoreUnavailable = store.ErrStoreUnavailable
 )
 
 // Coding layer.
@@ -277,7 +299,7 @@ func NewSensorNetwork(rng *rand.Rand, nodes int, radius float64) (*GeoRouter, *G
 			return r, g, nil
 		}
 		if attempt >= 200 {
-			return nil, nil, errDisconnected(nodes, radius)
+			return nil, nil, fmt.Errorf("%w (%d nodes, radius %g)", ErrDisconnected, nodes, radius)
 		}
 	}
 }
@@ -306,15 +328,54 @@ func Collect(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlock
 	return collect.Run(rng, scheme, levels, blocks, opts)
 }
 
-type disconnectedError struct {
-	nodes  int
-	radius float64
+// Store layer: the networked priority block store of internal/store — a
+// TCP daemon holding coded blocks, a pooled retrying client, and a
+// replicated store whose replication factor decreases with priority
+// level, so the critical prefix survives more node losses.
+type (
+	// StoreServer is a TCP block-store daemon.
+	StoreServer = store.Server
+	// StoreServerConfig parameterizes a StoreServer.
+	StoreServerConfig = store.ServerConfig
+	// StoreClient talks to one daemon with pooling, retries and hedged
+	// reads; all operations take a context.Context.
+	StoreClient = store.Client
+	// StoreClientConfig parameterizes a StoreClient.
+	StoreClientConfig = store.ClientConfig
+	// StoreRetryPolicy tunes client backoff (exponential with jitter).
+	StoreRetryPolicy = store.RetryPolicy
+	// StoreStats is a daemon inventory snapshot.
+	StoreStats = store.Stats
+	// StoreDialer abstracts connection establishment (fault injection).
+	StoreDialer = store.Dialer
+	// ReplicatedStore maps priority level to replication factor over a
+	// set of daemons.
+	ReplicatedStore = store.Replicated
+	// ReplicatedStoreConfig parameterizes a ReplicatedStore.
+	ReplicatedStoreConfig = store.ReplicatedConfig
+	// FaultConfig parameterizes a fault-injecting dialer.
+	FaultConfig = store.FaultConfig
+	// FaultDialer injects seedable dial failures, frame corruption,
+	// delays and partitions — the robustness tests' network.
+	FaultDialer = store.FaultDialer
+)
+
+// NewStoreServer starts a block-store daemon on cfg.Addr (empty for an
+// ephemeral loopback port). Shut it down with its Shutdown method.
+func NewStoreServer(cfg StoreServerConfig) (*StoreServer, error) { return store.NewServer(cfg) }
+
+// NewStoreClient returns a client for one daemon; connections are dialed
+// lazily and pooled.
+func NewStoreClient(cfg StoreClientConfig) (*StoreClient, error) { return store.NewClient(cfg) }
+
+// NewReplicatedStore builds a priority-replicated store over per-replica
+// clients for a code with the given number of levels.
+func NewReplicatedStore(clients []*StoreClient, levels int, cfg ReplicatedStoreConfig) (*ReplicatedStore, error) {
+	return store.NewReplicated(clients, levels, cfg)
 }
 
-func errDisconnected(nodes int, radius float64) error {
-	return &disconnectedError{nodes: nodes, radius: radius}
-}
-
-func (e *disconnectedError) Error() string {
-	return "prlc: could not sample a connected deployment; increase the radio range or node count"
+// NewFaultDialer wraps a dialer (nil for the network) with seedable
+// fault injection for robustness experiments.
+func NewFaultDialer(base StoreDialer, cfg FaultConfig) *FaultDialer {
+	return store.NewFaultDialer(base, cfg)
 }
