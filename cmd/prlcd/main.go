@@ -1,7 +1,9 @@
 // Command prlcd runs the networked priority block store: a daemon
 // (`prlcd serve`) plus client subcommands (`prlcd store ...`) that ship
 // a file into a replicated daemon fleet with priority-differentiated
-// replication and pull it back out, tolerating dead replicas.
+// replication and pull it back out, tolerating dead replicas, and a
+// maintenance subcommand (`prlcd repair`) that regenerates redundancy
+// lost to churn by decode-free recombination of surviving blocks.
 //
 // Usage:
 //
@@ -12,6 +14,9 @@
 //	prlcd store get -addrs ... -out recovered.pdf -scheme plc -sizes ... -size ...
 //	prlcd store stat -addr 127.0.0.1:7071
 //	prlcd store shutdown -addr 127.0.0.1:7071
+//	prlcd repair -addrs ... -scheme plc -sizes ... -total 160        # one round
+//	prlcd repair -addrs ... -sizes ... -total 160 -watch             # loop
+//	prlcd serve -addr ... -repair -peers ... -sizes ... -total 160   # serve + repair
 //
 // `store put` prints the exact `store get` invocation that recovers the
 // file, so the decode side needs no side-channel metadata.
@@ -31,6 +36,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/repair"
 	"repro/internal/store"
 )
 
@@ -50,23 +56,29 @@ func run(args []string, out io.Writer) error {
 		return serve(args[1:], out)
 	case "store":
 		return storeCmd(args[1:], out)
+	case "repair":
+		return repairCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve or store)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, store or repair)", args[0])
 	}
 }
 
 func serve(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("prlcd serve", flag.ContinueOnError)
 	var (
-		addr      string
-		maxConns  int
-		maxBlocks int
-		maxFrame  int
+		addr       string
+		maxConns   int
+		maxBlocks  int
+		maxFrame   int
+		withRepair bool
+		rOpts      repairOpts
 	)
 	fs.StringVar(&addr, "addr", "127.0.0.1:7071", "listen address")
 	fs.IntVar(&maxConns, "max-conns", 64, "maximum concurrent connections")
 	fs.IntVar(&maxBlocks, "max-blocks", 0, "maximum stored blocks (0 = unlimited)")
 	fs.IntVar(&maxFrame, "max-frame", store.DefaultMaxFrame, "maximum frame size in bytes")
+	fs.BoolVar(&withRepair, "repair", false, "run a repair daemon client loop over -peers alongside serving")
+	rOpts.register(fs, "peers", 10*time.Second)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +92,32 @@ func serve(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "prlcd: serving on %s\n", srv.Addr())
+	if withRepair {
+		// The serve-side client loop: this daemon audits and repairs the
+		// whole fleet (-peers should list every replica, itself included)
+		// in the background while serving its own blocks. Per-daemon
+		// jitter in the loop desynchronizes a fleet that all do this.
+		repl, d, err := rOpts.build("serve -repair")
+		if err != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+			return err
+		}
+		defer repl.Close()
+		d.Start()
+		fmt.Fprintf(out, "prlcd: repairing %d peers every %v\n",
+			len(cliutil.SplitAddrs(rOpts.addrsStr)), rOpts.interval)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := d.Stop(sctx); err != nil {
+				fmt.Fprintf(out, "prlcd: repair daemon stop: %v\n", err)
+				return
+			}
+			fmt.Fprintf(out, "prlcd: repair daemon stopped after %d rounds\n", d.Rounds())
+		}()
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
@@ -157,9 +195,9 @@ func statCmd(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%s: %d blocks\n", cl.Addr(), st.Blocks)
+		fmt.Fprintf(out, "%s: %d blocks, %d bytes\n", cl.Addr(), st.Blocks, st.Bytes)
 		for _, lc := range st.PerLevel {
-			fmt.Fprintf(out, "  level %d: %d blocks\n", lc.Level, lc.Count)
+			fmt.Fprintf(out, "  level %d: %d blocks, %d bytes\n", lc.Level, lc.Count, lc.Bytes)
 		}
 		return nil
 	})
@@ -379,6 +417,163 @@ func getCmd(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 	return nil
+}
+
+// repairOpts collects the fleet/code/daemon flags shared by
+// `prlcd repair` and `prlcd serve -repair`.
+type repairOpts struct {
+	addrsStr   string
+	schemeStr  string
+	sizesStr   string
+	distStr    string
+	total      int
+	targetsStr string
+	tolerance  int
+	minWrites  int
+	budget     int
+	sample     int
+	seed       int64
+	timeout    time.Duration
+	interval   time.Duration
+}
+
+func (o *repairOpts) register(fs *flag.FlagSet, addrsFlag string, interval time.Duration) {
+	fs.StringVar(&o.addrsStr, addrsFlag, "", "comma-separated daemon addresses of the fleet")
+	fs.StringVar(&o.schemeStr, "scheme", "plc", "coding scheme used at put time")
+	fs.StringVar(&o.sizesStr, "sizes", "", "per-level source block counts from put time")
+	fs.StringVar(&o.distStr, "dist", "", "priority distribution from put time (default uniform)")
+	fs.IntVar(&o.total, "total", 0, "coded blocks at full provisioning (M)")
+	fs.StringVar(&o.targetsStr, "targets", "", "exact per-level distinct-block targets (overrides -dist/-total)")
+	fs.IntVar(&o.tolerance, "f", 1, "replica losses the last level must survive")
+	fs.IntVar(&o.minWrites, "min-writes", 1, "copies that must land per regenerated block")
+	fs.IntVar(&o.budget, "budget", 0, "max blocks regenerated per round (0 = default)")
+	fs.IntVar(&o.sample, "sample", 0, "survivors sampled per recombination (0 = default)")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed for recombination")
+	fs.DurationVar(&o.timeout, "timeout", 5*time.Second, "per-attempt timeout")
+	fs.DurationVar(&o.interval, "interval", interval, "pause between repair rounds")
+}
+
+// build opens the replicated client fleet and constructs the daemon.
+func (o *repairOpts) build(name string) (*store.Replicated, *repair.Daemon, error) {
+	addrs := cliutil.SplitAddrs(o.addrsStr)
+	if len(addrs) == 0 || o.sizesStr == "" {
+		return nil, nil, fmt.Errorf("%s: fleet addresses and -sizes are required", name)
+	}
+	scheme, err := core.ParseScheme(o.schemeStr)
+	if err != nil {
+		return nil, nil, err
+	}
+	sizes, err := cliutil.ParseInts(o.sizesStr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: -sizes: %w", name, err)
+	}
+	levels, err := core.NewLevels(sizes...)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := repair.Config{
+		Scheme:      scheme,
+		Levels:      levels,
+		TotalBlocks: o.total,
+		Interval:    o.interval,
+		BlockBudget: o.budget,
+		SampleSize:  o.sample,
+		Seed:        o.seed,
+	}
+	if o.targetsStr != "" {
+		if cfg.Targets, err = cliutil.ParseInts(o.targetsStr); err != nil {
+			return nil, nil, fmt.Errorf("%s: -targets: %w", name, err)
+		}
+	} else {
+		if o.total <= 0 {
+			return nil, nil, fmt.Errorf("%s: -total (or -targets) is required", name)
+		}
+		if o.distStr == "" {
+			cfg.Dist = core.NewUniformDistribution(levels.Count())
+		} else {
+			vals, err := cliutil.ParseFloats(o.distStr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: -dist: %w", name, err)
+			}
+			cfg.Dist = core.PriorityDistribution(vals)
+		}
+	}
+	repl, err := openReplicated(addrs, levels.Count(), o.tolerance, o.minWrites, o.timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := repair.New(repl, cfg)
+	if err != nil {
+		repl.Close()
+		return nil, nil, err
+	}
+	return repl, d, nil
+}
+
+// repairCmd audits a replica fleet against its provisioning targets and
+// regenerates missing redundancy by decode-free recombination — one
+// round by default, a background loop with -watch.
+func repairCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prlcd repair", flag.ContinueOnError)
+	var opts repairOpts
+	opts.register(fs, "addrs", 10*time.Second)
+	watch := fs.Bool("watch", false, "keep repairing until interrupted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repl, d, err := opts.build("repair")
+	if err != nil {
+		return err
+	}
+	defer repl.Close()
+	addrs := cliutil.SplitAddrs(opts.addrsStr)
+	interval := opts.interval
+
+	if *watch {
+		d.Start()
+		fmt.Fprintf(out, "repair: watching %d daemons every %v (interrupt to stop)\n", len(addrs), interval)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := d.Stop(sctx); err != nil {
+			return err
+		}
+		rep := d.LastReport()
+		fmt.Fprintf(out, "repair: stopped after %d rounds\n", d.Rounds())
+		if rep.Audit != nil {
+			printRepairReport(out, rep)
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*opts.timeout)
+	defer cancel()
+	rep, err := d.RunOnce(ctx)
+	if err != nil {
+		return err
+	}
+	printRepairReport(out, rep)
+	return nil
+}
+
+func printRepairReport(out io.Writer, rep repair.Report) {
+	a := rep.Audit
+	fmt.Fprintf(out, "audit: %d/%d replicas reachable, total deficit %d copies\n",
+		a.Reachable, a.Reachable+a.Unreachable, a.TotalDeficit())
+	for _, lr := range a.Levels {
+		fmt.Fprintf(out, "  level %d: %d/%d copies (x%d replication), deficit %d\n",
+			lr.Level, lr.HaveCopies, lr.WantCopies, lr.Replicas, lr.Deficit)
+	}
+	fmt.Fprintf(out, "repair: regenerated %d blocks (%d copies), collected %d bytes, placed %d bytes\n",
+		rep.Regenerated, rep.Copies, rep.BytesCollected, rep.BytesPlaced)
+	if len(rep.SkippedLevels) > 0 {
+		fmt.Fprintf(out, "repair: skipped levels %v — no usable survivors\n", rep.SkippedLevels)
+	}
+	if rep.Truncated {
+		fmt.Fprintln(out, "repair: block budget exhausted; run again to continue")
+	}
 }
 
 func intsCSV(xs []int) string {

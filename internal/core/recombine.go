@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gf256"
+	"repro/internal/gfmat"
+)
+
+// ErrDegenerateInputs reports that a recombination sample spans nothing:
+// every input coefficient vector is zero, so no combination of them can
+// carry information. RecombineRanked wraps it so repair loops can skip
+// such samples with errors.Is instead of inspecting ranks.
+var ErrDegenerateInputs = errors.New("core: recombination inputs span no information")
+
+// Recombine produces a fresh coded block as a random GF(2^8) linear
+// combination of the given blocks — the regeneration primitive of the
+// distributed-storage line of related work (Dimakis et al.): redundancy
+// lost to node failures is restored from surviving *coded* blocks,
+// without ever reconstructing a source block.
+//
+// Because every input is a valid combination of source blocks, any linear
+// combination of the inputs is too, so the output decodes exactly like a
+// freshly encoded block. Compatibility rules follow the schemes'
+// supports:
+//
+//   - SLC: all inputs must carry the same level (levels are coded over
+//     disjoint supports); the output keeps that level.
+//   - PLC: inputs may mix levels; the output level is the maximum input
+//     level, whose support [0, b_max) is the union of the input spans.
+//   - RLC: any mix; the output level is the maximum input level.
+//
+// Blocks whose coefficient vectors violate their own scheme support, or
+// whose dimensions (coefficient or payload length) disagree, are
+// rejected — mixing blocks of different codes corrupts the store.
+//
+// The combination weights are drawn uniformly from the nonzero field
+// elements. A draw whose output coefficient vector cancels to zero is
+// redrawn a few times (possible only for linearly dependent inputs), so
+// a non-degenerate sample practically never yields a useless block.
+func Recombine(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlock) (*CodedBlock, error) {
+	out, _, err := recombine(rng, scheme, levels, blocks, false)
+	return out, err
+}
+
+// RecombineRanked is Recombine plus a rank report: it also returns the
+// GF(2^8) rank of the input coefficient matrix — the dimension of the
+// span fresh combinations are drawn from. A sample of rank r can
+// contribute at most r linearly independent regenerated blocks; callers
+// regenerating more should enlarge or re-draw the sample. A rank-0
+// sample (all-zero inputs) fails with ErrDegenerateInputs.
+//
+// The rank costs one small elimination over the sample's coefficient
+// vectors only — payloads are never touched, and nothing is decoded.
+func RecombineRanked(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlock) (*CodedBlock, int, error) {
+	return recombine(rng, scheme, levels, blocks, true)
+}
+
+func recombine(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlock, ranked bool) (*CodedBlock, int, error) {
+	if !scheme.Valid() {
+		return nil, 0, fmt.Errorf("core: invalid scheme %v", scheme)
+	}
+	if levels == nil {
+		return nil, 0, fmt.Errorf("core: nil levels")
+	}
+	if len(blocks) == 0 {
+		return nil, 0, fmt.Errorf("core: recombine needs at least one block")
+	}
+	n := levels.Total()
+	payloadLen := len(blocks[0].Payload)
+	outLevel := blocks[0].Level
+	for i, b := range blocks {
+		if b == nil {
+			return nil, 0, fmt.Errorf("core: recombine input %d is nil", i)
+		}
+		if len(b.Coeff) != n {
+			return nil, 0, fmt.Errorf("core: recombine input %d has %d coefficients, want %d (mixed dimensions?)",
+				i, len(b.Coeff), n)
+		}
+		if len(b.Payload) != payloadLen {
+			return nil, 0, fmt.Errorf("core: recombine input %d has %d payload bytes, want %d",
+				i, len(b.Payload), payloadLen)
+		}
+		lo, hi, err := scheme.Support(levels, b.Level)
+		if err != nil {
+			return nil, 0, err
+		}
+		for j, c := range b.Coeff {
+			if c != 0 && (j < lo || j >= hi) {
+				return nil, 0, fmt.Errorf("core: recombine input %d: %v level-%d block has nonzero coefficient at column %d outside support [%d, %d) (mixed schemes?)",
+					i, scheme, b.Level, j, lo, hi)
+			}
+		}
+		if scheme == SLC && b.Level != outLevel {
+			return nil, 0, fmt.Errorf("core: SLC recombine mixes level %d with level %d (levels are coded over disjoint supports)",
+				outLevel, b.Level)
+		}
+		if b.Level > outLevel {
+			outLevel = b.Level
+		}
+	}
+	rank := len(blocks)
+	if ranked {
+		rows := make([][]byte, len(blocks))
+		for i, b := range blocks {
+			rows[i] = b.Coeff
+		}
+		m, err := gfmat.FromRows(rows)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: recombine rank: %w", err)
+		}
+		rank = m.Rank()
+		if rank == 0 {
+			return nil, 0, fmt.Errorf("%w: %d all-zero inputs", ErrDegenerateInputs, len(blocks))
+		}
+	}
+	out := &CodedBlock{
+		Level:   outLevel,
+		Coeff:   make([]byte, n),
+		Payload: make([]byte, payloadLen),
+	}
+	// A zero output is only possible when the weighted inputs cancel,
+	// which requires linear dependence; a redraw resolves it except for
+	// the truly degenerate all-zero sample.
+	for attempt := 0; ; attempt++ {
+		for _, b := range blocks {
+			w := byte(1 + rng.Intn(255))
+			gf256.AddMulSlice(out.Coeff, b.Coeff, w)
+			if payloadLen > 0 {
+				gf256.AddMulSlice(out.Payload, b.Payload, w)
+			}
+		}
+		if !gf256.IsZero(out.Coeff) || attempt >= 3 {
+			break
+		}
+		for i := range out.Coeff {
+			out.Coeff[i] = 0
+		}
+		for i := range out.Payload {
+			out.Payload[i] = 0
+		}
+	}
+	return out, rank, nil
+}

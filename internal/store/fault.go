@@ -102,17 +102,24 @@ func (f *FaultDialer) DialContext(ctx context.Context, network, addr string) (ne
 	if err != nil {
 		return nil, err
 	}
-	return &faultConn{Conn: conn, f: f}, nil
+	return &faultConn{Conn: conn, f: f, addr: addr}, nil
 }
 
 type faultConn struct {
 	net.Conn
-	f *FaultDialer
+	f    *FaultDialer
+	addr string
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
 	f := c.f
 	f.mu.Lock()
+	// A partition severs live flows too, not just future dials —
+	// otherwise a pooled connection would tunnel through the outage.
+	if _, cut := f.parts[c.addr]; cut {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("fault: %s is partitioned", c.addr)
+	}
 	var delay time.Duration
 	if f.cfg.DelayProb > 0 && f.rng.Float64() < f.cfg.DelayProb {
 		delay = time.Duration(1 + f.rng.Int63n(int64(f.cfg.MaxDelay)))

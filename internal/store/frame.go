@@ -176,7 +176,11 @@ func decodeBlockList(body []byte) ([]*core.CodedBlock, error) {
 type Stats struct {
 	// Blocks is the total number of stored coded blocks.
 	Blocks int
-	// PerLevel counts blocks per priority level, ascending by level.
+	// Bytes is the total wire bytes of stored blocks (coefficients and
+	// payloads included) — the repair daemon's bandwidth accounting unit.
+	Bytes int64
+	// PerLevel counts blocks and bytes per priority level, ascending by
+	// level.
 	PerLevel []LevelCount
 }
 
@@ -184,15 +188,38 @@ type Stats struct {
 type LevelCount struct {
 	Level int
 	Count int
+	Bytes int64
 }
 
+// The stat body has two generations. v1 (PR 3) carried counts only:
+//
+//	uint32 blocks | uint16 n | n x (uint16 level, uint32 count)
+//
+// v2 adds byte tallies. It reuses v1's n position as a version marker —
+// 0xFFFF there (an absurd v1 level count) plus an explicit version byte
+// announces the new layout, so a v2 decoder still accepts v1 bodies from
+// older daemons byte-for-byte:
+//
+//	uint32 blocks | uint16 0xFFFF | byte 2 | uint64 bytes | uint16 n |
+//	n x (uint16 level, uint32 count, uint64 bytes)
+const (
+	statsV2Marker  = 0xFFFF
+	statsV2Version = 2
+	statsV2Header  = 4 + 2 + 1 + 8 + 2
+	statsV2Entry   = 2 + 4 + 8
+)
+
 func encodeStats(st Stats) []byte {
-	body := make([]byte, 0, 4+2+6*len(st.PerLevel))
+	body := make([]byte, 0, statsV2Header+statsV2Entry*len(st.PerLevel))
 	body = binary.BigEndian.AppendUint32(body, uint32(st.Blocks))
+	body = binary.BigEndian.AppendUint16(body, statsV2Marker)
+	body = append(body, statsV2Version)
+	body = binary.BigEndian.AppendUint64(body, uint64(st.Bytes))
 	body = binary.BigEndian.AppendUint16(body, uint16(len(st.PerLevel)))
 	for _, lc := range st.PerLevel {
 		body = binary.BigEndian.AppendUint16(body, uint16(lc.Level))
 		body = binary.BigEndian.AppendUint32(body, uint32(lc.Count))
+		body = binary.BigEndian.AppendUint64(body, uint64(lc.Bytes))
 	}
 	return body
 }
@@ -202,17 +229,37 @@ func decodeStats(body []byte) (Stats, error) {
 		return Stats{}, fmt.Errorf("%w: stats frame truncated", ErrCorruptFrame)
 	}
 	st := Stats{Blocks: int(binary.BigEndian.Uint32(body))}
-	n := int(binary.BigEndian.Uint16(body[4:]))
-	if len(body) != 6+6*n {
-		return Stats{}, fmt.Errorf("%w: stats frame length %d, want %d", ErrCorruptFrame, len(body), 6+6*n)
-	}
-	off := 6
-	for i := 0; i < n; i++ {
-		st.PerLevel = append(st.PerLevel, LevelCount{
-			Level: int(binary.BigEndian.Uint16(body[off:])),
-			Count: int(binary.BigEndian.Uint32(body[off+2:])),
-		})
-		off += 6
+	if len(body) >= statsV2Header &&
+		binary.BigEndian.Uint16(body[4:]) == statsV2Marker && body[6] == statsV2Version {
+		st.Bytes = int64(binary.BigEndian.Uint64(body[7:]))
+		n := int(binary.BigEndian.Uint16(body[15:]))
+		if len(body) != statsV2Header+statsV2Entry*n {
+			return Stats{}, fmt.Errorf("%w: stats v2 frame length %d, want %d",
+				ErrCorruptFrame, len(body), statsV2Header+statsV2Entry*n)
+		}
+		off := statsV2Header
+		for i := 0; i < n; i++ {
+			st.PerLevel = append(st.PerLevel, LevelCount{
+				Level: int(binary.BigEndian.Uint16(body[off:])),
+				Count: int(binary.BigEndian.Uint32(body[off+2:])),
+				Bytes: int64(binary.BigEndian.Uint64(body[off+6:])),
+			})
+			off += statsV2Entry
+		}
+	} else {
+		// v1 body from an older daemon: counts only, bytes stay zero.
+		n := int(binary.BigEndian.Uint16(body[4:]))
+		if len(body) != 6+6*n {
+			return Stats{}, fmt.Errorf("%w: stats frame length %d, want %d", ErrCorruptFrame, len(body), 6+6*n)
+		}
+		off := 6
+		for i := 0; i < n; i++ {
+			st.PerLevel = append(st.PerLevel, LevelCount{
+				Level: int(binary.BigEndian.Uint16(body[off:])),
+				Count: int(binary.BigEndian.Uint32(body[off+2:])),
+			})
+			off += 6
+		}
 	}
 	sort.Slice(st.PerLevel, func(i, j int) bool { return st.PerLevel[i].Level < st.PerLevel[j].Level })
 	return st, nil

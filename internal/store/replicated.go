@@ -59,6 +59,9 @@ func NewReplicated(clients []*Client, levels int, cfg ReplicatedConfig) (*Replic
 // Clients exposes the underlying per-replica clients.
 func (r *Replicated) Clients() []*Client { return r.clients }
 
+// Levels returns the number of priority levels the store was built for.
+func (r *Replicated) Levels() int { return r.levels }
+
 // Close closes every client.
 func (r *Replicated) Close() error {
 	for _, c := range r.clients {
@@ -97,16 +100,38 @@ func (r *Replicated) ReplicasFor(level int) int {
 // call succeeds once MinWrites copies landed; per-replica failures
 // beyond that are absorbed (retries already ran inside each client).
 func (r *Replicated) Put(ctx context.Context, b *core.CodedBlock) error {
+	return r.PutPreferring(ctx, b, nil)
+}
+
+// PutPreferring stores one block like Put but tries the given replica
+// indices first, in order, before falling back to the rotating window.
+// Out-of-range and duplicate indices are ignored. The repair daemon uses
+// it to steer regenerated blocks onto the replicas its audit found
+// under-provisioned, instead of re-crowding the healthy ones.
+func (r *Replicated) PutPreferring(ctx context.Context, b *core.CodedBlock, prefer []int) error {
 	if b == nil {
 		return fmt.Errorf("%w: nil block", ErrBadRequest)
 	}
 	targets := r.ReplicasFor(b.Level)
 	start := int((r.next.Add(1) - 1) % uint64(len(r.clients)))
+	order := make([]int, 0, len(r.clients))
+	taken := make([]bool, len(r.clients))
+	for _, i := range prefer {
+		if i >= 0 && i < len(r.clients) && !taken[i] {
+			taken[i] = true
+			order = append(order, i)
+		}
+	}
+	for i := 0; i < len(r.clients); i++ {
+		if j := (start + i) % len(r.clients); !taken[j] {
+			taken[j] = true
+			order = append(order, j)
+		}
+	}
 	stored := 0
 	var errs []error
-	for i := 0; i < targets; i++ {
-		cl := r.clients[(start+i)%len(r.clients)]
-		if err := cl.Put(ctx, b); err != nil {
+	for _, idx := range order[:targets] {
+		if err := r.clients[idx].Put(ctx, b); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -131,6 +156,26 @@ func (r *Replicated) PutAll(ctx context.Context, blocks []*core.CodedBlock) (int
 		}
 	}
 	return len(blocks), nil
+}
+
+// StatAll fetches every replica's inventory snapshot concurrently. The
+// two slices are indexed by replica: errs[i] is non-nil (and stats[i]
+// zero) where a replica was unreachable. Unlike Collect, reaching zero
+// replicas is not an error here — an audit of a fully dark fleet is
+// still an audit; callers decide how much reachability they need.
+func (r *Replicated) StatAll(ctx context.Context) ([]Stats, []error) {
+	stats := make([]Stats, len(r.clients))
+	errs := make([]error, len(r.clients))
+	var wg sync.WaitGroup
+	for i, cl := range r.clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			stats[i], errs[i] = cl.Stat(ctx)
+		}(i, cl)
+	}
+	wg.Wait()
+	return stats, errs
 }
 
 // Collect fetches blocks with Level <= maxLevel (maxLevel < 0 for all)

@@ -55,6 +55,12 @@ type storedBlock struct {
 	data  []byte // core wire format, exactly as received
 }
 
+// levelTally is the per-level slice of a server's inventory.
+type levelTally struct {
+	count int
+	bytes int64 // wire bytes, coefficient vectors included
+}
+
 // Server is a TCP block-store daemon: it accepts frames (see frame.go),
 // keeps coded blocks in memory, and drains gracefully on Shutdown.
 // Identical blocks are deduplicated, which makes client put-retries
@@ -67,7 +73,7 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	blocks   []storedBlock
 	seen     map[string]struct{}
-	perLevel map[int]int
+	perLevel map[int]levelTally
 
 	wg        sync.WaitGroup
 	draining  chan struct{}
@@ -89,7 +95,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		ln:       ln,
 		conns:    make(map[net.Conn]struct{}),
 		seen:     make(map[string]struct{}),
-		perLevel: make(map[int]int),
+		perLevel: make(map[int]levelTally),
 		draining: make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -121,8 +127,9 @@ func (s *Server) Stats() Stats {
 
 func (s *Server) statsLocked() Stats {
 	st := Stats{Blocks: len(s.blocks)}
-	for lvl, n := range s.perLevel {
-		st.PerLevel = append(st.PerLevel, LevelCount{Level: lvl, Count: n})
+	for lvl, tally := range s.perLevel {
+		st.Bytes += tally.bytes
+		st.PerLevel = append(st.PerLevel, LevelCount{Level: lvl, Count: tally.count, Bytes: tally.bytes})
 	}
 	// Deterministic order for wire encoding and printing.
 	for i := 1; i < len(st.PerLevel); i++ {
@@ -267,7 +274,10 @@ func (s *Server) handlePut(conn net.Conn, body []byte) error {
 		}
 		s.seen[key] = struct{}{}
 		s.blocks = append(s.blocks, storedBlock{level: b.Level, data: append([]byte(nil), body...)})
-		s.perLevel[b.Level]++
+		tally := s.perLevel[b.Level]
+		tally.count++
+		tally.bytes += int64(len(body))
+		s.perLevel[b.Level] = tally
 	}
 	s.mu.Unlock()
 	return writeFrame(conn, frameOK, nil)

@@ -13,7 +13,7 @@
 //     levels 1..k, decoding progressively via incremental Gauss–Jordan
 //     elimination and strictly dominating SLC.
 //
-// The package exposes five layers:
+// The package exposes six layers:
 //
 //   - Coding: Levels, Encoder, Decoder, CodedBlock — encode source blocks
 //     into coded blocks and partially decode in priority order.
@@ -27,11 +27,15 @@
 //   - Store: StoreServer, StoreClient and ReplicatedStore — a real-
 //     sockets block store where the replication factor decreases with
 //     priority level, so the critical prefix survives more node losses.
+//   - Repair: Recombine, AuditStore and RepairDaemon — decode-free
+//     regeneration of redundancy lost to churn, by randomly recombining
+//     surviving coded blocks, most critical level first.
 //
 // Everything is deterministic given explicit *rand.Rand seeds.
 package prlc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -46,6 +50,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gpsr"
 	"repro/internal/predist"
+	"repro/internal/repair"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -64,6 +69,9 @@ var (
 	// ErrStoreUnavailable reports that a block store (or too many of its
 	// replicas) could not be reached even after retries.
 	ErrStoreUnavailable = store.ErrStoreUnavailable
+	// ErrDegenerateInputs reports a recombination sample that spans no
+	// information (every coefficient vector is zero).
+	ErrDegenerateInputs = core.ErrDegenerateInputs
 )
 
 // Coding layer.
@@ -378,4 +386,56 @@ func NewReplicatedStore(clients []*StoreClient, levels int, cfg ReplicatedStoreC
 // fault injection for robustness experiments.
 func NewFaultDialer(base StoreDialer, cfg FaultConfig) *FaultDialer {
 	return store.NewFaultDialer(base, cfg)
+}
+
+// Repair layer: decode-free maintenance of a replicated deployment.
+// Redundancy lost to churn is regenerated by randomly recombining
+// surviving coded blocks (the regeneration primitive of Dimakis et al.,
+// "Network Coding for Distributed Storage Systems") — no source block
+// is ever reconstructed on the repair path.
+type (
+	// RepairConfig parameterizes a RepairDaemon (interval, backoff,
+	// jitter, per-round block budget, sample size, seed).
+	RepairConfig = repair.Config
+	// RepairDaemon is the background audit+recombine+place loop.
+	RepairDaemon = repair.Daemon
+	// RepairReport summarizes one repair round.
+	RepairReport = repair.Report
+	// StoreAuditConfig defines the provisioning targets an audit
+	// compares the fleet against.
+	StoreAuditConfig = repair.AuditConfig
+	// StoreAudit is one fleet inventory scan: per-level copy counts vs.
+	// targets, most-critical-level-first.
+	StoreAudit = repair.Audit
+	// StoreLevelReport is one level's audit line.
+	StoreLevelReport = repair.LevelReport
+)
+
+// Recombine produces a fresh coded block as a random GF(2^8) linear
+// combination of compatible coded blocks — the decode-free repair
+// primitive. SLC inputs must share a level; PLC output takes the
+// maximum input level, its support the union of the input spans.
+func Recombine(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlock) (*CodedBlock, error) {
+	return core.Recombine(rng, scheme, levels, blocks)
+}
+
+// RecombineRanked is Recombine plus the GF(2^8) rank of the input
+// sample — how many linearly independent fresh blocks it can yield.
+// All-zero samples fail with ErrDegenerateInputs.
+func RecombineRanked(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlock) (*CodedBlock, int, error) {
+	return core.RecombineRanked(rng, scheme, levels, blocks)
+}
+
+// AuditStore scans every replica's per-level inventory and compares it
+// against the provisioning targets, returning the deficit report the
+// repair loop acts on.
+func AuditStore(ctx context.Context, r *ReplicatedStore, cfg StoreAuditConfig) (*StoreAudit, error) {
+	return repair.AuditFleet(ctx, r, cfg)
+}
+
+// NewRepairDaemon validates the configuration and returns a stopped
+// repair daemon for the replicated store; Start launches the background
+// loop, RunOnce drives a single audit+repair round synchronously.
+func NewRepairDaemon(r *ReplicatedStore, cfg RepairConfig) (*RepairDaemon, error) {
+	return repair.New(r, cfg)
 }
