@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair check fuzz-smoke daemon-demo repair-demo figures examples clean
+.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair bench-metrics check fuzz-smoke daemon-demo repair-demo figures examples clean
 
 all: build vet test
 
@@ -51,12 +51,23 @@ bench-repair:
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_repair.json -by "make bench-repair" \
 	    -note "Regenerate recombines one fresh block from an 8-survivor sample; RegenerateRef decodes all 96 blocks and re-encodes; B/op-style MB/s are bytes moved per regenerated block"
 
+# Observability overhead: each Metered benchmark runs the hot path with a
+# live registry attached, its Ref twin with metrics detached, so the paired
+# "speedup" in BENCH_metrics.json is the inverse of the instrumentation
+# overhead (0.95 = metrics cost 5%; the budget is ≤5% on every pair).
+bench-metrics:
+	{ $(GO) test -run='^$$' -bench 'BenchmarkMetered(Encode|Decode)' -benchtime=500ms ./internal/core && \
+	  $(GO) test -run='^$$' -bench 'BenchmarkMeteredRoundtrip' -benchtime=500ms ./internal/store ; } \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_metrics.json -by "make bench-metrics" \
+	    -note "MeteredX runs with a live metrics registry, MeteredXRef with metrics detached; speedup = ref/metered is the inverse instrumentation overhead, budget >= 0.95 (5%) per pair"
+
 # Fast correctness gate: vet everything, race-test the packages with
 # concurrent hot paths (the word-parallel kernels, the row arenas, the
-# parallel encoder, the networked store and the repair daemon).
+# parallel encoder, the networked store, the repair daemon and the shared
+# metrics registry they all write to).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/store ./internal/repair
+	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/store ./internal/repair ./internal/metrics
 
 # Short fuzz pass over every fuzz target: the block-file parser, the wire
 # format, the decoder equivalence oracle and the GF(2^8) kernels. ~20s per

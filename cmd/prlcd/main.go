@@ -17,6 +17,8 @@
 //	prlcd repair -addrs ... -scheme plc -sizes ... -total 160        # one round
 //	prlcd repair -addrs ... -sizes ... -total 160 -watch             # loop
 //	prlcd serve -addr ... -repair -peers ... -sizes ... -total 160   # serve + repair
+//	prlcd serve -addr ... -metrics 127.0.0.1:7091                    # + observability
+//	prlcd metrics 127.0.0.1:7091                                     # metrics table
 //
 // `store put` prints the exact `store get` invocation that recovers the
 // file, so the decode side needs no side-channel metadata.
@@ -24,10 +26,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +41,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/repair"
 	"repro/internal/store"
 )
@@ -58,35 +64,54 @@ func run(args []string, out io.Writer) error {
 		return storeCmd(args[1:], out)
 	case "repair":
 		return repairCmd(args[1:], out)
+	case "metrics":
+		return metricsCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve, store or repair)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, store, repair or metrics)", args[0])
 	}
 }
 
 func serve(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("prlcd serve", flag.ContinueOnError)
 	var (
-		addr       string
-		maxConns   int
-		maxBlocks  int
-		maxFrame   int
-		withRepair bool
-		rOpts      repairOpts
+		addr        string
+		maxConns    int
+		maxBlocks   int
+		maxFrame    int
+		metricsAddr string
+		withRepair  bool
+		rOpts       repairOpts
 	)
 	fs.StringVar(&addr, "addr", "127.0.0.1:7071", "listen address")
 	fs.IntVar(&maxConns, "max-conns", 64, "maximum concurrent connections")
 	fs.IntVar(&maxBlocks, "max-blocks", 0, "maximum stored blocks (0 = unlimited)")
 	fs.IntVar(&maxFrame, "max-frame", store.DefaultMaxFrame, "maximum frame size in bytes")
+	fs.StringVar(&metricsAddr, "metrics", "", "observability listen address (Prometheus /metrics, /metrics.json, /debug/pprof)")
 	fs.BoolVar(&withRepair, "repair", false, "run a repair daemon client loop over -peers alongside serving")
 	rOpts.register(fs, "peers", 10*time.Second)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var reg *metrics.Registry
+	if metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("serve: metrics listen %s: %w", metricsAddr, err)
+		}
+		defer mln.Close()
+		msrv := &http.Server{Handler: metrics.Handler(reg)}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		fmt.Fprintf(out, "prlcd: metrics on http://%s/metrics\n", mln.Addr())
+	}
+	rOpts.metrics = reg
 	srv, err := store.NewServer(store.ServerConfig{
 		Addr:      addr,
 		MaxConns:  maxConns,
 		MaxBlocks: maxBlocks,
 		MaxFrame:  maxFrame,
+		Metrics:   reg,
 	})
 	if err != nil {
 		return err
@@ -213,11 +238,12 @@ func shutdownCmd(args []string, out io.Writer) error {
 	})
 }
 
-// openReplicated builds per-replica clients and the replicated store.
-func openReplicated(addrs []string, levels, tolerance, minWrites int, timeout time.Duration) (*store.Replicated, error) {
+// openReplicated builds per-replica clients and the replicated store,
+// all attached to reg (which may be nil for uninstrumented commands).
+func openReplicated(addrs []string, levels, tolerance, minWrites int, timeout time.Duration, reg *metrics.Registry) (*store.Replicated, error) {
 	clients := make([]*store.Client, 0, len(addrs))
 	for _, a := range addrs {
-		cl, err := newClient(a, timeout)
+		cl, err := store.NewClient(store.ClientConfig{Addr: a, OpTimeout: timeout, Metrics: reg})
 		if err != nil {
 			return nil, err
 		}
@@ -226,6 +252,7 @@ func openReplicated(addrs []string, levels, tolerance, minWrites int, timeout ti
 	return store.NewReplicated(clients, levels, store.ReplicatedConfig{
 		Tolerance: tolerance,
 		MinWrites: minWrites,
+		Metrics:   reg,
 	})
 }
 
@@ -317,7 +344,7 @@ func putCmd(args []string, out io.Writer) error {
 		return err
 	}
 
-	repl, err := openReplicated(addrs, levels.Count(), tolerance, minWrites, timeout)
+	repl, err := openReplicated(addrs, levels.Count(), tolerance, minWrites, timeout, nil)
 	if err != nil {
 		return err
 	}
@@ -375,7 +402,7 @@ func getCmd(args []string, out io.Writer) error {
 		return err
 	}
 
-	repl, err := openReplicated(addrs, levels.Count(), 1, 1, timeout)
+	repl, err := openReplicated(addrs, levels.Count(), 1, 1, timeout, nil)
 	if err != nil {
 		return err
 	}
@@ -435,6 +462,7 @@ type repairOpts struct {
 	seed       int64
 	timeout    time.Duration
 	interval   time.Duration
+	metrics    *metrics.Registry // set programmatically, not a flag
 }
 
 func (o *repairOpts) register(fs *flag.FlagSet, addrsFlag string, interval time.Duration) {
@@ -479,6 +507,7 @@ func (o *repairOpts) build(name string) (*store.Replicated, *repair.Daemon, erro
 		BlockBudget: o.budget,
 		SampleSize:  o.sample,
 		Seed:        o.seed,
+		Metrics:     o.metrics,
 	}
 	if o.targetsStr != "" {
 		if cfg.Targets, err = cliutil.ParseInts(o.targetsStr); err != nil {
@@ -498,7 +527,7 @@ func (o *repairOpts) build(name string) (*store.Replicated, *repair.Daemon, erro
 			cfg.Dist = core.PriorityDistribution(vals)
 		}
 	}
-	repl, err := openReplicated(addrs, levels.Count(), o.tolerance, o.minWrites, o.timeout)
+	repl, err := openReplicated(addrs, levels.Count(), o.tolerance, o.minWrites, o.timeout, o.metrics)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -573,6 +602,79 @@ func printRepairReport(out io.Writer, rep repair.Report) {
 	}
 	if rep.Truncated {
 		fmt.Fprintln(out, "repair: block budget exhausted; run again to continue")
+	}
+}
+
+// metricsCmd fetches a daemon's /metrics.json snapshot and renders it as
+// a human-readable table: counters, gauges, then histograms with their
+// count/mean/p50/p95/p99/max columns.
+func metricsCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prlcd metrics", flag.ContinueOnError)
+	timeout := fs.Duration("timeout", 5*time.Second, "fetch timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: prlcd metrics <observability-addr> (the serve -metrics address)")
+	}
+	addr := fs.Arg(0)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/metrics.json", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("metrics: fetch %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: %s returned %s", addr, resp.Status)
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("metrics: decode snapshot from %s: %w", addr, err)
+	}
+	printSnapshot(out, addr, snap)
+	return nil
+}
+
+func printSnapshot(out io.Writer, addr string, snap metrics.Snapshot) {
+	if snap.Empty() {
+		fmt.Fprintf(out, "%s: no metrics recorded yet\n", addr)
+		return
+	}
+	nameWidth := 0
+	for _, c := range snap.Counters {
+		nameWidth = max(nameWidth, len(c.Name))
+	}
+	for _, g := range snap.Gauges {
+		nameWidth = max(nameWidth, len(g.Name))
+	}
+	for _, h := range snap.Histograms {
+		nameWidth = max(nameWidth, len(h.Name))
+	}
+	if len(snap.Counters) > 0 {
+		fmt.Fprintf(out, "counters:\n")
+		for _, c := range snap.Counters {
+			fmt.Fprintf(out, "  %-*s %d\n", nameWidth, c.Name, c.Value)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintf(out, "gauges:\n")
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(out, "  %-*s %d\n", nameWidth, g.Name, g.Value)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintf(out, "histograms:\n")
+		fmt.Fprintf(out, "  %-*s %5s %10s %10s %10s %10s %10s\n",
+			nameWidth, "", "count", "mean", "p50", "p95", "p99", "max")
+		for _, h := range snap.Histograms {
+			fmt.Fprintf(out, "  %-*s %5d %10.0f %10d %10d %10d %10d\n",
+				nameWidth, h.Name, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// startMetricsEndpoint serves a metrics.Handler for reg on an ephemeral
+// loopback port — exactly what `prlcd serve -metrics` binds — and
+// returns its address.
+func startMetricsEndpoint(t *testing.T, reg *metrics.Registry) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: metrics.Handler(reg)}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func TestMetricsCmdRendersSnapshot(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("store_server_puts_stored_total").Add(7)
+	reg.Gauge("store_server_blocks").Set(7)
+	h := reg.Histogram("store_server_request_ns")
+	for _, v := range []int64{1000, 2000, 4000} {
+		h.Observe(v)
+	}
+	addr := startMetricsEndpoint(t, reg)
+
+	var out bytes.Buffer
+	if err := run([]string{"metrics", addr}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		`counters:`, `store_server_puts_stored_total\s+7`,
+		`gauges:`, `store_server_blocks\s+7`,
+		`histograms:`, `p95`, `store_server_request_ns\s+3\s`,
+	} {
+		if !regexp.MustCompile(want).MatchString(got) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// The text endpoint the same listener serves must be valid Prometheus
+	// exposition format end to end.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := metrics.ValidatePromText(resp.Body); err != nil {
+		t.Fatalf("live /metrics endpoint invalid: %v", err)
+	}
+}
+
+func TestMetricsCmdEmptyRegistry(t *testing.T) {
+	addr := startMetricsEndpoint(t, metrics.NewRegistry())
+	var out bytes.Buffer
+	if err := run([]string{"metrics", addr}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no metrics recorded yet") {
+		t.Fatalf("empty snapshot output: %q", out.String())
+	}
+}
+
+func TestMetricsCmdErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"metrics"}, &out); err == nil {
+		t.Error("metrics with no addr accepted")
+	}
+	if err := run([]string{"metrics", "-timeout", "50ms", "127.0.0.1:1"}, &out); err == nil {
+		t.Error("metrics against a dead addr succeeded")
+	}
+}

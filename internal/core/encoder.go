@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/gf256"
@@ -73,6 +74,7 @@ type Encoder struct {
 	sources    [][]byte // nil when payloadLen == 0 (coefficient-only experiments)
 	payloadLen int
 	sparsity   int
+	met        encoderMetrics
 }
 
 // NewEncoder constructs an encoder. sources must either be nil/empty (for
@@ -124,6 +126,10 @@ func (e *Encoder) PayloadLen() int { return e.payloadLen }
 // drawn uniformly from the nonzero field elements over the scheme's support
 // (or over a sparse random subset of it when WithSparsity is set).
 func (e *Encoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error) {
+	var t0 time.Time
+	if e.met.encodeNs != nil {
+		t0 = time.Now()
+	}
 	coeff, lo, hi, err := e.drawCoeff(rng, level)
 	if err != nil {
 		return nil, err
@@ -134,6 +140,11 @@ func (e *Encoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error) {
 		e.foldPayloadStripe(b.Payload, coeff, lo, hi, 0)
 	} else {
 		b.Payload = []byte{}
+	}
+	if e.met.encodeNs != nil {
+		e.met.blocks.Inc()
+		e.met.bytes.Add(uint64(len(b.Payload)))
+		e.met.encodeNs.ObserveSince(t0)
 	}
 	return b, nil
 }

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestCodingMetrics drives an instrumented encode→decode round and checks
+// the registry tells the progressive-decoding story: every block counted,
+// innovative vs. redundant split correct, and each level's ready-time
+// series populated exactly once.
+func TestCodingMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	levels, err := NewLevels(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	sources := make([][]byte, levels.Total())
+	for i := range sources {
+		sources[i] = make([]byte, 16)
+		rng.Read(sources[i])
+	}
+	enc, err := NewEncoder(PLC, levels, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.SetMetrics(reg)
+	dec, err := NewDecoder(PLC, levels, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.SetMetrics(reg)
+
+	const n = 12 // > Total(), so some blocks are redundant
+	innovative := 0
+	for i := 0; i < n; i++ {
+		b, err := enc.Encode(rng, levels.Count()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := dec.Add(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			innovative++
+		}
+	}
+	if !dec.Complete() {
+		t.Fatal("decode incomplete; test needs more blocks")
+	}
+
+	if got := reg.Counter("core_encode_blocks_total").Value(); got != n {
+		t.Errorf("encode blocks = %d, want %d", got, n)
+	}
+	if got := reg.Counter("core_encode_bytes_total").Value(); got != n*16 {
+		t.Errorf("encode bytes = %d, want %d", got, n*16)
+	}
+	if got := reg.Counter("core_decode_blocks_total").Value(); got != n {
+		t.Errorf("decode blocks = %d, want %d", got, n)
+	}
+	if got := reg.Counter("core_decode_innovative_total").Value(); got != uint64(innovative) {
+		t.Errorf("innovative = %d, want %d", got, innovative)
+	}
+	if innovative != levels.Total() {
+		t.Errorf("innovative = %d, want Total() = %d", innovative, levels.Total())
+	}
+	if got := reg.Gauge("core_decode_solved_rows").Value(); got != int64(levels.Total()) {
+		t.Errorf("solved rows = %d, want %d", got, levels.Total())
+	}
+	if got := reg.Gauge("core_decode_levels_decoded").Value(); got != int64(levels.Count()) {
+		t.Errorf("levels decoded = %d, want %d", got, levels.Count())
+	}
+	for k := 0; k < levels.Count(); k++ {
+		h := reg.Histogram(levelReadyName(k)).Snapshot()
+		if h.Count != 1 {
+			t.Errorf("level %d ready series has %d samples, want 1", k, h.Count)
+		}
+	}
+
+	// A rejected block (coefficient outside support) counts as rejected.
+	bad := &CodedBlock{Level: 0, Coeff: make([]byte, levels.Total()), Payload: make([]byte, 16)}
+	bad.Coeff[levels.Total()-1] = 1 // outside level 0's support
+	if _, err := dec.Add(bad); err == nil {
+		t.Fatal("out-of-support block accepted")
+	}
+	if got := reg.Counter("core_decode_rejected_total").Value(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+}
+
+// TestSetMetricsNilDetaches confirms detaching returns the hot path to
+// its uninstrumented form.
+func TestSetMetricsNilDetaches(t *testing.T) {
+	reg := metrics.NewRegistry()
+	levels, err := NewLevels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(RLC, levels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.SetMetrics(reg)
+	enc.SetMetrics(nil)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := enc.Encode(rng, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("core_encode_blocks_total").Value(); got != 0 {
+		t.Errorf("detached encoder recorded %d blocks", got)
+	}
+}

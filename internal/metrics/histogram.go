@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-linear, 8 linear sub-buckets per octave
+// (HDR-style). Values 0..7 land in exact buckets 0..7; beyond that, each
+// power-of-two octave splits into 8 equal sub-buckets, so relative
+// resolution stays within 12.5% at every magnitude. The full uint64 range
+// needs 8 + 61*8 = 496 buckets — 4 KiB of atomics per histogram, sized
+// once, no allocation ever on the record path.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // 8
+	histBuckets = histSub + (64-histSubBits)*histSub
+)
+
+// Histogram is a fixed-bucket log-linear histogram of non-negative int64
+// samples (latencies in nanoseconds, sizes in bytes). Recording is two
+// atomic adds plus a bucket increment; quantiles are computed at snapshot
+// time by walking the bucket array. The zero value is ready to use; a nil
+// *Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	shift := bits.Len64(v) - 1 - histSubBits // >= 0 here
+	sub := int((v >> uint(shift)) & (histSub - 1))
+	return histSub + shift*histSub + sub
+}
+
+// bucketUpper returns the largest sample value mapping to bucket i — the
+// conservative estimate quantile queries report.
+func bucketUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	shift := (i - histSub) / histSub
+	sub := (i - histSub) % histSub
+	lower := uint64(histSub+sub) << uint(shift)
+	upper := lower + (uint64(1) << uint(shift)) - 1
+	if upper > uint64(1)<<62 {
+		return int64(1) << 62
+	}
+	return int64(upper)
+}
+
+// Observe records one sample; negative samples clamp to zero. No-op on a
+// nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(uint64(v))].Add(1)
+}
+
+// ObserveSince records the elapsed nanoseconds since t0. No-op on a nil
+// receiver (time.Since is still evaluated; callers on hot paths should
+// guard with h != nil if even that matters).
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(t0)))
+}
+
+// HistogramSnapshot is a histogram's point-in-time summary. Quantiles are
+// bucket upper bounds, i.e. conservative to within the bucket's 12.5%
+// relative width; Mean is exact over the recorded sum.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"` // upper bound of the highest occupied bucket
+}
+
+// Snapshot summarizes the histogram. Safe concurrently with Observe; a
+// racing sample may be counted in Count but not yet in a bucket, which
+// the quantile walk tolerates by treating the tail as the last occupied
+// bucket. A nil receiver yields a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = float64(s.Sum) / float64(s.Count)
+
+	// One pass: cumulative rank targets for p50/p95/p99 against a local
+	// copy of the occupancy, tracking the highest occupied bucket.
+	var counts [histBuckets]uint64
+	total := uint64(0)
+	maxBucket := -1
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+		if c > 0 {
+			maxBucket = i
+		}
+	}
+	if total == 0 {
+		return s
+	}
+	q := func(p float64) int64 {
+		rank := uint64(float64(total)*p + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		cum := uint64(0)
+		for i := 0; i <= maxBucket; i++ {
+			cum += counts[i]
+			if cum >= rank {
+				return bucketUpper(i)
+			}
+		}
+		return bucketUpper(maxBucket)
+	}
+	s.P50 = q(0.50)
+	s.P95 = q(0.95)
+	s.P99 = q(0.99)
+	s.Max = bucketUpper(maxBucket)
+	return s
+}

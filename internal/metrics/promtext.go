@@ -1,0 +1,261 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateMetricName checks a registry name: a Prometheus metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*), optionally followed by one inline label set
+// `{key="value",...}` with no escapes in the values.
+func ValidateMetricName(name string) error {
+	base, labels := splitName(name)
+	if !validBareName(base) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	if labels == "" {
+		if strings.ContainsAny(name, "{}") {
+			return fmt.Errorf("invalid metric name %q: malformed label set", name)
+		}
+		return nil
+	}
+	if err := validateLabelSet(labels); err != nil {
+		return fmt.Errorf("invalid metric name %q: %v", name, err)
+	}
+	return nil
+}
+
+// splitName splits `base{labels}` into base and the inner label text;
+// labels is empty when there is no label set.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	if !strings.HasSuffix(name, "}") {
+		return name[:i], ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+func validBareName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validateLabelSet(labels string) error {
+	for _, pair := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("label %q is not key=\"value\"", pair)
+		}
+		if !validBareName(k) || strings.ContainsRune(k, ':') {
+			return fmt.Errorf("bad label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value %s is not quoted", v)
+		}
+		if strings.ContainsAny(v[1:len(v)-1], `"\`+"\n") {
+			return fmt.Errorf("label value %s needs escaping", v)
+		}
+	}
+	return nil
+}
+
+// withQuantile merges a quantile label into a possibly-labeled name:
+// foo -> foo{quantile="0.5"}, foo{a="b"} -> foo{a="b",quantile="0.5"}.
+func withQuantile(name, q string) string {
+	base, labels := splitName(name)
+	if labels == "" {
+		return fmt.Sprintf("%s{quantile=%q}", base, q)
+	}
+	return fmt.Sprintf("%s{%s,quantile=%q}", base, labels, q)
+}
+
+// withSuffix appends a suffix to the base name, preserving the label set:
+// foo{a="b"} + _sum -> foo_sum{a="b"}.
+func withSuffix(name, suffix string) string {
+	base, labels := splitName(name)
+	if labels == "" {
+		return base + suffix
+	}
+	return fmt.Sprintf("%s%s{%s}", base, suffix, labels)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as summaries with pre-computed p50/p95/p99 quantiles plus
+// _sum and _count. Series sharing a base name (labeled variants) emit one
+// TYPE header. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	emitType := typeEmitter(bw)
+	for _, c := range s.Counters {
+		emitType(c.Name, "counter")
+		fmt.Fprintf(bw, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		emitType(g.Name, "gauge")
+		fmt.Fprintf(bw, "%s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		emitType(h.Name, "summary")
+		fmt.Fprintf(bw, "%s %d\n", withQuantile(h.Name, "0.5"), h.P50)
+		fmt.Fprintf(bw, "%s %d\n", withQuantile(h.Name, "0.95"), h.P95)
+		fmt.Fprintf(bw, "%s %d\n", withQuantile(h.Name, "0.99"), h.P99)
+		fmt.Fprintf(bw, "%s %d\n", withSuffix(h.Name, "_sum"), h.Sum)
+		fmt.Fprintf(bw, "%s %d\n", withSuffix(h.Name, "_count"), h.Count)
+	}
+	return bw.Flush()
+}
+
+// typeEmitter returns a closure that writes `# TYPE base kind` once per
+// base name. Snapshot order is sorted, so labeled variants of one base
+// name are adjacent and the last-seen check suffices.
+func typeEmitter(w io.Writer) func(name, kind string) {
+	last := ""
+	return func(name, kind string) {
+		base, _ := splitName(name)
+		if base == last {
+			return
+		}
+		last = base
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+	}
+}
+
+// WriteJSON renders the registry snapshot as an indented JSON document —
+// the machine-readable twin of the Prometheus endpoint, consumed by
+// `prlcd metrics`.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ValidatePromText parses a Prometheus text-format document and returns
+// the first violation found (nil for a valid document). It checks line
+// structure, metric-name and label syntax, float-parseable sample values,
+// and that TYPE declarations name a known type — a scrape-compatibility
+// smoke test with no external dependencies, not a full exposition-format
+// implementation.
+func ValidatePromText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateCommentLine(line); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSampleLine(line); err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in document")
+	}
+	return nil
+}
+
+func validateCommentLine(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		if !validBareName(fields[2]) {
+			return fmt.Errorf("bad metric name %q in TYPE line", fields[2])
+		}
+		switch fields[3] {
+		case "counter", "gauge", "summary", "histogram", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	case "HELP":
+		if len(fields) < 3 || !validBareName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	default:
+		// Other comments are legal and ignored.
+	}
+	return nil
+}
+
+func validateSampleLine(line string) error {
+	// name[{labels}] value [timestamp]
+	rest := line
+	i := strings.IndexAny(rest, " \t{")
+	if i < 0 {
+		return fmt.Errorf("sample %q has no value", line)
+	}
+	name := rest[:i]
+	if !validBareName(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		if inner := rest[1:end]; inner != "" {
+			if err := validateLabelSet(inner); err != nil {
+				return err
+			}
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("sample %q: bad value %q", line, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/store"
 )
 
@@ -47,6 +48,9 @@ type Config struct {
 	// Seed seeds the recombination and jitter generator (0 means 1), so
 	// a repair history is reproducible given a reproducible fleet.
 	Seed int64
+	// Metrics, when non-nil, receives round counters, regeneration
+	// volumes, and backoff state (see DESIGN.md §10).
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -106,6 +110,7 @@ type Report struct {
 type Daemon struct {
 	store *store.Replicated
 	cfg   Config
+	met   daemonMetrics
 
 	mu   sync.Mutex // serializes rounds and guards rng, last, rounds
 	rng  *rand.Rand
@@ -143,6 +148,7 @@ func New(r *store.Replicated, cfg Config) (*Daemon, error) {
 	return &Daemon{
 		store:  r,
 		cfg:    cfg,
+		met:    newDaemonMetrics(cfg.Metrics),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		ctx:    ctx,
 		cancel: cancel,
@@ -232,6 +238,8 @@ func (d *Daemon) loop() {
 		} else {
 			failures = 0
 		}
+		d.met.consecutiveFailures.Set(int64(failures))
+		d.met.backoffNs.Set(int64(wait))
 		timer.Reset(d.jittered(wait))
 	}
 }
@@ -256,6 +264,25 @@ func (d *Daemon) jittered(wait time.Duration) time.Duration {
 // RunOnce never decodes: a level none of whose survivors remain is
 // skipped (and reported), not reconstructed.
 func (d *Daemon) RunOnce(ctx context.Context) (Report, error) {
+	t0 := time.Now()
+	rep, err := d.runOnce(ctx)
+	d.met.roundNs.ObserveSince(t0)
+	d.met.rounds.Inc()
+	if err != nil {
+		d.met.roundErrors.Inc()
+	}
+	d.met.blocksRegenerated.Add(uint64(rep.Regenerated))
+	d.met.copiesPlaced.Add(uint64(rep.Copies))
+	d.met.bytesCollected.Add(uint64(rep.BytesCollected))
+	d.met.bytesPlaced.Add(uint64(rep.BytesPlaced))
+	d.met.levelsSkipped.Add(uint64(len(rep.SkippedLevels)))
+	if rep.Truncated {
+		d.met.roundsTruncated.Inc()
+	}
+	return rep, err
+}
+
+func (d *Daemon) runOnce(ctx context.Context) (Report, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.runs++

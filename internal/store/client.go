@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // Dialer abstracts connection establishment so tests and experiments can
@@ -75,6 +76,10 @@ type ClientConfig struct {
 	// Seed seeds the jitter generator (0 means 1) so experiments stay
 	// reproducible end to end.
 	Seed int64
+	// Metrics, when non-nil, receives the client's counters and latency
+	// histograms (see DESIGN.md §10). Clients sharing a registry aggregate
+	// into the same series. Nil disables instrumentation at zero cost.
+	Metrics *metrics.Registry
 }
 
 func (c *ClientConfig) fillDefaults() {
@@ -103,6 +108,7 @@ func (c *ClientConfig) fillDefaults() {
 type Client struct {
 	cfg    ClientConfig
 	dialer Dialer
+	met    clientMetrics
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -124,6 +130,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	return &Client{
 		cfg:    cfg,
 		dialer: d,
+		met:    newClientMetrics(cfg.Metrics),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
 }
@@ -170,9 +177,15 @@ func (c *Client) PutAll(ctx context.Context, blocks []*core.CodedBlock) (int, er
 }
 
 // Get fetches every stored block with Level <= maxLevel; maxLevel < 0
-// fetches everything. When HedgeDelay is set, a straggling fetch is
-// raced by a duplicate request.
+// fetches everything. Levels at or above the wire sentinel 0xFFFF are
+// rejected with ErrBadRequest rather than silently widened to "all" —
+// blocks can never carry such a level (see core.CodedBlock.MarshalBinary),
+// so the request is a caller bug, not a fetch-everything intent. When
+// HedgeDelay is set, a straggling fetch is raced by a duplicate request.
 func (c *Client) Get(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
+	if maxLevel >= 0xFFFF {
+		return nil, fmt.Errorf("%w: max level %d exceeds the wire limit %d", ErrBadRequest, maxLevel, 0xFFFE)
+	}
 	if c.cfg.HedgeDelay <= 0 {
 		return c.get(ctx, maxLevel)
 	}
@@ -180,8 +193,8 @@ func (c *Client) Get(ctx context.Context, maxLevel int) ([]*core.CodedBlock, err
 }
 
 func (c *Client) get(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
-	wire := uint16(0xFFFF)
-	if maxLevel >= 0 && maxLevel < 0xFFFF {
+	wire := uint16(0xFFFF) // wire sentinel: all levels
+	if maxLevel >= 0 {
 		wire = uint16(maxLevel)
 	}
 	body := binary.BigEndian.AppendUint16(nil, wire)
@@ -196,17 +209,21 @@ func (c *Client) hedgedGet(ctx context.Context, maxLevel int) ([]*core.CodedBloc
 	type result struct {
 		blocks []*core.CodedBlock
 		err    error
+		hedge  bool
 	}
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan result, 2)
-	launch := func() {
+	launch := func(isHedge bool) {
+		if isHedge {
+			c.met.hedgesFired.Inc()
+		}
 		go func() {
 			blocks, err := c.get(hctx, maxLevel)
-			ch <- result{blocks, err}
+			ch <- result{blocks, err, isHedge}
 		}()
 	}
-	launch()
+	launch(false)
 	inflight, hedged := 1, false
 	timer := time.NewTimer(c.cfg.HedgeDelay)
 	defer timer.Stop()
@@ -215,6 +232,9 @@ func (c *Client) hedgedGet(ctx context.Context, maxLevel int) ([]*core.CodedBloc
 		select {
 		case r := <-ch:
 			if r.err == nil {
+				if r.hedge {
+					c.met.hedgesWon.Inc()
+				}
 				return r.blocks, nil
 			}
 			if firstErr == nil {
@@ -225,7 +245,7 @@ func (c *Client) hedgedGet(ctx context.Context, maxLevel int) ([]*core.CodedBloc
 				// The primary failed outright; the hedge becomes a
 				// last-chance duplicate rather than waiting for the timer.
 				hedged = true
-				launch()
+				launch(true)
 				inflight++
 				continue
 			}
@@ -235,7 +255,7 @@ func (c *Client) hedgedGet(ctx context.Context, maxLevel int) ([]*core.CodedBloc
 		case <-timer.C:
 			if !hedged {
 				hedged = true
-				launch()
+				launch(true)
 				inflight++
 			}
 		case <-ctx.Done():
@@ -270,10 +290,22 @@ func (c *Client) Shutdown(ctx context.Context) error {
 // I/O errors, corrupt frames, and unavailable responses. Semantic
 // rejections (ErrBadRequest) and context cancellation end immediately.
 func (c *Client) do(ctx context.Context, op string, reqType byte, body []byte, wantResp byte) ([]byte, error) {
+	t0 := time.Now()
+	resp, err := c.doAttempts(ctx, op, reqType, body, wantResp)
+	c.met.opNs.ObserveSince(t0)
+	pick(err, c.met.opOK, c.met.opErrors).Inc()
+	return resp, err
+}
+
+func (c *Client) doAttempts(ctx context.Context, op string, reqType byte, body []byte, wantResp byte) ([]byte, error) {
 	var lastErr error
 	for i := 0; i < c.cfg.Retry.MaxAttempts; i++ {
 		if i > 0 {
-			if err := c.sleep(ctx, c.backoff(i)); err != nil {
+			c.met.retries.Inc()
+			d := c.backoff(i)
+			c.met.backoffSleeps.Inc()
+			c.met.backoffNs.Observe(int64(d))
+			if err := c.sleep(ctx, d); err != nil {
 				return nil, err
 			}
 		}
@@ -300,11 +332,15 @@ func (c *Client) attempt(ctx context.Context, reqType byte, body []byte, wantRes
 	if err != nil {
 		return nil, err
 	}
-	// Poison the connection the moment the context dies, so a blocked
-	// read returns instead of riding out the full OpTimeout.
+	c.met.attempts.Inc()
+	// Order matters: set the op deadline FIRST, then arm the poison. The
+	// poison (a past deadline) interrupts a blocked read the moment the
+	// context dies; arming it before SetDeadline would let a cancellation
+	// firing in that window be overwritten by the fresh op deadline, and
+	// the attempt would ride out the full OpTimeout anyway.
+	conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
 	defer stop()
-	conn.SetDeadline(time.Now().Add(c.cfg.OpTimeout))
 	if err := writeFrame(conn, reqType, body); err != nil {
 		conn.Close()
 		return nil, c.ctxOr(ctx, err)
@@ -316,14 +352,14 @@ func (c *Client) attempt(ctx context.Context, reqType byte, body []byte, wantRes
 	}
 	switch typ {
 	case wantResp:
-		c.release(conn)
+		c.release(conn, stop)
 		return resp, nil
 	case frameErr:
 		err := decodeErrFrame(resp)
 		if errors.Is(err, ErrBadRequest) {
 			// The connection is still in sync after a semantic
 			// rejection; corruption and drain responses are terminal.
-			c.release(conn)
+			c.release(conn, stop)
 		} else {
 			conn.Close()
 		}
@@ -353,19 +389,32 @@ func (c *Client) getConn(ctx context.Context) (net.Conn, error) {
 		conn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
+		c.met.poolHits.Inc()
 		return conn, nil
 	}
 	c.mu.Unlock()
+	c.met.poolMisses.Inc()
 	dctx, cancel := context.WithTimeout(ctx, c.cfg.DialTimeout)
 	defer cancel()
+	c.met.dials.Inc()
 	conn, err := c.dialer.DialContext(dctx, "tcp", c.cfg.Addr)
 	if err != nil {
+		c.met.dialErrors.Inc()
 		return nil, fmt.Errorf("dial %s: %w", c.cfg.Addr, err)
 	}
-	return conn, nil
+	return meterConn(conn, c.met.bytesIn, c.met.bytesOut), nil
 }
 
-func (c *Client) release(conn net.Conn) {
+// release returns a connection to the idle pool. stop disarms the
+// cancellation poison; when it reports the poison already fired, the
+// connection carries a deadline in the past (and the stream may hold a
+// half-delivered response), so it must be closed, never pooled.
+func (c *Client) release(conn net.Conn, stop func() bool) {
+	if !stop() {
+		c.met.poisoned.Inc()
+		conn.Close()
+		return
+	}
 	conn.SetDeadline(time.Time{})
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -124,10 +124,19 @@ func decodeErrFrame(body []byte) error {
 	}
 }
 
-// encodeBlockList packs marshaled blocks into a frameBlocks body.
-func encodeBlockList(blocks [][]byte) []byte {
+// encodeBlockList packs marshaled blocks into a frameBlocks body. Counts
+// and per-block lengths ride uint32 fields; inputs that would not fit
+// (practically impossible, but a silent truncation here would desync the
+// stream) are rejected instead of wrapped around.
+func encodeBlockList(blocks [][]byte) ([]byte, error) {
+	if uint64(len(blocks)) > 0xFFFFFFFF {
+		return nil, fmt.Errorf("%w: %d blocks exceed the wire count field", ErrBadRequest, len(blocks))
+	}
 	size := 4
-	for _, b := range blocks {
+	for i, b := range blocks {
+		if uint64(len(b)) > 0xFFFFFFFF {
+			return nil, fmt.Errorf("%w: block %d length %d exceeds the wire length field", ErrBadRequest, i, len(b))
+		}
 		size += 4 + len(b)
 	}
 	body := make([]byte, 0, size)
@@ -136,8 +145,13 @@ func encodeBlockList(blocks [][]byte) []byte {
 		body = binary.BigEndian.AppendUint32(body, uint32(len(b)))
 		body = append(body, b...)
 	}
-	return body
+	return body, nil
 }
+
+// minBlockEntry is the smallest possible block-list entry: a 4-byte
+// length prefix plus a non-empty block body. Used to bound the claimed
+// entry count of an incoming list before any allocation.
+const minBlockEntry = 8
 
 // decodeBlockList unpacks a frameBlocks body into CodedBlocks. The body
 // already passed the frame CRC, so a parse failure here means a peer bug
@@ -147,7 +161,15 @@ func decodeBlockList(body []byte) ([]*core.CodedBlock, error) {
 	if len(body) < 4 {
 		return nil, fmt.Errorf("%w: block list truncated", ErrCorruptFrame)
 	}
+	// The claimed count comes straight off the wire (up to 2^32-1); bound
+	// it by what the body could possibly hold BEFORE sizing the result
+	// slice, so a corrupt or malicious peer cannot force a multi-GB
+	// allocation out of a tiny frame.
 	n := int(binary.BigEndian.Uint32(body))
+	if n > len(body)/minBlockEntry {
+		return nil, fmt.Errorf("%w: block list claims %d entries, body holds at most %d",
+			ErrCorruptFrame, n, len(body)/minBlockEntry)
+	}
 	off := 4
 	out := make([]*core.CodedBlock, 0, n)
 	for i := 0; i < n; i++ {
@@ -156,7 +178,7 @@ func decodeBlockList(body []byte) ([]*core.CodedBlock, error) {
 		}
 		l := int(binary.BigEndian.Uint32(body[off:]))
 		off += 4
-		if l < 0 || len(body)-off < l {
+		if len(body)-off < l {
 			return nil, fmt.Errorf("%w: block %d length %d overruns body", ErrCorruptFrame, i, l)
 		}
 		var b core.CodedBlock
@@ -209,7 +231,16 @@ const (
 	statsV2Entry   = 2 + 4 + 8
 )
 
-func encodeStats(st Stats) []byte {
+func encodeStats(st Stats) ([]byte, error) {
+	// Every field that narrows on the wire is bounds-checked: a silent
+	// uint16/uint32 truncation would hand clients a plausible-looking but
+	// wrong inventory, which the repair daemon would then act on.
+	if st.Blocks < 0 || uint64(st.Blocks) > 0xFFFFFFFF {
+		return nil, fmt.Errorf("%w: block count %d does not fit the stat frame", ErrBadRequest, st.Blocks)
+	}
+	if len(st.PerLevel) > 0xFFFF {
+		return nil, fmt.Errorf("%w: %d levels do not fit the stat frame", ErrBadRequest, len(st.PerLevel))
+	}
 	body := make([]byte, 0, statsV2Header+statsV2Entry*len(st.PerLevel))
 	body = binary.BigEndian.AppendUint32(body, uint32(st.Blocks))
 	body = binary.BigEndian.AppendUint16(body, statsV2Marker)
@@ -217,11 +248,17 @@ func encodeStats(st Stats) []byte {
 	body = binary.BigEndian.AppendUint64(body, uint64(st.Bytes))
 	body = binary.BigEndian.AppendUint16(body, uint16(len(st.PerLevel)))
 	for _, lc := range st.PerLevel {
+		if lc.Level < 0 || lc.Level > 0xFFFF {
+			return nil, fmt.Errorf("%w: level %d does not fit the stat frame", ErrBadRequest, lc.Level)
+		}
+		if lc.Count < 0 || uint64(lc.Count) > 0xFFFFFFFF {
+			return nil, fmt.Errorf("%w: level %d count %d does not fit the stat frame", ErrBadRequest, lc.Level, lc.Count)
+		}
 		body = binary.BigEndian.AppendUint16(body, uint16(lc.Level))
 		body = binary.BigEndian.AppendUint32(body, uint32(lc.Count))
 		body = binary.BigEndian.AppendUint64(body, uint64(lc.Bytes))
 	}
-	return body
+	return body, nil
 }
 
 func decodeStats(body []byte) (Stats, error) {

@@ -1,0 +1,334 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestDecodeBlockListHostileCount pins the pre-allocation clamp: a body
+// whose wire count claims billions of entries must fail fast with
+// ErrCorruptFrame instead of sizing a multi-GB slice from a 12-byte
+// frame.
+func TestDecodeBlockListHostileCount(t *testing.T) {
+	for _, claim := range []uint32{2, 1 << 16, 1 << 31, 0xFFFFFFFF} {
+		body := binary.BigEndian.AppendUint32(nil, claim)
+		body = append(body, make([]byte, 8)...) // room for at most one entry
+		if _, err := decodeBlockList(body); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("count %d: err = %v, want ErrCorruptFrame", claim, err)
+		}
+	}
+	// The rejection happens before the result slice is sized: the error
+	// path performs only its own small allocations, independent of the
+	// claimed count.
+	hostile := binary.BigEndian.AppendUint32(nil, 0xFFFFFFFF)
+	hostile = append(hostile, make([]byte, 8)...)
+	allocs := testing.AllocsPerRun(100, func() {
+		decodeBlockList(hostile)
+	})
+	if allocs > 6 {
+		t.Fatalf("hostile count costs %.1f allocs/op, want the error path only", allocs)
+	}
+	// A consistent count still decodes (zero entries here).
+	if got, err := decodeBlockList(binary.BigEndian.AppendUint32(nil, 0)); err != nil || len(got) != 0 {
+		t.Fatalf("empty list: %v, %v", got, err)
+	}
+}
+
+// TestEncodeBlockListBounds pins the encoder-side overflow checks.
+func TestEncodeBlockListBounds(t *testing.T) {
+	body, err := encodeBlockList([][]byte{{1, 2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := binary.BigEndian.Uint32(body); n != 2 {
+		t.Fatalf("encoded count %d, want 2", n)
+	}
+}
+
+// TestEncodeStatsBounds pins the stat-frame bounds checks: level 65535
+// (the top of the wire range) round-trips, while values that would
+// silently truncate through the uint16/uint32 wire fields are rejected
+// with ErrBadRequest.
+func TestEncodeStatsBounds(t *testing.T) {
+	top := Stats{
+		Blocks:   3,
+		Bytes:    96,
+		PerLevel: []LevelCount{{Level: 0, Count: 1, Bytes: 32}, {Level: 0xFFFF, Count: 2, Bytes: 64}},
+	}
+	body, err := encodeStats(top)
+	if err != nil {
+		t.Fatalf("level 65535 rejected: %v", err)
+	}
+	back, err := decodeStats(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.PerLevel) != 2 || back.PerLevel[1].Level != 0xFFFF || back.PerLevel[1].Count != 2 {
+		t.Fatalf("level 65535 round trip drifted: %+v", back)
+	}
+
+	for name, st := range map[string]Stats{
+		"level too high":  {PerLevel: []LevelCount{{Level: 0x10000, Count: 1}}},
+		"level negative":  {PerLevel: []LevelCount{{Level: -1, Count: 1}}},
+		"count overflow":  {PerLevel: []LevelCount{{Level: 0, Count: 1 << 32}}},
+		"blocks overflow": {Blocks: 1 << 32},
+		"too many levels": {PerLevel: make([]LevelCount, 0x10000)},
+	} {
+		if _, err := encodeStats(st); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", name, err)
+		}
+	}
+}
+
+// TestGetRejectsSentinelLevel pins the API-side level validation: the
+// wire sentinel 0xFFFF (and anything above) is a caller bug, not a
+// fetch-everything request. The check fires before any dial.
+func TestGetRejectsSentinelLevel(t *testing.T) {
+	cl, err := NewClient(ClientConfig{Addr: "127.0.0.1:1"}) // never dialed
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, lvl := range []int{0xFFFF, 0x10000, 1 << 30} {
+		if _, err := cl.Get(context.Background(), lvl); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("Get(%d) err = %v, want ErrBadRequest", lvl, err)
+		}
+	}
+}
+
+// stallListener accepts connections and reads them forever without
+// responding — the worst-case peer for cancellation latency.
+func stallListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			t.Cleanup(func() { conn.Close() })
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestCancelAbortsStalledAttempt pins the poison ordering fix: with a
+// 30-second OpTimeout and a server that never answers, cancelling the
+// context must abort the in-flight attempt in milliseconds. Before the
+// fix, a cancellation racing SetDeadline could be overwritten and the
+// attempt rode out the full OpTimeout.
+func TestCancelAbortsStalledAttempt(t *testing.T) {
+	addr := stallListener(t)
+	cl, err := NewClient(ClientConfig{
+		Addr:      addr,
+		OpTimeout: 30 * time.Second,
+		Retry:     RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = cl.Ping(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want well under OpTimeout", elapsed)
+	}
+}
+
+// TestPoisonedConnNotPooled pins release's pooling guard: a connection
+// whose cancellation poison has fired carries a past deadline and must be
+// closed, never returned to the idle pool.
+func TestPoisonedConnNotPooled(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cl, err := NewClient(ClientConfig{Addr: "127.0.0.1:1", Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	release := func(fired bool) net.Conn {
+		a, b := net.Pipe()
+		t.Cleanup(func() { b.Close() })
+		// stop() reports whether it prevented the poison from running:
+		// false means the poison already fired.
+		cl.release(a, func() bool { return !fired })
+		return a
+	}
+
+	clean := release(false)
+	cl.mu.Lock()
+	pooled := len(cl.idle) == 1 && cl.idle[0] == clean
+	cl.mu.Unlock()
+	if !pooled {
+		t.Fatal("clean connection was not pooled")
+	}
+
+	poisoned := release(true)
+	cl.mu.Lock()
+	inPool := false
+	for _, c := range cl.idle {
+		if c == poisoned {
+			inPool = true
+		}
+	}
+	cl.mu.Unlock()
+	if inPool {
+		t.Fatal("poisoned connection was pooled")
+	}
+	// A closed pipe errors on write; proves release closed it.
+	if _, err := poisoned.Write([]byte{0}); err == nil {
+		t.Fatal("poisoned connection was not closed")
+	}
+	if got := reg.Counter("store_client_conns_poisoned_total").Value(); got != 1 {
+		t.Fatalf("poisoned counter = %d, want 1", got)
+	}
+}
+
+// TestServerMetricsEndToEnd drives one put/dup-put/get/stat/ping sequence
+// and checks the server-side counters tell the same story.
+func TestServerMetricsEndToEnd(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := newTestServer(t, ServerConfig{Metrics: reg})
+	ccfg := fastClientCfg(srv.Addr(), nil)
+	ccfg.Metrics = reg
+	cl, err := NewClient(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	_, _, blocks := testCode(t, 3)
+
+	if err := cl.Put(ctx, blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(ctx, blocks[0]); err != nil { // dedup
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(ctx, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stat(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]uint64{
+		`store_server_requests_total{op="put"}`:  2,
+		`store_server_requests_total{op="get"}`:  1,
+		`store_server_requests_total{op="stat"}`: 1,
+		`store_server_requests_total{op="ping"}`: 1,
+		"store_server_puts_stored_total":         1,
+		"store_server_puts_deduped_total":        1,
+		"store_client_ops_ok_total":              5,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("store_server_blocks").Value(); got != 1 {
+		t.Errorf("store_server_blocks = %d, want 1", got)
+	}
+	if reg.Counter("store_server_frame_bytes_in_total").Value() == 0 ||
+		reg.Counter("store_client_frame_bytes_out_total").Value() == 0 {
+		t.Error("byte counters did not move")
+	}
+	// The whole story renders as valid Prometheus text.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidatePromText(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("prometheus output invalid: %v", err)
+	}
+}
+
+// TestReplicatedMetricsPerReplica checks the labeled per-replica outcome
+// counters against a fleet where one replica is down.
+func TestReplicatedMetricsPerReplica(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := newTestServer(t, ServerConfig{})
+	up := newTestClient(t, srv.Addr(), nil)
+	down := newTestClient(t, "127.0.0.1:1", nil)
+	repl, err := NewReplicated([]*Client{up, down}, 1, ReplicatedConfig{MinWrites: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, blocks := testCode(t, 1)
+	if err := repl.Put(context.Background(), blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(`store_replica_put_ok_total{replica="0"}`).Value(); got != 1 {
+		t.Errorf("replica 0 ok = %d, want 1", got)
+	}
+	if got := reg.Counter(`store_replica_put_errors_total{replica="1"}`).Value(); got != 1 {
+		t.Errorf("replica 1 errors = %d, want 1", got)
+	}
+}
+
+// TestConcurrentClientsShareRegistry hammers one registry from several
+// clients at once — the data-race canary for the metrics seam (run under
+// -race via the Makefile check target).
+func TestConcurrentClientsShareRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := newTestServer(t, ServerConfig{Metrics: reg})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cfg := fastClientCfg(srv.Addr(), nil)
+			cfg.Metrics = reg
+			cfg.Seed = seed
+			cl, err := NewClient(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			ctx := context.Background()
+			for j := 0; j < 20; j++ {
+				if err := cl.Ping(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	if got := reg.Counter(`store_server_requests_total{op="ping"}`).Value(); got != 80 {
+		t.Fatalf("pings = %d, want 80", got)
+	}
+}

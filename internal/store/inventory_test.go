@@ -63,7 +63,11 @@ func TestStatsWireBackwardCompatible(t *testing.T) {
 			{Level: 2, Count: 3, Bytes: 300},
 		},
 	}
-	back, err := decodeStats(encodeStats(v2))
+	v2body, err := encodeStats(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeStats(v2body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +92,7 @@ func TestStatsWireBackwardCompatible(t *testing.T) {
 	}
 
 	// Truncation in either generation is corruption, not a panic.
-	if _, err := decodeStats(encodeStats(v2)[:10]); !errors.Is(err, ErrCorruptFrame) {
+	if _, err := decodeStats(v2body[:10]); !errors.Is(err, ErrCorruptFrame) {
 		t.Fatalf("truncated v2 err = %v, want ErrCorruptFrame", err)
 	}
 	if _, err := decodeStats(v1[:8]); !errors.Is(err, ErrCorruptFrame) {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // ReplicatedConfig parameterizes a Replicated store.
@@ -21,6 +22,9 @@ type ReplicatedConfig struct {
 	// remainder is best-effort, absorbed by retries and later repair.
 	// Default 1.
 	MinWrites int
+	// Metrics, when non-nil, receives fan-out and per-replica outcome
+	// counters (see DESIGN.md §10).
+	Metrics *metrics.Registry
 }
 
 // Replicated fans one logical store out over several servers with a
@@ -32,6 +36,7 @@ type Replicated struct {
 	clients []*Client
 	levels  int
 	cfg     ReplicatedConfig
+	met     replicatedMetrics
 	next    atomic.Uint64
 }
 
@@ -53,7 +58,12 @@ func NewReplicated(clients []*Client, levels int, cfg ReplicatedConfig) (*Replic
 	if cfg.MinWrites > len(clients) {
 		return nil, fmt.Errorf("store: MinWrites %d exceeds %d replicas", cfg.MinWrites, len(clients))
 	}
-	return &Replicated{clients: clients, levels: levels, cfg: cfg}, nil
+	return &Replicated{
+		clients: clients,
+		levels:  levels,
+		cfg:     cfg,
+		met:     newReplicatedMetrics(cfg.Metrics, len(clients)),
+	}, nil
 }
 
 // Clients exposes the underlying per-replica clients.
@@ -128,10 +138,13 @@ func (r *Replicated) PutPreferring(ctx context.Context, b *core.CodedBlock, pref
 			order = append(order, j)
 		}
 	}
+	r.met.puts.Inc()
 	stored := 0
 	var errs []error
 	for _, idx := range order[:targets] {
-		if err := r.clients[idx].Put(ctx, b); err != nil {
+		err := r.clients[idx].Put(ctx, b)
+		r.met.perReplica[idx].put(err)
+		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -143,6 +156,7 @@ func (r *Replicated) PutPreferring(ctx context.Context, b *core.CodedBlock, pref
 	if stored >= r.cfg.MinWrites {
 		return nil
 	}
+	r.met.putErrors.Inc()
 	return fmt.Errorf("store: put level %d stored %d/%d copies (want >= %d): %w",
 		b.Level, stored, targets, r.cfg.MinWrites, errors.Join(append([]error{ErrStoreUnavailable}, errs...)...))
 }
@@ -172,6 +186,7 @@ func (r *Replicated) StatAll(ctx context.Context) ([]Stats, []error) {
 		go func(i int, cl *Client) {
 			defer wg.Done()
 			stats[i], errs[i] = cl.Stat(ctx)
+			r.met.perReplica[i].stat(errs[i])
 		}(i, cl)
 	}
 	wg.Wait()
@@ -190,9 +205,11 @@ func (r *Replicated) Collect(ctx context.Context, maxLevel int) ([]*core.CodedBl
 		go func(i int, cl *Client) {
 			defer wg.Done()
 			perReplica[i], errs[i] = cl.Get(ctx, maxLevel)
+			r.met.perReplica[i].get(errs[i])
 		}(i, cl)
 	}
 	wg.Wait()
+	r.met.collects.Inc()
 	seen := make(map[string]struct{})
 	var out []*core.CodedBlock
 	ok := 0
@@ -207,6 +224,7 @@ func (r *Replicated) Collect(ctx context.Context, maxLevel int) ([]*core.CodedBl
 				continue
 			}
 			if _, dup := seen[string(data)]; dup {
+				r.met.collectDups.Inc()
 				continue
 			}
 			seen[string(data)] = struct{}{}
@@ -214,11 +232,13 @@ func (r *Replicated) Collect(ctx context.Context, maxLevel int) ([]*core.CodedBl
 		}
 	}
 	if ok == 0 {
+		r.met.collectErrors.Inc()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("store: collect: all %d replicas failed: %w",
 			len(r.clients), errors.Join(append([]error{ErrStoreUnavailable}, errs...)...))
 	}
+	r.met.collectBlocks.Add(uint64(len(out)))
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // ServerConfig parameterizes a storage daemon.
@@ -30,6 +31,10 @@ type ServerConfig struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each response write. Default 10s.
 	WriteTimeout time.Duration
+	// Metrics, when non-nil, receives the server's counters, gauges and
+	// latency histograms (see DESIGN.md §10). Nil disables instrumentation
+	// at zero cost.
+	Metrics *metrics.Registry
 }
 
 func (c *ServerConfig) fillDefaults() {
@@ -68,6 +73,7 @@ type levelTally struct {
 type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
+	met serverMetrics
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -93,6 +99,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
+		met:      newServerMetrics(cfg.Metrics),
 		conns:    make(map[net.Conn]struct{}),
 		seen:     make(map[string]struct{}),
 		perLevel: make(map[int]levelTally),
@@ -192,25 +199,32 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if len(s.conns) >= s.cfg.MaxConns || s.drainingNow() {
 			s.mu.Unlock()
+			s.met.connsRejected.Inc()
 			writeErrFrame(conn, errCodeUnavailable, "server busy or draining")
 			conn.Close()
 			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.met.connsAccepted.Inc()
+		s.met.activeConns.Inc()
 		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
 }
 
-func (s *Server) handleConn(conn net.Conn) {
+func (s *Server) handleConn(raw net.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, raw)
 		s.mu.Unlock()
-		conn.Close()
+		raw.Close()
+		s.met.activeConns.Dec()
 	}()
+	// Deadlines set on the metered wrapper pass through to raw, so the
+	// shutdown path (which pokes raw directly) still interrupts reads.
+	conn := meterConn(raw, s.met.bytesIn, s.met.bytesOut)
 	for {
 		if s.drainingNow() {
 			return
@@ -221,29 +235,38 @@ func (s *Server) handleConn(conn net.Conn) {
 			if errors.Is(err, ErrCorruptFrame) {
 				// The stream is out of sync: report and hang up. The
 				// client's retry lands on a fresh connection.
+				s.met.crcFailures.Inc()
 				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 				writeErrFrame(conn, errCodeCorrupt, err.Error())
 			}
 			return
 		}
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		t0 := time.Now()
 		shutdown := false
 		switch typ {
 		case framePut:
+			s.met.puts.Inc()
 			err = s.handlePut(conn, body)
 		case frameGet:
+			s.met.gets.Inc()
 			err = s.handleGet(conn, body)
 		case frameStat:
-			err = writeFrame(conn, frameStats, encodeStats(s.Stats()))
+			s.met.stats.Inc()
+			err = s.handleStat(conn)
 		case framePing:
+			s.met.pings.Inc()
 			err = writeFrame(conn, frameOK, nil)
 		case frameShutdown:
+			s.met.shutdowns.Inc()
 			err = writeFrame(conn, frameOK, nil)
 			shutdown = true
 		default:
+			s.met.unknown.Inc()
 			writeErrFrame(conn, errCodeBad, fmt.Sprintf("unknown frame type %q", typ))
 			return
 		}
+		s.met.requestNs.ObserveSince(t0)
 		if shutdown {
 			go func() {
 				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -261,6 +284,7 @@ func (s *Server) handleConn(conn net.Conn) {
 func (s *Server) handlePut(conn net.Conn, body []byte) error {
 	var b core.CodedBlock
 	if err := b.UnmarshalBinary(body); err != nil {
+		s.met.putsBad.Inc()
 		writeErrFrame(conn, errCodeBad, fmt.Sprintf("bad block: %v", err))
 		return nil
 	}
@@ -269,6 +293,7 @@ func (s *Server) handlePut(conn net.Conn, body []byte) error {
 	if _, dup := s.seen[key]; !dup {
 		if s.cfg.MaxBlocks > 0 && len(s.blocks) >= s.cfg.MaxBlocks {
 			s.mu.Unlock()
+			s.met.putsRejected.Inc()
 			writeErrFrame(conn, errCodeUnavailable, "store full")
 			return nil
 		}
@@ -278,8 +303,14 @@ func (s *Server) handlePut(conn net.Conn, body []byte) error {
 		tally.count++
 		tally.bytes += int64(len(body))
 		s.perLevel[b.Level] = tally
+		s.mu.Unlock()
+		s.met.putsStored.Inc()
+		s.met.blocks.Inc()
+		s.met.blockBytes.Add(int64(len(body)))
+	} else {
+		s.mu.Unlock()
+		s.met.putsDeduped.Inc()
 	}
-	s.mu.Unlock()
 	return writeFrame(conn, frameOK, nil)
 }
 
@@ -297,5 +328,19 @@ func (s *Server) handleGet(conn net.Conn, body []byte) error {
 		}
 	}
 	s.mu.Unlock()
-	return writeFrame(conn, frameBlocks, encodeBlockList(out))
+	resp, err := encodeBlockList(out)
+	if err != nil {
+		writeErrFrame(conn, errCodeBad, err.Error())
+		return nil
+	}
+	return writeFrame(conn, frameBlocks, resp)
+}
+
+func (s *Server) handleStat(conn net.Conn) error {
+	body, err := encodeStats(s.Stats())
+	if err != nil {
+		writeErrFrame(conn, errCodeBad, err.Error())
+		return nil
+	}
+	return writeFrame(conn, frameStats, body)
 }

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 
 	"repro/internal/analysis"
 	"repro/internal/chord"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/feasibility"
 	"repro/internal/geom"
 	"repro/internal/gpsr"
+	"repro/internal/metrics"
 	"repro/internal/predist"
 	"repro/internal/repair"
 	"repro/internal/store"
@@ -439,3 +441,23 @@ func AuditStore(ctx context.Context, r *ReplicatedStore, cfg StoreAuditConfig) (
 func NewRepairDaemon(r *ReplicatedStore, cfg RepairConfig) (*RepairDaemon, error) {
 	return repair.New(r, cfg)
 }
+
+// Observability layer: a dependency-free metrics registry threaded
+// through every hot path. Pass one registry via the Metrics field of
+// StoreServerConfig, StoreClientConfig, ReplicatedStoreConfig and
+// RepairConfig (and SetMetrics on Encoder/Decoder) to aggregate a whole
+// process into one scrapeable view; a nil registry is a no-op.
+type (
+	// MetricsRegistry holds atomic counters, gauges and log-linear
+	// latency/size histograms, exposable as Prometheus text or JSON.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every registered metric.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricsHandler serves r on /metrics (Prometheus text), /metrics.json
+// and /debug/pprof/ — what `prlcd serve -metrics <addr>` listens with.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return metrics.Handler(r) }
