@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair bench-metrics check fuzz-smoke daemon-demo repair-demo figures examples clean
+.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair bench-metrics bench-sparse check fuzz-smoke daemon-demo repair-demo figures examples clean
 
 all: build vet test
 
@@ -61,6 +61,16 @@ bench-metrics:
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_metrics.json -by "make bench-metrics" \
 	    -note "MeteredX runs with a live metrics registry, MeteredXRef with metrics detached; speedup = ref/metered is the inverse instrumentation overhead, budget >= 0.95 (5%) per pair"
 
+# Sparse-coding perf baseline: sparse (O(ln N) nonzeros), band
+# (perpetual-style contiguous runs) and expander-chunked decode against
+# the structure-blind dense elimination (Ref) of the identical block
+# stream, plus coefficient wire bytes per block (v3 sparse frames vs the
+# dense v1 encoding), captured as BENCH_sparse.json.
+bench-sparse:
+	$(GO) test -run='^$$' -bench 'BenchmarkDecode(Sparse|Band|Chunked)N|BenchmarkWire(Sparse|Chunked)N' -benchtime=5x ./internal/core \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_sparse.json -by "make bench-sparse" \
+	    -note "DecodeXN vs DecodeXNRef is the sparse-aware elimination vs dense AddRef over the same densified stream; 64 B payloads keep elimination dominant; wire-B/block metrics are coefficient wire bytes per block, WireSparseN1024Ref being the dense v1 frames of the same vectors; ChunkedN4096 has no Ref (dense baseline impractical at that N)"
+
 # Fast correctness gate: vet everything, race-test the packages with
 # concurrent hot paths (the word-parallel kernels, the row arenas, the
 # parallel encoder, the networked store, the repair daemon and the shared
@@ -79,6 +89,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz FuzzDecoderEquivBatch -fuzztime $(FUZZTIME) ./internal/gfmat
 	$(GO) test -run='^$$' -fuzz FuzzAddMulSliceEquiv -fuzztime $(FUZZTIME) ./internal/gf256
 	$(GO) test -run='^$$' -fuzz FuzzRecombineEquiv -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz FuzzSparseDenseEquiv -fuzztime $(FUZZTIME) ./internal/gfmat
+	$(GO) test -run='^$$' -fuzz FuzzChunkedDecodeEquiv -fuzztime $(FUZZTIME) ./internal/core
 
 # Three prlcd daemons on loopback ports, the tcpstore demo against them
 # (it shuts daemon 1 down over the wire), then kill the rest.

@@ -75,6 +75,9 @@ type Benchmark struct {
 	Iters    int64   `json:"iterations"`
 	NsPerOp  float64 `json:"ns_per_op"`
 	MBPerSec float64 `json:"mb_per_s,omitempty"`
+	// Metrics holds any extra per-op values the benchmark emitted via
+	// b.ReportMetric (e.g. "wire-B/block"), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Speedup records one before/after pairing.
@@ -101,7 +104,11 @@ type Snapshot struct {
 //	BenchmarkAddMulSlice_1KiB-8   5727258   41.12 ns/op   24905.23 MB/s
 //
 // The -N GOMAXPROCS suffix is stripped from the name; MB/s is optional.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) MB/s)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) MB/s)?(.*)$`)
+
+// metricPair matches the remaining `<value> <unit>` pairs a benchmark
+// reports via b.ReportMetric, e.g. `123.0 wire-B/block`.
+var metricPair = regexp.MustCompile(`([0-9.]+) (\S+)`)
 
 func run(r io.Reader, out, note, by string) error {
 	snap, err := parse(r)
@@ -156,6 +163,16 @@ func parse(r io.Reader) (*Snapshot, error) {
 				if err != nil {
 					return nil, fmt.Errorf("bad MB/s in %q: %w", line, err)
 				}
+			}
+			for _, pm := range metricPair.FindAllStringSubmatch(m[5], -1) {
+				v, err := strconv.ParseFloat(pm[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad metric in %q: %w", line, err)
+				}
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[pm[2]] = v
 			}
 			snap.Benchmarks = append(snap.Benchmarks, b)
 		}

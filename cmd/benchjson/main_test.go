@@ -95,3 +95,29 @@ func TestBaselineName(t *testing.T) {
 		}
 	}
 }
+
+// TestParseExtraMetrics pins the ReportMetric pairs: a `<value> <unit>`
+// tail after ns/op (with or without MB/s) lands in the Metrics map.
+func TestParseExtraMetrics(t *testing.T) {
+	const out = `pkg: repro/internal/core
+BenchmarkWireSparseN1024-8       2     114928 ns/op        123.0 wire-B/block
+BenchmarkDecodeSparseN512-8      2   14298040 ns/op   2.29 MB/s   7.5 extra/unit
+`
+	snap, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	if got := snap.Benchmarks[0].Metrics["wire-B/block"]; got != 123.0 {
+		t.Errorf("wire-B/block = %v, want 123.0", got)
+	}
+	if snap.Benchmarks[0].MBPerSec != 0 {
+		t.Errorf("MB/s = %v, want 0 (absent)", snap.Benchmarks[0].MBPerSec)
+	}
+	b := snap.Benchmarks[1]
+	if b.MBPerSec != 2.29 || b.Metrics["extra/unit"] != 7.5 {
+		t.Errorf("second benchmark parsed as %+v", b)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/exper"
 )
@@ -47,6 +48,9 @@ type config struct {
 	workers int
 	payload int
 	perfDur time.Duration
+	sparse  bool
+	band    int
+	chunks  string
 }
 
 func run(args []string) error {
@@ -64,6 +68,9 @@ func run(args []string) error {
 	fs.BoolVar(&cfg.perf, "perf", false, "measure encode/decode throughput (MB/s) and rank-only trial rate per scheme")
 	fs.IntVar(&cfg.payload, "payload", 1024, "payload bytes per block for -perf throughput measurements")
 	fs.DurationVar(&cfg.perfDur, "perfdur", 500*time.Millisecond, "minimum measuring time per -perf metric")
+	fs.BoolVar(&cfg.sparse, "sparse", false, "draw O(ln N) sparse coefficients in -perf measurements")
+	fs.IntVar(&cfg.band, "band", 0, "draw contiguous coefficient bands of this width in -perf measurements (0 = off)")
+	fs.StringVar(&cfg.chunks, "chunks", "", "size,overlap: measure expander-chunked coding in -perf")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,17 +122,38 @@ func runPerf(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Hot-path throughput: N=%d, %d levels, payload %d B, workers %d\n",
-		levels.Total(), levels.Count(), cfg.payload, cfg.workers)
+	generator := "dense"
+	var sparsity, band, chunkSize, chunkOverlap int
+	switch {
+	case cfg.sparse:
+		sparsity = core.LogSparsity(levels.Total())
+		generator = fmt.Sprintf("sparse (%d nonzeros)", sparsity)
+	case cfg.band > 0:
+		band = cfg.band
+		generator = fmt.Sprintf("band (width %d)", band)
+	case cfg.chunks != "":
+		dims, err := cliutil.ParseInts(cfg.chunks)
+		if err != nil || len(dims) != 2 {
+			return fmt.Errorf("-chunks wants size,overlap, got %q", cfg.chunks)
+		}
+		chunkSize, chunkOverlap = dims[0], dims[1]
+		generator = fmt.Sprintf("chunked (%d/%d)", chunkSize, chunkOverlap)
+	}
+	fmt.Printf("Hot-path throughput: N=%d, %d levels, payload %d B, workers %d, coding %s\n",
+		levels.Total(), levels.Count(), cfg.payload, cfg.workers, generator)
 	fmt.Printf("%-8s %14s %14s %10s %20s\n", "scheme", "encode MB/s", "decode MB/s", "decoded", "rank-only trials/s")
 	for _, scheme := range []core.Scheme{core.RLC, core.SLC, core.PLC} {
 		res, err := exper.MeasurePerf(exper.PerfConfig{
-			Scheme:     scheme,
-			Levels:     levels,
-			PayloadLen:  cfg.payload,
-			Workers:     cfg.workers,
-			Seed:        cfg.seed,
-			MinDuration: cfg.perfDur,
+			Scheme:       scheme,
+			Levels:       levels,
+			PayloadLen:   cfg.payload,
+			Workers:      cfg.workers,
+			Seed:         cfg.seed,
+			MinDuration:  cfg.perfDur,
+			Sparsity:     sparsity,
+			BandWidth:    band,
+			ChunkSize:    chunkSize,
+			ChunkOverlap: chunkOverlap,
 		})
 		if err != nil {
 			return fmt.Errorf("%v: %w", scheme, err)

@@ -266,6 +266,7 @@ func putCmd(args []string, out io.Writer) error {
 		levelsStr string
 		distStr   string
 		schemeStr string
+		codingStr string
 		seed      int64
 		tolerance int
 		minWrites int
@@ -278,6 +279,7 @@ func putCmd(args []string, out io.Writer) error {
 	fs.StringVar(&levelsStr, "levels", "0.1,0.2,0.7", "level fractions, most important first")
 	fs.StringVar(&distStr, "dist", "", "priority distribution (default uniform)")
 	fs.StringVar(&schemeStr, "scheme", "plc", "coding scheme: rlc, slc or plc")
+	fs.StringVar(&codingStr, "coding", "auto", "coefficient generator: auto, dense, sparse, band or chunked (auto picks by generation size)")
 	fs.Int64Var(&seed, "seed", 1, "random seed")
 	fs.IntVar(&tolerance, "f", 1, "replica losses the last level must survive")
 	fs.IntVar(&minWrites, "min-writes", 1, "copies that must land per block")
@@ -334,17 +336,57 @@ func putCmd(args []string, out io.Writer) error {
 	if err := dist.Validate(levels); err != nil {
 		return err
 	}
-	sources := cliutil.SplitPayloads(data, blocks)
-	enc, err := core.NewEncoder(scheme, levels, sources)
+	coding, err := core.ParseCoding(codingStr)
 	if err != nil {
 		return err
 	}
-	cb, err := enc.EncodeBatch(rand.New(rand.NewSource(seed)), dist, coded)
-	if err != nil {
-		return err
+	if coding == core.CodingAuto {
+		coding = core.AutoCoding(blocks)
 	}
 
-	repl, err := openReplicated(addrs, levels.Count(), tolerance, minWrites, timeout, nil)
+	sources := cliutil.SplitPayloads(data, blocks)
+	var (
+		cb         []*core.CodedBlock
+		replLevels = levels.Count()
+		layout     *core.ChunkLayout
+	)
+	if coding == core.CodingChunked {
+		// Chunked blocks carry their chunk index in the Level field. Chunks
+		// cover the file front to back, so the store's level-decaying
+		// replication naturally keeps more copies of the file prefix —
+		// replLevels becomes the chunk count.
+		layout, err = core.DefaultChunkLayout(blocks)
+		if err != nil {
+			return err
+		}
+		replLevels = layout.Count
+		cenc, err := core.NewChunkedEncoder(layout, sources)
+		if err != nil {
+			return err
+		}
+		cb, err = cenc.EncodeBatch(rand.New(rand.NewSource(seed)), coded)
+		if err != nil {
+			return err
+		}
+	} else {
+		var opts []core.EncoderOption
+		switch coding {
+		case core.CodingSparse:
+			opts = append(opts, core.WithSparsity(core.LogSparsity(blocks)))
+		case core.CodingBand:
+			opts = append(opts, core.WithBand(core.DefaultBandWidth))
+		}
+		enc, err := core.NewEncoder(scheme, levels, sources, opts...)
+		if err != nil {
+			return err
+		}
+		cb, err = enc.EncodeBatch(rand.New(rand.NewSource(seed)), dist, coded)
+		if err != nil {
+			return err
+		}
+	}
+
+	repl, err := openReplicated(addrs, replLevels, tolerance, minWrites, timeout, nil)
 	if err != nil {
 		return err
 	}
@@ -359,8 +401,13 @@ func putCmd(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "stored %d coded blocks (%d replica copies) across %d daemons\n",
 		len(cb), copies, len(addrs))
-	fmt.Fprintf(out, "recover with:\n  prlcd store get -addrs %s -out FILE -scheme %s -sizes %s -size %d\n",
-		addrsStr, schemeStr, intsCSV(sizes), len(data))
+	if coding == core.CodingChunked {
+		fmt.Fprintf(out, "recover with:\n  prlcd store get -addrs %s -out FILE -sizes %s -size %d -chunks %d,%d\n",
+			addrsStr, intsCSV(sizes), len(data), layout.Size, layout.Overlap)
+	} else {
+		fmt.Fprintf(out, "recover with:\n  prlcd store get -addrs %s -out FILE -scheme %s -sizes %s -size %d\n",
+			addrsStr, schemeStr, intsCSV(sizes), len(data))
+	}
 	return nil
 }
 
@@ -371,6 +418,7 @@ func getCmd(args []string, out io.Writer) error {
 		outPath   string
 		schemeStr string
 		sizesStr  string
+		chunksStr string
 		fileSize  int64
 		seed      int64
 		timeout   time.Duration
@@ -379,6 +427,7 @@ func getCmd(args []string, out io.Writer) error {
 	fs.StringVar(&outPath, "out", "", "output file for the recovered prefix")
 	fs.StringVar(&schemeStr, "scheme", "plc", "coding scheme used at put time")
 	fs.StringVar(&sizesStr, "sizes", "", "per-level block counts from put time")
+	fs.StringVar(&chunksStr, "chunks", "", "size,overlap of the chunk layout when put used -coding chunked")
 	fs.Int64Var(&fileSize, "size", 0, "original file size (0 = keep padding)")
 	fs.Int64Var(&seed, "seed", 1, "random seed for the processing order")
 	fs.DurationVar(&timeout, "timeout", 5*time.Second, "per-attempt timeout")
@@ -415,14 +464,51 @@ func getCmd(args []string, out io.Writer) error {
 	if len(blocks) == 0 {
 		return fmt.Errorf("get: daemons hold no blocks")
 	}
-	res, dec, err := collect.Run(rand.New(rand.NewSource(seed)), scheme, levels, blocks,
-		collect.Options{Context: ctx, PayloadLen: len(blocks[0].Payload)})
-	if err != nil {
-		return err
+	var (
+		sourcesOut [][]byte
+		decoded    int
+		complete   bool
+		levelsNote string
+	)
+	if chunksStr != "" {
+		chunkDims, err := cliutil.ParseInts(chunksStr)
+		if err != nil || len(chunkDims) != 2 {
+			return fmt.Errorf("get: -chunks wants size,overlap, got %q", chunksStr)
+		}
+		layout, err := core.NewChunkLayout(levels.Total(), chunkDims[0], chunkDims[1])
+		if err != nil {
+			return err
+		}
+		cdec, err := core.NewChunkedDecoder(layout, len(blocks[0].Payload))
+		if err != nil {
+			return err
+		}
+		for _, b := range blocks {
+			if _, err := cdec.Add(b); err != nil {
+				fmt.Fprintf(out, "get: skipping block: %v\n", err)
+			}
+			if cdec.Complete() {
+				break
+			}
+		}
+		sourcesOut = cdec.Sources()
+		decoded = cdec.DecodedCount()
+		complete = cdec.Complete()
+		levelsNote = "chunked"
+	} else {
+		res, dec, err := collect.Run(rand.New(rand.NewSource(seed)), scheme, levels, blocks,
+			collect.Options{Context: ctx, PayloadLen: len(blocks[0].Payload)})
+		if err != nil {
+			return err
+		}
+		sourcesOut = dec.Sources()
+		decoded = res.DecodedBlocks
+		complete = res.Complete
+		levelsNote = fmt.Sprintf("%d levels", res.DecodedLevels)
 	}
 
 	var buf []byte
-	for _, p := range dec.Sources() {
+	for _, p := range sourcesOut {
 		if p == nil {
 			break
 		}
@@ -434,10 +520,10 @@ func getCmd(args []string, out io.Writer) error {
 	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "collected %d blocks from %d daemons; decoded %d/%d source blocks (%d levels)\n",
-		len(blocks), len(addrs), res.DecodedBlocks, levels.Total(), res.DecodedLevels)
+	fmt.Fprintf(out, "collected %d blocks from %d daemons; decoded %d/%d source blocks (%s)\n",
+		len(blocks), len(addrs), decoded, levels.Total(), levelsNote)
 	fmt.Fprintf(out, "wrote %d bytes to %s", len(buf), outPath)
-	if res.Complete {
+	if complete {
 		fmt.Fprint(out, " (complete file)")
 	} else if fileSize > 0 {
 		fmt.Fprintf(out, " (partial recovery: %.1f%% of the file)", 100*float64(len(buf))/float64(fileSize))

@@ -26,13 +26,18 @@ import (
 	"repro/internal/core"
 )
 
-// Block-file format v2: a self-describing header followed by the block
-// in the standard CodedBlock wire encoding (MarshalBinary), so the file
-// format and the store's network format share one serialization.
+// Block-file format: a self-describing header followed by the block in
+// the standard CodedBlock wire encoding (MarshalBinary), so the file
+// format and the store's network format share one serialization. Version
+// 2 covers the level-structured codings (dense, sparse, band — the block
+// wire encoding tells them apart); version 3 appends the chunk layout
+// (size and overlap, uint32 each) that chunk-coded blocks need to route
+// their Level-as-chunk-index on decode.
 const (
-	magic       = "PRLC"
-	formatVer   = 2
-	blockSuffix = ".prlc"
+	magic            = "PRLC"
+	formatVer        = 2
+	formatVerChunked = 3
+	blockSuffix      = ".prlc"
 )
 
 // Shared CLI helpers, aliased for the tests.
@@ -69,7 +74,12 @@ type header struct {
 	levelSizes []int
 	fileSize   uint64
 	payloadLen int
+	// chunkSize/chunkOverlap are nonzero-size only in v3 (chunked) files.
+	chunkSize    int
+	chunkOverlap int
 }
+
+func (h header) chunked() bool { return h.chunkSize > 0 }
 
 func encode(args []string) error {
 	fs := flag.NewFlagSet("prlcfile encode", flag.ContinueOnError)
@@ -80,6 +90,7 @@ func encode(args []string) error {
 		levelsStr string
 		distStr   string
 		schemeStr string
+		codingStr string
 		seed      int64
 		workers   int
 	)
@@ -90,6 +101,7 @@ func encode(args []string) error {
 	fs.StringVar(&levelsStr, "levels", "0.1,0.2,0.7", "comma-separated level fractions of the file, most important first")
 	fs.StringVar(&distStr, "dist", "", "priority distribution over levels (default uniform)")
 	fs.StringVar(&schemeStr, "scheme", "plc", "coding scheme: rlc, slc or plc")
+	fs.StringVar(&codingStr, "coding", "auto", "coefficient generator: auto, dense, sparse, band or chunked (auto picks by generation size)")
 	fs.Int64Var(&seed, "seed", 1, "random seed")
 	fs.IntVar(&workers, "workers", runtime.GOMAXPROCS(0), "encoder worker count (output is seed-deterministic for any value)")
 	if err := fs.Parse(args); err != nil {
@@ -152,28 +164,63 @@ func encode(args []string) error {
 	if err := dist.Validate(levels); err != nil {
 		return err
 	}
+	coding, err := core.ParseCoding(codingStr)
+	if err != nil {
+		return err
+	}
+	if coding == core.CodingAuto {
+		coding = core.AutoCoding(blocks)
+	}
 
-	enc, err := core.NewEncoder(scheme, levels, sources)
-	if err != nil {
-		return err
-	}
-	penc, err := core.NewParallelEncoder(enc, workers)
-	if err != nil {
-		return err
-	}
-	out = filepath.Clean(out)
-	if err := os.MkdirAll(out, 0o755); err != nil {
-		return err
-	}
-	cb, err := penc.EncodeBatch(seed, dist, coded)
-	if err != nil {
-		return err
-	}
 	h := header{
 		scheme:     scheme,
 		levelSizes: sizes,
 		fileSize:   uint64(len(data)),
 		payloadLen: payloadLen,
+	}
+	var cb []*core.CodedBlock
+	if coding == core.CodingChunked {
+		// Chunked coding trades the level structure for flat per-chunk
+		// generations: the block's Level field carries the chunk index, so
+		// the scheme and distribution do not apply.
+		layout, err := core.DefaultChunkLayout(blocks)
+		if err != nil {
+			return err
+		}
+		h.chunkSize = layout.Size
+		h.chunkOverlap = layout.Overlap
+		cenc, err := core.NewChunkedEncoder(layout, sources)
+		if err != nil {
+			return err
+		}
+		cb, err = cenc.EncodeBatch(rand.New(rand.NewSource(seed)), coded)
+		if err != nil {
+			return err
+		}
+	} else {
+		var opts []core.EncoderOption
+		switch coding {
+		case core.CodingSparse:
+			opts = append(opts, core.WithSparsity(core.LogSparsity(blocks)))
+		case core.CodingBand:
+			opts = append(opts, core.WithBand(core.DefaultBandWidth))
+		}
+		enc, err := core.NewEncoder(scheme, levels, sources, opts...)
+		if err != nil {
+			return err
+		}
+		penc, err := core.NewParallelEncoder(enc, workers)
+		if err != nil {
+			return err
+		}
+		cb, err = penc.EncodeBatch(seed, dist, coded)
+		if err != nil {
+			return err
+		}
+	}
+	out = filepath.Clean(out)
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
 	}
 	for i, b := range cb {
 		path := filepath.Join(out, fmt.Sprintf("block_%05d%s", i, blockSuffix))
@@ -182,8 +229,13 @@ func encode(args []string) error {
 		}
 	}
 	fmt.Printf("encoded %s (%d bytes) into %d coded blocks in %s\n", in, len(data), coded, out)
-	fmt.Printf("scheme %s, %d source blocks, levels %v, payload %d bytes/block\n",
-		scheme, blocks, sizes, payloadLen)
+	if coding == core.CodingChunked {
+		fmt.Printf("coding chunked (%d-block chunks, %d overlap), %d source blocks, payload %d bytes/block\n",
+			h.chunkSize, h.chunkOverlap, blocks, payloadLen)
+	} else {
+		fmt.Printf("scheme %s, coding %s, %d source blocks, levels %v, payload %d bytes/block\n",
+			scheme, coding, blocks, sizes, payloadLen)
+	}
 	return nil
 }
 
@@ -218,7 +270,7 @@ func decode(args []string) error {
 	sort.Strings(paths)
 
 	var (
-		dec     *core.Decoder
+		dec     blockSink
 		levels  *core.Levels
 		h0      header
 		haveHdr bool
@@ -236,11 +288,23 @@ func decode(args []string) error {
 			if err != nil {
 				return err
 			}
-			dec, err = core.NewDecoder(h.scheme, levels, h.payloadLen)
-			if err != nil {
-				return err
+			if h.chunked() {
+				layout, err := core.NewChunkLayout(levels.Total(), h.chunkSize, h.chunkOverlap)
+				if err != nil {
+					return err
+				}
+				dec, err = core.NewChunkedDecoder(layout, h.payloadLen)
+				if err != nil {
+					return err
+				}
+			} else {
+				ld, err := core.NewDecoder(h.scheme, levels, h.payloadLen)
+				if err != nil {
+					return err
+				}
+				ld.SetWorkers(workers)
+				dec = ld
 			}
-			dec.SetWorkers(workers)
 		} else if !headersCompatible(h0, h) {
 			fmt.Fprintf(os.Stderr, "prlcfile: skipping %s: incompatible header\n", paths[idx])
 			continue
@@ -275,8 +339,14 @@ func decode(args []string) error {
 		return err
 	}
 	total := levels.Total()
-	fmt.Printf("read %d block files; decoded %d/%d source blocks (%d levels), prefix %d blocks\n",
-		len(paths), dec.DecodedBlocks(), total, dec.DecodedLevels(), prefixBlocks)
+	switch d := dec.(type) {
+	case *core.Decoder:
+		fmt.Printf("read %d block files; decoded %d/%d source blocks (%d levels), prefix %d blocks\n",
+			len(paths), d.DecodedBlocks(), total, d.DecodedLevels(), prefixBlocks)
+	case *core.ChunkedDecoder:
+		fmt.Printf("read %d block files; decoded %d/%d source blocks (chunked), prefix %d blocks\n",
+			len(paths), d.DecodedCount(), total, prefixBlocks)
+	}
 	fmt.Printf("wrote %d bytes to %s", len(buf), out)
 	if dec.Complete() {
 		fmt.Printf(" (complete file)")
@@ -287,8 +357,19 @@ func decode(args []string) error {
 	return nil
 }
 
+// blockSink is the decode-side surface the level-structured and chunked
+// decoders share.
+type blockSink interface {
+	Add(*core.CodedBlock) (bool, error)
+	Complete() bool
+	Sources() [][]byte
+}
+
 func headersCompatible(a, b header) bool {
 	if a.scheme != b.scheme || a.fileSize != b.fileSize || a.payloadLen != b.payloadLen {
+		return false
+	}
+	if a.chunkSize != b.chunkSize || a.chunkOverlap != b.chunkOverlap {
 		return false
 	}
 	if len(a.levelSizes) != len(b.levelSizes) {
@@ -303,10 +384,16 @@ func headersCompatible(a, b header) bool {
 }
 
 // writeBlock writes header then the block's standard wire encoding.
+// Chunked headers get the v3 format with the chunk layout appended;
+// everything else keeps the v2 bytes unchanged.
 func writeBlock(path string, h header, b *core.CodedBlock) error {
 	var buf []byte
 	buf = append(buf, magic...)
-	buf = append(buf, formatVer)
+	if h.chunked() {
+		buf = append(buf, formatVerChunked)
+	} else {
+		buf = append(buf, formatVer)
+	}
 	buf = append(buf, byte(h.scheme))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.levelSizes)))
 	for _, s := range h.levelSizes {
@@ -314,6 +401,10 @@ func writeBlock(path string, h header, b *core.CodedBlock) error {
 	}
 	buf = binary.BigEndian.AppendUint64(buf, h.fileSize)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(h.payloadLen))
+	if h.chunked() {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(h.chunkSize))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(h.chunkOverlap))
+	}
 	wire, err := b.MarshalBinary()
 	if err != nil {
 		return err
@@ -330,8 +421,9 @@ func readBlock(path string) (header, *core.CodedBlock, error) {
 	if len(data) < len(magic)+2 || string(data[:4]) != magic {
 		return header{}, nil, fmt.Errorf("not a PRLC block file")
 	}
-	if data[4] != formatVer {
-		return header{}, nil, fmt.Errorf("unsupported format version %d", data[4])
+	ver := data[4]
+	if ver != formatVer && ver != formatVerChunked {
+		return header{}, nil, fmt.Errorf("unsupported format version %d", ver)
 	}
 	off := 5
 	need := func(n int) error {
@@ -363,6 +455,18 @@ func readBlock(path string) (header, *core.CodedBlock, error) {
 	off += 8
 	h.payloadLen = int(binary.BigEndian.Uint32(data[off:]))
 	off += 4
+	if ver == formatVerChunked {
+		if err := need(8); err != nil {
+			return header{}, nil, err
+		}
+		h.chunkSize = int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		h.chunkOverlap = int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if h.chunkSize <= 0 {
+			return header{}, nil, fmt.Errorf("chunked block file with chunk size %d", h.chunkSize)
+		}
+	}
 	// The remainder is the block's standard wire encoding.
 	b := &core.CodedBlock{}
 	if err := b.UnmarshalBinary(data[off:]); err != nil {

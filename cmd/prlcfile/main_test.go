@@ -261,3 +261,120 @@ func TestDecodeWorkersRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// readBlockFiles loads every block file of a directory, returning the
+// headers and blocks in name order.
+func readBlockFiles(t *testing.T, dir string) ([]header, []*core.CodedBlock) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs []header
+	var bs []*core.CodedBlock
+	for _, e := range entries {
+		h, b, err := readBlock(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		hs = append(hs, h)
+		bs = append(bs, b)
+	}
+	return hs, bs
+}
+
+// TestCodingAutoDefault pins the -coding default: auto resolves by
+// generation size exactly as core.AutoCoding — dense v1 frames at 40
+// source blocks, sparse v3 frames once the generation passes 256.
+func TestCodingAutoDefault(t *testing.T) {
+	in := writeTempFile(t, 4000)
+
+	denseDir := filepath.Join(t.TempDir(), "dense")
+	if err := run([]string{
+		"encode", "-in", in, "-out", denseDir,
+		"-blocks", "40", "-coded", "45", "-levels", "0.2,0.8",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.AutoCoding(40); got != core.CodingDense {
+		t.Fatalf("AutoCoding(40) = %v, want dense", got)
+	}
+	_, bs := readBlockFiles(t, denseDir)
+	for i, b := range bs {
+		if b.IsSparse() {
+			t.Fatalf("auto at 40 blocks emitted sparse block %d, want dense", i)
+		}
+	}
+
+	sparseDir := filepath.Join(t.TempDir(), "sparse")
+	if err := run([]string{
+		"encode", "-in", in, "-out", sparseDir,
+		"-blocks", "300", "-coded", "310", "-levels", "0.2,0.8",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.AutoCoding(300); got != core.CodingSparse {
+		t.Fatalf("AutoCoding(300) = %v, want sparse", got)
+	}
+	_, bs = readBlockFiles(t, sparseDir)
+	for i, b := range bs {
+		if !b.IsSparse() {
+			t.Fatalf("auto at 300 blocks emitted dense block %d, want sparse", i)
+		}
+		if nnz := b.SpCoeff.NNZ(); nnz > 2*core.LogSparsity(300) {
+			t.Fatalf("sparse block %d has %d nonzeros, want O(ln N)", i, nnz)
+		}
+	}
+
+	if err := run([]string{
+		"encode", "-in", in, "-out", t.TempDir(),
+		"-blocks", "40", "-coded", "45", "-coding", "bogus",
+	}); err == nil {
+		t.Fatal("bogus -coding accepted")
+	}
+}
+
+// TestChunkedEncodeDecodeRoundTrip drives -coding chunked end to end:
+// v3 block files carry the chunk layout, every block is a span-sparse
+// vector inside its chunk, and decode recovers the exact file through
+// the chunked decoder.
+func TestChunkedEncodeDecodeRoundTrip(t *testing.T) {
+	in := writeTempFile(t, 9000)
+	blocksDir := filepath.Join(t.TempDir(), "blocks")
+	if err := run([]string{
+		"encode", "-in", in, "-out", blocksDir,
+		"-blocks", "600", "-coded", "700", "-coding", "chunked",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hs, bs := readBlockFiles(t, blocksDir)
+	layout, err := core.NewChunkLayout(600, hs[0].chunkSize, hs[0].chunkOverlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bs {
+		if !hs[i].chunked() {
+			t.Fatalf("block file %d not marked chunked", i)
+		}
+		if !b.IsSparse() {
+			t.Fatalf("chunked block %d not sparse", i)
+		}
+		lo, hi := layout.Span(b.Level)
+		if slo, shi := b.SpCoeff.Support(); slo < lo || shi > hi {
+			t.Fatalf("block %d support [%d,%d) escapes chunk span [%d,%d)", i, slo, shi, lo, hi)
+		}
+	}
+
+	outFile := filepath.Join(t.TempDir(), "out.bin")
+	if err := run([]string{"decode", "-in", blocksDir, "-out", outFile}); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := os.ReadFile(in)
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chunked decode mismatch: %d bytes vs %d", len(got), len(want))
+	}
+}

@@ -21,6 +21,10 @@ type Decoder struct {
 	perLevel []*gfmat.Decoder // SLC
 	received int
 	met      decoderMetrics
+
+	// spScratch is the reusable buffer SLC sparse adds shift their indices
+	// into level-local coordinates through.
+	spScratch []uint32
 }
 
 // NewDecoder constructs a decoder for the given scheme and level structure.
@@ -91,12 +95,15 @@ func (d *Decoder) add(b *CodedBlock) (bool, error) {
 	if b == nil {
 		return false, fmt.Errorf("core: nil coded block")
 	}
-	if len(b.Coeff) != d.levels.Total() {
-		return false, fmt.Errorf("core: coefficient vector length %d, want %d", len(b.Coeff), d.levels.Total())
+	if b.CoeffLen() != d.levels.Total() {
+		return false, fmt.Errorf("core: coefficient vector length %d, want %d", b.CoeffLen(), d.levels.Total())
 	}
 	lo, hi, err := d.scheme.Support(d.levels, b.Level)
 	if err != nil {
 		return false, err
+	}
+	if sp := b.SpCoeff; sp != nil {
+		return d.addSparse(b, sp, lo, hi)
 	}
 	for j, c := range b.Coeff {
 		if c != 0 && (j < lo || j >= hi) {
@@ -117,6 +124,42 @@ func (d *Decoder) add(b *CodedBlock) (bool, error) {
 	// PLC that is the block's level boundary b_k, the structural invariant
 	// the level-truncated decode path exploits.
 	innovative, err := d.global.AddBounded(b.Coeff, b.Payload, hi)
+	if err != nil {
+		return false, fmt.Errorf("core: %v decode: %w", d.scheme, err)
+	}
+	return innovative, nil
+}
+
+// addSparse absorbs a block that carries its coefficients sparsely,
+// without densifying: the support check is O(nnz), and the elimination
+// enters through gfmat's AddSparse scatter path. Structural validation
+// (strictly increasing indices in range) happens one layer down.
+func (d *Decoder) addSparse(b *CodedBlock, sp *SparseCoeff, lo, hi int) (bool, error) {
+	if len(sp.Idx) != len(sp.Val) {
+		return false, fmt.Errorf("core: sparse block has %d indices with %d values", len(sp.Idx), len(sp.Val))
+	}
+	for i, j := range sp.Idx {
+		if sp.Val[i] != 0 && (int(j) < lo || int(j) >= hi) {
+			return false, fmt.Errorf("core: %v level-%d block has nonzero coefficient at column %d outside support [%d, %d)",
+				d.scheme, b.Level, j, lo, hi)
+		}
+	}
+	d.received++
+	if d.scheme == SLC {
+		// Shift into level-local coordinates through a reusable scratch;
+		// the per-level decoder copies what it keeps.
+		idx := d.spScratch[:0]
+		for _, j := range sp.Idx {
+			idx = append(idx, j-uint32(lo))
+		}
+		d.spScratch = idx
+		innovative, err := d.perLevel[b.Level].AddSparse(idx, sp.Val, b.Payload)
+		if err != nil {
+			return false, fmt.Errorf("core: SLC level %d: %w", b.Level, err)
+		}
+		return innovative, nil
+	}
+	innovative, err := d.global.AddSparse(sp.Idx, sp.Val, b.Payload)
 	if err != nil {
 		return false, fmt.Errorf("core: %v decode: %w", d.scheme, err)
 	}

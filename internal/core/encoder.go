@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/dist"
@@ -13,10 +14,39 @@ import (
 // CodedBlock is one encoded unit stored in the network: the level it was
 // generated for, its coding-coefficient vector over all N source blocks
 // (zero outside the scheme's support), and the encoded payload.
+//
+// The coefficients are carried in exactly one of two representations:
+// dense in Coeff, or canonical sparse in SpCoeff (with Coeff nil). Sparse
+// blocks stay sparse through marshaling (the v3 wire encoding), decode
+// (gfmat.Decoder.AddSparse) and recombination; dense blocks keep the v1
+// wire encoding bit for bit.
 type CodedBlock struct {
 	Level   int
 	Coeff   []byte
+	SpCoeff *SparseCoeff
 	Payload []byte
+}
+
+// IsSparse reports whether the block carries its coefficients sparsely.
+func (b *CodedBlock) IsSparse() bool { return b.SpCoeff != nil }
+
+// CoeffLen returns the dense length of the coefficient vector regardless
+// of representation.
+func (b *CodedBlock) CoeffLen() int {
+	if b.SpCoeff != nil {
+		return b.SpCoeff.Len
+	}
+	return len(b.Coeff)
+}
+
+// DenseCoeff returns the dense coefficient vector: Coeff itself for a
+// dense block (no copy), or a fresh materialization for a sparse one.
+// Callers that only need structure should prefer the sparse form.
+func (b *CodedBlock) DenseCoeff() []byte {
+	if b.SpCoeff != nil {
+		return b.SpCoeff.Dense()
+	}
+	return b.Coeff
 }
 
 // Clone returns a deep copy of the block. Nil-ness and emptiness of the
@@ -28,6 +58,9 @@ func (b *CodedBlock) Clone() *CodedBlock {
 	if b.Coeff != nil {
 		c.Coeff = make([]byte, len(b.Coeff))
 		copy(c.Coeff, b.Coeff)
+	}
+	if b.SpCoeff != nil {
+		c.SpCoeff = b.SpCoeff.Clone()
 	}
 	if b.Payload != nil {
 		c.Payload = make([]byte, len(b.Payload))
@@ -41,6 +74,7 @@ type EncoderOption func(*encoderConfig)
 
 type encoderConfig struct {
 	sparsity int
+	band     int
 }
 
 // WithSparsity limits each coded block to at most d nonzero coefficients,
@@ -65,6 +99,19 @@ func LogSparsity(n int) int {
 	return d
 }
 
+// WithBand restricts each coded block to a contiguous coefficient band of
+// width w placed uniformly at random within the block's support — the
+// perpetual-codes generator. The band's center is drawn uniformly and the
+// band is clamped to the support, so edge columns keep coverage instead
+// of the ~w/2 starvation a uniform start position would give them. A band
+// is the sparsity pattern elimination exploits best: the decoder's
+// active-span machinery keeps every row operation within O(w) columns.
+// w <= 0 means dense (the default); w covering the whole support
+// degenerates to dense. Mutually exclusive with WithSparsity.
+func WithBand(w int) EncoderOption {
+	return func(c *encoderConfig) { c.band = w }
+}
+
 // Encoder produces coded blocks for a fixed scheme, level structure and
 // source payload set. It is safe for concurrent use only with external
 // synchronization of the *rand.Rand passed to Encode.
@@ -74,6 +121,7 @@ type Encoder struct {
 	sources    [][]byte // nil when payloadLen == 0 (coefficient-only experiments)
 	payloadLen int
 	sparsity   int
+	band       int
 	met        encoderMetrics
 }
 
@@ -91,10 +139,14 @@ func NewEncoder(scheme Scheme, levels *Levels, sources [][]byte, opts ...Encoder
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.sparsity > 0 && cfg.band > 0 {
+		return nil, fmt.Errorf("core: WithSparsity and WithBand are mutually exclusive")
+	}
 	e := &Encoder{
 		scheme:   scheme,
 		levels:   levels,
 		sparsity: cfg.sparsity,
+		band:     cfg.band,
 	}
 	if len(sources) > 0 {
 		if len(sources) != levels.Total() {
@@ -124,20 +176,22 @@ func (e *Encoder) PayloadLen() int { return e.payloadLen }
 
 // Encode generates one coded block for the given level. Coefficients are
 // drawn uniformly from the nonzero field elements over the scheme's support
-// (or over a sparse random subset of it when WithSparsity is set).
+// (or over a sparse random subset / a random band of it when WithSparsity
+// or WithBand is set, in which case the block carries its coefficients in
+// sparse form and never materializes the dense vector).
 func (e *Encoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error) {
 	var t0 time.Time
 	if e.met.encodeNs != nil {
 		t0 = time.Now()
 	}
-	coeff, lo, hi, err := e.drawCoeff(rng, level)
+	cd, err := e.drawCoeff(rng, level)
 	if err != nil {
 		return nil, err
 	}
-	b := &CodedBlock{Level: level, Coeff: coeff}
+	b := &CodedBlock{Level: level, Coeff: cd.dense, SpCoeff: cd.sp}
 	if e.payloadLen > 0 {
 		b.Payload = make([]byte, e.payloadLen)
-		e.foldPayloadStripe(b.Payload, coeff, lo, hi, 0)
+		e.foldPayloadStripe(b.Payload, cd, 0)
 	} else {
 		b.Payload = []byte{}
 	}
@@ -149,38 +203,85 @@ func (e *Encoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error) {
 	return b, nil
 }
 
+// coeffDraw is one drawn coefficient vector: dense over [lo, hi), or
+// canonical sparse with dense == nil. Exactly one of the two is set.
+type coeffDraw struct {
+	dense  []byte
+	sp     *SparseCoeff
+	lo, hi int
+}
+
 // drawCoeff draws one coded block's coefficient vector for the given level
 // and returns it together with the scheme's support range. Splitting this
 // out of Encode keeps the random-number consumption in one place, so the
 // striped and sequential payload paths produce bit-identical blocks from
 // the same generator state.
-func (e *Encoder) drawCoeff(rng *rand.Rand, level int) (coeff []byte, lo, hi int, err error) {
-	lo, hi, err = e.scheme.Support(e.levels, level)
+func (e *Encoder) drawCoeff(rng *rand.Rand, level int) (coeffDraw, error) {
+	lo, hi, err := e.scheme.Support(e.levels, level)
 	if err != nil {
-		return nil, 0, 0, err
+		return coeffDraw{}, err
 	}
-	coeff = make([]byte, e.levels.Total())
 	span := hi - lo
 	if e.sparsity > 0 && e.sparsity < span {
 		// Sparse: choose e.sparsity distinct positions within the support.
-		for _, off := range rng.Perm(span)[:e.sparsity] {
-			coeff[lo+off] = byte(1 + rng.Intn(255))
+		// The positions come out of Perm in random order (the order the
+		// historical dense path consumed values in, kept so fixed seeds
+		// yield the same blocks) and are sorted into canonical form.
+		d := e.sparsity
+		pos := make([]int, d)
+		val := make(map[int]byte, d)
+		for i, off := range rng.Perm(span)[:d] {
+			pos[i] = lo + off
+			val[lo+off] = byte(1 + rng.Intn(255))
 		}
-	} else {
-		for j := lo; j < hi; j++ {
-			coeff[j] = byte(1 + rng.Intn(255))
+		sort.Ints(pos)
+		s := &SparseCoeff{Len: e.levels.Total(), Idx: make([]uint32, d), Val: make([]byte, d)}
+		for i, p := range pos {
+			s.Idx[i] = uint32(p)
+			s.Val[i] = val[p]
 		}
+		return coeffDraw{sp: s, lo: pos[0], hi: pos[d-1] + 1}, nil
 	}
-	return coeff, lo, hi, nil
+	if e.band > 0 && e.band < span {
+		// Band: a contiguous run of w nonzero coefficients whose center is
+		// uniform over the support, clamped so the run stays inside it.
+		w := e.band
+		center := lo + rng.Intn(span)
+		start := center - w/2
+		if start < lo {
+			start = lo
+		}
+		if start > hi-w {
+			start = hi - w
+		}
+		s := &SparseCoeff{Len: e.levels.Total(), Idx: make([]uint32, w), Val: make([]byte, w)}
+		for i := 0; i < w; i++ {
+			s.Idx[i] = uint32(start + i)
+			s.Val[i] = byte(1 + rng.Intn(255))
+		}
+		return coeffDraw{sp: s, lo: start, hi: start + w}, nil
+	}
+	coeff := make([]byte, e.levels.Total())
+	for j := lo; j < hi; j++ {
+		coeff[j] = byte(1 + rng.Intn(255))
+	}
+	return coeffDraw{dense: coeff, lo: lo, hi: hi}, nil
 }
 
 // foldPayloadStripe accumulates the coded payload bytes [off, off+len(dst))
-// into dst: dst ^= coeff[j]·sources[j][off:...] over the support [lo, hi).
+// into dst: dst ^= coeff[j]·sources[j][off:...] over the draw's support.
 // Disjoint stripes of the same block are independent, which is what the
-// parallel payload path exploits.
-func (e *Encoder) foldPayloadStripe(dst, coeff []byte, lo, hi, off int) {
-	for j := lo; j < hi; j++ {
-		if c := coeff[j]; c != 0 {
+// parallel payload path exploits. A sparse draw folds only its nonzero
+// entries — the O(ln N) encode cost the sparse representation exists for.
+func (e *Encoder) foldPayloadStripe(dst []byte, cd coeffDraw, off int) {
+	if cd.sp != nil {
+		for i, j := range cd.sp.Idx {
+			gf256.AddMulSlice(dst, e.sources[j][off:off+len(dst)], cd.sp.Val[i])
+		}
+		return
+	}
+	for j := cd.lo; j < cd.hi; j++ {
+		if c := cd.dense[j]; c != 0 {
 			gf256.AddMulSlice(dst, e.sources[j][off:off+len(dst)], c)
 		}
 	}

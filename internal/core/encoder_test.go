@@ -143,14 +143,17 @@ func TestSparseEncoding(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if !b.IsSparse() {
+			t.Fatal("sparse encoder emitted a dense block")
+		}
 		nnz := 0
-		for _, c := range b.Coeff {
+		for _, c := range b.DenseCoeff() {
 			if c != 0 {
 				nnz++
 			}
 		}
-		if nnz != d {
-			t.Fatalf("sparse block has %d nonzeros, want %d", nnz, d)
+		if nnz != d || b.SpCoeff.NNZ() != d {
+			t.Fatalf("sparse block has %d nonzeros (%d entries), want %d", nnz, b.SpCoeff.NNZ(), d)
 		}
 	}
 	// Sparsity wider than the support degrades to dense over the support.
@@ -159,7 +162,7 @@ func TestSparseEncoding(t *testing.T) {
 		t.Fatal(err)
 	}
 	nnz := 0
-	for _, c := range b.Coeff[:50] {
+	for _, c := range b.DenseCoeff()[:50] {
 		if c != 0 {
 			nnz++
 		}

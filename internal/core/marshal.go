@@ -16,16 +16,47 @@ var ErrWireFormat = errors.New("core: malformed wire block")
 // sockets or store them on disk:
 //
 //	magic   "PB"     2 bytes
-//	version 1        1 byte
+//	version 1 | 3    1 byte
 //	level   uint16   big endian
-//	nCoeff  uint32   big endian
+//	nCoeff  uint32   big endian  (dense coefficient length)
 //	nPay    uint32   big endian
-//	coeff   nCoeff bytes
+//	coeff   version-dependent, see below
 //	payload nPay bytes
+//
+// Version 1 carries the coefficients dense: nCoeff raw bytes. Version 3
+// carries them sparse, shipping only the nonzero structure:
+//
+//	mode    1 byte
+//	mode 0 (index/value pairs):
+//	  nnz   uint32 big endian
+//	  idx   nnz × uint32 big endian, strictly increasing, < nCoeff
+//	  val   nnz bytes, all nonzero
+//	mode 1 (contiguous span):
+//	  start uint32 big endian
+//	  width uint32 big endian   (start+width ≤ nCoeff, width ≥ 1)
+//	  raw   width bytes, first and last nonzero
+//
+// The encoding is canonical: a sparse block marshals in whichever mode
+// costs fewer bytes (pairs: 4+5·nnz, span: 8+width; ties go to pairs),
+// and UnmarshalBinary rejects non-canonical v3 frames — wrong mode for
+// the structure, zero pair values, or span padding at the edges — so
+// every accepted frame re-marshals bit-identically. Dense blocks always
+// use version 1, unchanged from prior releases; which representation a
+// block uses survives a marshal round-trip.
 const (
-	wireMagic   = "PB"
-	wireVersion = 1
-	wireHeader  = 2 + 1 + 2 + 4 + 4
+	wireMagic        = "PB"
+	wireVersion      = 1
+	wireVersionSpars = 3
+	wireHeader       = 2 + 1 + 2 + 4 + 4
+
+	wireModePairs = 0
+	wireModeSpan  = 1
+
+	// maxSparseCoeffLen bounds the dense length a v3 frame may claim.
+	// Unlike v1, where nCoeff is implicitly bounded by the bytes actually
+	// present, a sparse frame declares a dense length it never ships — a
+	// hostile frame could claim 4 GiB and blow up the first densification.
+	maxSparseCoeffLen = 1 << 24
 )
 
 var (
@@ -33,24 +64,86 @@ var (
 	_ encoding.BinaryUnmarshaler = (*CodedBlock)(nil)
 )
 
-// MarshalBinary encodes the block in the wire format.
+// sparseWireCost returns the v3 coefficient-section size (mode byte
+// included) of a canonical sparse vector, choosing the cheaper mode.
+func sparseWireCost(s *SparseCoeff) int {
+	pairs := 1 + 4 + 5*s.NNZ()
+	if s.NNZ() == 0 {
+		return pairs
+	}
+	lo, hi := s.Support()
+	span := 1 + 8 + (hi - lo)
+	if span < pairs {
+		return span
+	}
+	return pairs
+}
+
+// WireSize returns the exact MarshalBinary output size in bytes.
+func (b *CodedBlock) WireSize() int {
+	if b.SpCoeff != nil {
+		return wireHeader + sparseWireCost(b.SpCoeff) + len(b.Payload)
+	}
+	return wireHeader + len(b.Coeff) + len(b.Payload)
+}
+
+// MarshalBinary encodes the block in the wire format: version 1 for dense
+// blocks (bit-identical to prior releases), version 3 for sparse ones.
 func (b *CodedBlock) MarshalBinary() ([]byte, error) {
 	if b.Level < 0 || b.Level > 0xFFFF {
 		return nil, fmt.Errorf("core: level %d does not fit the wire format", b.Level)
 	}
-	out := make([]byte, 0, wireHeader+len(b.Coeff)+len(b.Payload))
+	s := b.SpCoeff
+	if s == nil {
+		out := make([]byte, 0, wireHeader+len(b.Coeff)+len(b.Payload))
+		out = append(out, wireMagic...)
+		out = append(out, wireVersion)
+		out = binary.BigEndian.AppendUint16(out, uint16(b.Level))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(b.Coeff)))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(b.Payload)))
+		out = append(out, b.Coeff...)
+		out = append(out, b.Payload...)
+		return out, nil
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Len > maxSparseCoeffLen {
+		return nil, fmt.Errorf("core: sparse coefficient length %d exceeds wire maximum %d", s.Len, maxSparseCoeffLen)
+	}
+	out := make([]byte, 0, wireHeader+sparseWireCost(s)+len(b.Payload))
 	out = append(out, wireMagic...)
-	out = append(out, wireVersion)
+	out = append(out, wireVersionSpars)
 	out = binary.BigEndian.AppendUint16(out, uint16(b.Level))
-	out = binary.BigEndian.AppendUint32(out, uint32(len(b.Coeff)))
+	out = binary.BigEndian.AppendUint32(out, uint32(s.Len))
 	out = binary.BigEndian.AppendUint32(out, uint32(len(b.Payload)))
-	out = append(out, b.Coeff...)
+	lo, hi := s.Support()
+	if s.NNZ() > 0 && 1+8+(hi-lo) < 1+4+5*s.NNZ() {
+		out = append(out, wireModeSpan)
+		out = binary.BigEndian.AppendUint32(out, uint32(lo))
+		out = binary.BigEndian.AppendUint32(out, uint32(hi-lo))
+		raw := make([]byte, hi-lo)
+		for i, j := range s.Idx {
+			raw[int(j)-lo] = s.Val[i]
+		}
+		out = append(out, raw...)
+	} else {
+		out = append(out, wireModePairs)
+		out = binary.BigEndian.AppendUint32(out, uint32(s.NNZ()))
+		for _, j := range s.Idx {
+			out = binary.BigEndian.AppendUint32(out, j)
+		}
+		out = append(out, s.Val...)
+	}
 	out = append(out, b.Payload...)
 	return out, nil
 }
 
 // UnmarshalBinary decodes a block from the wire format, copying the
-// input.
+// input. A version-1 frame yields a dense block, a version-3 frame a
+// sparse one; hostile v3 frames — inflated index counts, out-of-range or
+// duplicate indices, non-canonical encodings — are rejected with
+// ErrWireFormat before any structure-sized allocation happens.
 func (b *CodedBlock) UnmarshalBinary(data []byte) error {
 	if len(data) < wireHeader {
 		return fmt.Errorf("%w: truncated at %d bytes", ErrWireFormat, len(data))
@@ -58,18 +151,126 @@ func (b *CodedBlock) UnmarshalBinary(data []byte) error {
 	if string(data[:2]) != wireMagic {
 		return fmt.Errorf("%w: bad magic %q", ErrWireFormat, data[:2])
 	}
-	if data[2] != wireVersion {
-		return fmt.Errorf("%w: unsupported version %d", ErrWireFormat, data[2])
-	}
+	version := data[2]
 	level := int(binary.BigEndian.Uint16(data[3:]))
 	nCoeff := int(binary.BigEndian.Uint32(data[5:]))
 	nPay := int(binary.BigEndian.Uint32(data[9:]))
-	if nCoeff < 0 || nPay < 0 || len(data) != wireHeader+nCoeff+nPay {
-		return fmt.Errorf("%w: length %d does not match header (%d coeff, %d payload)",
-			ErrWireFormat, len(data), nCoeff, nPay)
+	if nCoeff < 0 || nPay < 0 {
+		return fmt.Errorf("%w: negative section size", ErrWireFormat)
 	}
-	b.Level = level
-	b.Coeff = append([]byte(nil), data[wireHeader:wireHeader+nCoeff]...)
-	b.Payload = append([]byte(nil), data[wireHeader+nCoeff:]...)
-	return nil
+	switch version {
+	case wireVersion:
+		if len(data) != wireHeader+nCoeff+nPay {
+			return fmt.Errorf("%w: length %d does not match header (%d coeff, %d payload)",
+				ErrWireFormat, len(data), nCoeff, nPay)
+		}
+		b.Level = level
+		b.Coeff = append([]byte(nil), data[wireHeader:wireHeader+nCoeff]...)
+		b.SpCoeff = nil
+		b.Payload = append([]byte(nil), data[wireHeader+nCoeff:]...)
+		return nil
+	case wireVersionSpars:
+		if nCoeff > maxSparseCoeffLen {
+			return fmt.Errorf("%w: sparse coefficient length %d exceeds maximum %d",
+				ErrWireFormat, nCoeff, maxSparseCoeffLen)
+		}
+		body := data[wireHeader:]
+		if len(body) < 1+nPay {
+			return fmt.Errorf("%w: truncated sparse coefficient section", ErrWireFormat)
+		}
+		mode := body[0]
+		sect := body[1 : len(body)-nPay]
+		s, err := unmarshalSparseCoeff(mode, sect, nCoeff)
+		if err != nil {
+			return err
+		}
+		b.Level = level
+		b.Coeff = nil
+		b.SpCoeff = s
+		b.Payload = append([]byte(nil), body[len(body)-nPay:]...)
+		return nil
+	default:
+		return fmt.Errorf("%w: unsupported version %d", ErrWireFormat, version)
+	}
+}
+
+// unmarshalSparseCoeff parses and validates one v3 coefficient section.
+// sect is exactly the section body (mode byte and payload stripped).
+func unmarshalSparseCoeff(mode byte, sect []byte, nCoeff int) (*SparseCoeff, error) {
+	switch mode {
+	case wireModePairs:
+		if len(sect) < 4 {
+			return nil, fmt.Errorf("%w: pairs section truncated at %d bytes", ErrWireFormat, len(sect))
+		}
+		nnz := int(binary.BigEndian.Uint32(sect))
+		// Clamp the claimed count by the bytes actually present before any
+		// allocation — the decodeBlockList pattern one layer up.
+		if nnz < 0 || nnz > (len(sect)-4)/5 || len(sect) != 4+5*nnz {
+			return nil, fmt.Errorf("%w: pairs section claims %d entries in %d bytes", ErrWireFormat, nnz, len(sect))
+		}
+		s := &SparseCoeff{Len: nCoeff}
+		if nnz > 0 {
+			s.Idx = make([]uint32, nnz)
+			s.Val = append([]byte(nil), sect[4+4*nnz:]...)
+			prev := -1
+			for i := range s.Idx {
+				j := binary.BigEndian.Uint32(sect[4+4*i:])
+				if int(j) <= prev || int(j) >= nCoeff {
+					return nil, fmt.Errorf("%w: sparse index %d (after %d) outside strictly increasing [0, %d)",
+						ErrWireFormat, j, prev, nCoeff)
+				}
+				if s.Val[i] == 0 {
+					return nil, fmt.Errorf("%w: zero value at sparse index %d", ErrWireFormat, j)
+				}
+				s.Idx[i] = j
+				prev = int(j)
+			}
+			// Canonical-mode check: marshal would have picked span had it
+			// been cheaper, so such a pairs frame cannot round-trip.
+			if lo, hi := s.Support(); 8+(hi-lo) < 4+5*nnz {
+				return nil, fmt.Errorf("%w: non-canonical pairs encoding (span is smaller)", ErrWireFormat)
+			}
+		}
+		return s, nil
+	case wireModeSpan:
+		if len(sect) < 8 {
+			return nil, fmt.Errorf("%w: span section truncated at %d bytes", ErrWireFormat, len(sect))
+		}
+		start := int(binary.BigEndian.Uint32(sect))
+		width := int(binary.BigEndian.Uint32(sect[4:]))
+		if width < 1 || len(sect) != 8+width {
+			return nil, fmt.Errorf("%w: span section claims width %d in %d bytes", ErrWireFormat, width, len(sect))
+		}
+		if start < 0 || width > nCoeff || start > nCoeff-width {
+			return nil, fmt.Errorf("%w: span [%d, %d) outside coefficient range [0, %d)",
+				ErrWireFormat, start, start+width, nCoeff)
+		}
+		raw := sect[8:]
+		if raw[0] == 0 || raw[width-1] == 0 {
+			return nil, fmt.Errorf("%w: non-canonical span encoding (zero padding at edge)", ErrWireFormat)
+		}
+		nnz := 0
+		for _, v := range raw {
+			if v != 0 {
+				nnz++
+			}
+		}
+		if !(8+width < 4+5*nnz) {
+			return nil, fmt.Errorf("%w: non-canonical span encoding (pairs is smaller)", ErrWireFormat)
+		}
+		s := &SparseCoeff{
+			Len: nCoeff,
+			Idx: make([]uint32, 0, nnz),
+			Val: make([]byte, 0, nnz),
+		}
+		for off, v := range raw {
+			if v != 0 {
+				s.Idx = append(s.Idx, uint32(start+off))
+				s.Val = append(s.Val, v)
+			}
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown sparse coefficient mode %d", ErrWireFormat, mode)
+	}
 }

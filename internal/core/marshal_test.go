@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -74,6 +76,150 @@ func TestUnmarshalCopiesInput(t *testing.T) {
 	}
 }
 
+func TestMarshalSparseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		dense := make([]byte, n)
+		for j := range dense {
+			if rng.Intn(3) == 0 {
+				dense[j] = byte(1 + rng.Intn(255))
+			}
+		}
+		// Half the trials use a contiguous band so the span mode is hit.
+		if n > 0 && trial%2 == 0 {
+			clear(dense)
+			w := 1 + rng.Intn(n)
+			start := rng.Intn(n - w + 1)
+			for j := start; j < start+w; j++ {
+				dense[j] = byte(1 + rng.Intn(255))
+			}
+		}
+		b := &CodedBlock{
+			Level:   rng.Intn(100),
+			SpCoeff: SparsifyCoeff(dense),
+			Payload: make([]byte, rng.Intn(30)),
+		}
+		rng.Read(b.Payload)
+		data, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got CodedBlock
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		if !got.IsSparse() || got.Coeff != nil {
+			t.Fatalf("trial %d: sparse block came back dense", trial)
+		}
+		if got.Level != b.Level || !bytes.Equal(got.Payload, b.Payload) {
+			t.Fatalf("trial %d: level/payload mismatch", trial)
+		}
+		if !bytes.Equal(got.DenseCoeff(), dense) {
+			t.Fatalf("trial %d: coefficients mismatch after round trip", trial)
+		}
+		// Canonical encoding: the round-tripped block re-marshals
+		// bit-identically.
+		again, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("trial %d: re-marshal differs", trial)
+		}
+		if len(data) != b.WireSize() {
+			t.Fatalf("trial %d: WireSize %d, marshaled %d", trial, b.WireSize(), len(data))
+		}
+	}
+}
+
+// TestMarshalSparseShrinksWire pins the point of the v3 encoding: an
+// O(ln N)-sparse vector's coefficient section is a small fraction of the
+// dense one.
+func TestMarshalSparseShrinksWire(t *testing.T) {
+	n := 4096
+	d := LogSparsity(n) // 25 for n=4096
+	dense := make([]byte, n)
+	for i := 0; i < d; i++ {
+		dense[i*(n/d)] = byte(1 + i)
+	}
+	sparse := &CodedBlock{SpCoeff: SparsifyCoeff(dense), Payload: []byte{1}}
+	denseB := &CodedBlock{Coeff: dense, Payload: []byte{1}}
+	if sparse.WireSize()*10 > denseB.WireSize() {
+		t.Fatalf("sparse wire %d not ≪ dense wire %d", sparse.WireSize(), denseB.WireSize())
+	}
+}
+
+func TestUnmarshalSparseRejectsHostile(t *testing.T) {
+	hdr := func(nCoeff, nPay int) []byte {
+		out := []byte("PB\x03")
+		out = append(out, 0, 7) // level 7
+		out = binary.BigEndian.AppendUint32(out, uint32(nCoeff))
+		out = binary.BigEndian.AppendUint32(out, uint32(nPay))
+		return out
+	}
+	u32 := func(v uint32) []byte { return binary.BigEndian.AppendUint32(nil, v) }
+	cat := func(parts ...[]byte) []byte {
+		var out []byte
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	cases := map[string][]byte{
+		"truncated mode byte":  hdr(8, 0),
+		"unknown mode":         cat(hdr(8, 0), []byte{9}, u32(0)),
+		"pairs count inflated": cat(hdr(8, 0), []byte{0}, u32(1 << 30), u32(1), []byte{5}),
+		"pairs count short":    cat(hdr(8, 0), []byte{0}, u32(2), u32(1), []byte{5}),
+		"index out of range":   cat(hdr(8, 0), []byte{0}, u32(1), u32(8), []byte{5}),
+		"duplicate index":      cat(hdr(8, 0), []byte{0}, u32(2), u32(3), u32(3), []byte{5, 6}),
+		"decreasing index":     cat(hdr(8, 0), []byte{0}, u32(2), u32(4), u32(2), []byte{5, 6}),
+		"zero pair value":      cat(hdr(8, 0), []byte{0}, u32(1), u32(3), []byte{0}),
+		"span width zero":      cat(hdr(8, 0), []byte{1}, u32(0), u32(0)),
+		"span out of range":    cat(hdr(8, 0), []byte{1}, u32(5), u32(4), []byte{1, 2, 3, 4}),
+		"span overflow":        cat(hdr(8, 0), []byte{1}, u32(1<<31), u32(1<<31), []byte{1}),
+		"span zero lead edge":  cat(hdr(8, 0), []byte{1}, u32(0), u32(8), []byte{0, 1, 2, 3, 4, 5, 6, 7}),
+		"span zero tail edge":  cat(hdr(8, 0), []byte{1}, u32(0), u32(8), []byte{1, 2, 3, 4, 5, 6, 7, 0}),
+		"span where pairs win": cat(hdr(64, 0), []byte{1}, u32(0), u32(8), []byte{1, 0, 0, 0, 0, 0, 0, 2}),
+		"pairs where span wins": cat(hdr(64, 0), []byte{0}, u32(3),
+			u32(0), u32(1), u32(2), []byte{1, 2, 3}),
+		"huge claimed nCoeff": cat(hdr(1<<30, 0), []byte{0}, u32(0)),
+		"payload truncated":   cat(hdr(8, 4), []byte{0}, u32(0), []byte{1, 2}),
+	}
+	for name, data := range cases {
+		var b CodedBlock
+		err := b.UnmarshalBinary(data)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrWireFormat) {
+			t.Errorf("%s: error %v does not wrap ErrWireFormat", name, err)
+		}
+	}
+}
+
+// TestUnmarshalDenseBitIdentical pins that the v1 dense encoding is
+// byte-for-byte what it was before v3 existed, and still decodes.
+func TestUnmarshalDenseBitIdentical(t *testing.T) {
+	b := &CodedBlock{Level: 3, Coeff: []byte{1, 0, 2}, Payload: []byte{9, 9}}
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("PB\x01\x00\x03\x00\x00\x00\x03\x00\x00\x00\x02\x01\x00\x02\x09\x09")
+	if !bytes.Equal(data, want) {
+		t.Fatalf("v1 encoding drifted:\ngot  %x\nwant %x", data, want)
+	}
+	var got CodedBlock
+	if err := got.UnmarshalBinary(want); err != nil {
+		t.Fatal(err)
+	}
+	if got.IsSparse() || !bytes.Equal(got.Coeff, b.Coeff) {
+		t.Fatalf("v1 frame decoded wrong: %+v", got)
+	}
+}
+
 // FuzzUnmarshalBinary hardens the wire parser: arbitrary input must never
 // panic, and accepted input must re-marshal identically.
 func FuzzUnmarshalBinary(f *testing.F) {
@@ -85,6 +231,19 @@ func FuzzUnmarshalBinary(f *testing.F) {
 	f.Add(data)
 	f.Add(data[:5])
 	f.Add([]byte("PB\x01"))
+	sparsePairs := &CodedBlock{Level: 1, SpCoeff: SparsifyCoeff([]byte{0, 7, 0, 0, 0, 0, 0, 9}), Payload: []byte{4}}
+	band := make([]byte, 64)
+	for i := 10; i < 40; i++ {
+		band[i] = byte(i)
+	}
+	sparseSpan := &CodedBlock{Level: 2, SpCoeff: SparsifyCoeff(band), Payload: []byte{}}
+	for _, sb := range []*CodedBlock{sparsePairs, sparseSpan} {
+		sdata, err := sb.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sdata)
+	}
 	f.Fuzz(func(t *testing.T, in []byte) {
 		var b CodedBlock
 		if err := b.UnmarshalBinary(in); err != nil {

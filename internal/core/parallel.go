@@ -65,11 +65,11 @@ func (pe *ParallelEncoder) Encoder() *Encoder { return pe.enc }
 // coefficient draw consumes the same random stream, and the payload is a
 // deterministic function of the coefficients.
 func (pe *ParallelEncoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error) {
-	coeff, lo, hi, err := pe.enc.drawCoeff(rng, level)
+	cd, err := pe.enc.drawCoeff(rng, level)
 	if err != nil {
 		return nil, err
 	}
-	b := &CodedBlock{Level: level, Coeff: coeff}
+	b := &CodedBlock{Level: level, Coeff: cd.dense, SpCoeff: cd.sp}
 	plen := pe.enc.payloadLen
 	if plen == 0 {
 		b.Payload = []byte{}
@@ -78,7 +78,7 @@ func (pe *ParallelEncoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error
 	b.Payload = make([]byte, plen)
 	workers := pe.workers
 	if plen < stripeMinBytes || workers <= 1 {
-		pe.enc.foldPayloadStripe(b.Payload, coeff, lo, hi, 0)
+		pe.enc.foldPayloadStripe(b.Payload, cd, 0)
 		return b, nil
 	}
 
@@ -94,7 +94,7 @@ func (pe *ParallelEncoder) Encode(rng *rand.Rand, level int) (*CodedBlock, error
 		wg.Add(1)
 		go func(off, end int) {
 			defer wg.Done()
-			pe.enc.foldPayloadStripe(b.Payload[off:end], coeff, lo, hi, off)
+			pe.enc.foldPayloadStripe(b.Payload[off:end], cd, off)
 		}(off, end)
 	}
 	wg.Wait()

@@ -75,9 +75,9 @@ func recombine(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlo
 		if b == nil {
 			return nil, 0, fmt.Errorf("core: recombine input %d is nil", i)
 		}
-		if len(b.Coeff) != n {
+		if b.CoeffLen() != n {
 			return nil, 0, fmt.Errorf("core: recombine input %d has %d coefficients, want %d (mixed dimensions?)",
-				i, len(b.Coeff), n)
+				i, b.CoeffLen(), n)
 		}
 		if len(b.Payload) != payloadLen {
 			return nil, 0, fmt.Errorf("core: recombine input %d has %d payload bytes, want %d",
@@ -87,10 +87,22 @@ func recombine(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlo
 		if err != nil {
 			return nil, 0, err
 		}
-		for j, c := range b.Coeff {
-			if c != 0 && (j < lo || j >= hi) {
-				return nil, 0, fmt.Errorf("core: recombine input %d: %v level-%d block has nonzero coefficient at column %d outside support [%d, %d) (mixed schemes?)",
-					i, scheme, b.Level, j, lo, hi)
+		if sp := b.SpCoeff; sp != nil {
+			// Canonical-form validation makes the scatter accumulation below
+			// safe; the support check is then O(nnz).
+			if err := sp.Validate(); err != nil {
+				return nil, 0, fmt.Errorf("core: recombine input %d: %w", i, err)
+			}
+			if slo, shi := sp.Support(); sp.NNZ() > 0 && (slo < lo || shi > hi) {
+				return nil, 0, fmt.Errorf("core: recombine input %d: %v level-%d block has nonzero coefficients in [%d, %d) outside support [%d, %d) (mixed schemes?)",
+					i, scheme, b.Level, slo, shi, lo, hi)
+			}
+		} else {
+			for j, c := range b.Coeff {
+				if c != 0 && (j < lo || j >= hi) {
+					return nil, 0, fmt.Errorf("core: recombine input %d: %v level-%d block has nonzero coefficient at column %d outside support [%d, %d) (mixed schemes?)",
+						i, scheme, b.Level, j, lo, hi)
+				}
 			}
 		}
 		if scheme == SLC && b.Level != outLevel {
@@ -105,7 +117,7 @@ func recombine(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlo
 	if ranked {
 		rows := make([][]byte, len(blocks))
 		for i, b := range blocks {
-			rows[i] = b.Coeff
+			rows[i] = b.DenseCoeff()
 		}
 		m, err := gfmat.FromRows(rows)
 		if err != nil {
@@ -127,7 +139,11 @@ func recombine(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlo
 	for attempt := 0; ; attempt++ {
 		for _, b := range blocks {
 			w := byte(1 + rng.Intn(255))
-			gf256.AddMulSlice(out.Coeff, b.Coeff, w)
+			if sp := b.SpCoeff; sp != nil {
+				gf256.AddMulAt(out.Coeff, sp.Idx, sp.Val, w)
+			} else {
+				gf256.AddMulSlice(out.Coeff, b.Coeff, w)
+			}
 			if payloadLen > 0 {
 				gf256.AddMulSlice(out.Payload, b.Payload, w)
 			}

@@ -28,6 +28,16 @@ type PerfConfig struct {
 	Seed int64
 	// MinDuration is the minimum measuring time per metric (0 = 500ms).
 	MinDuration time.Duration
+	// Sparsity, when positive, draws that many nonzero coefficients per
+	// block (core.WithSparsity) instead of dense vectors.
+	Sparsity int
+	// BandWidth, when positive, draws contiguous coefficient bands of that
+	// width (core.WithBand).
+	BandWidth int
+	// ChunkSize/ChunkOverlap, when ChunkSize is positive, switch the whole
+	// measurement to expander-chunked coding over the same N source blocks;
+	// Scheme and the level structure then only size the problem.
+	ChunkSize, ChunkOverlap int
 }
 
 // PerfResult reports one scheme's hot-path throughput.
@@ -57,6 +67,15 @@ func (c PerfConfig) validate() error {
 	if c.PayloadLen <= 0 {
 		return fmt.Errorf("exper: perf payload length %d, want > 0", c.PayloadLen)
 	}
+	set := 0
+	for _, on := range []bool{c.Sparsity > 0, c.BandWidth > 0, c.ChunkSize > 0} {
+		if on {
+			set++
+		}
+	}
+	if set > 1 {
+		return fmt.Errorf("exper: Sparsity, BandWidth and ChunkSize are mutually exclusive")
+	}
 	return nil
 }
 
@@ -79,7 +98,17 @@ func MeasurePerf(cfg PerfConfig) (*PerfResult, error) {
 		sources[i] = make([]byte, cfg.PayloadLen)
 		rng.Read(sources[i])
 	}
-	enc, err := core.NewEncoder(cfg.Scheme, levels, sources)
+	if cfg.ChunkSize > 0 {
+		return measureChunkedPerf(cfg, minDur, sources)
+	}
+	var opts []core.EncoderOption
+	if cfg.Sparsity > 0 {
+		opts = append(opts, core.WithSparsity(cfg.Sparsity))
+	}
+	if cfg.BandWidth > 0 {
+		opts = append(opts, core.WithBand(cfg.BandWidth))
+	}
+	enc, err := core.NewEncoder(cfg.Scheme, levels, sources, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +158,7 @@ func MeasurePerf(cfg PerfConfig) (*PerfResult, error) {
 
 	// Rank-only trial rate: the exact shape of the Monte-Carlo inner loop —
 	// payload-free encoder and decoder, stream until complete or 2N blocks.
-	rankEnc, err := core.NewEncoder(cfg.Scheme, levels, nil)
+	rankEnc, err := core.NewEncoder(cfg.Scheme, levels, nil, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +176,82 @@ func MeasurePerf(cfg PerfConfig) (*PerfResult, error) {
 		}
 		for m := 0; m < 2*n && !dec.Complete(); m++ {
 			b, err := rankEnc.Encode(trng, sampler.Draw(trng))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := dec.Add(b); err != nil {
+				return nil, err
+			}
+		}
+		trials++
+	}
+	res.RankTrialsPerSec = float64(trials) / time.Since(start).Seconds()
+
+	return res, nil
+}
+
+// measureChunkedPerf is the expander-chunked twin of MeasurePerf: the
+// same three measurements through ChunkedEncoder/ChunkedDecoder.
+func measureChunkedPerf(cfg PerfConfig, minDur time.Duration, sources [][]byte) (*PerfResult, error) {
+	n := cfg.Levels.Total()
+	layout, err := core.NewChunkLayout(n, cfg.ChunkSize, cfg.ChunkOverlap)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := core.NewChunkedEncoder(layout, sources)
+	if err != nil {
+		return nil, err
+	}
+	count := n + n/4
+	res := &PerfResult{Scheme: cfg.Scheme, TotalBlocks: n}
+
+	var blocks []*core.CodedBlock
+	encoded := 0
+	start := time.Now()
+	for round := 0; time.Since(start) < minDur || round == 0; round++ {
+		blocks, err = enc.EncodeBatch(rand.New(rand.NewSource(cfg.Seed+int64(round))), count)
+		if err != nil {
+			return nil, err
+		}
+		encoded += count
+	}
+	res.EncodeMBps = mbps(encoded*cfg.PayloadLen, time.Since(start))
+
+	absorbed := 0
+	start = time.Now()
+	for round := 0; time.Since(start) < minDur || round == 0; round++ {
+		dec, err := core.NewChunkedDecoder(layout, cfg.PayloadLen)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range blocks {
+			if _, err := dec.Add(b); err != nil {
+				return nil, err
+			}
+			absorbed++
+			if dec.Complete() {
+				break
+			}
+		}
+		res.DecodedBlocks = dec.DecodedCount()
+	}
+	res.DecodeMBps = mbps(absorbed*cfg.PayloadLen, time.Since(start))
+
+	// Rank-only trials: payload-free chunked stream until complete or 2N.
+	rankEnc, err := core.NewChunkedEncoder(layout, nil)
+	if err != nil {
+		return nil, err
+	}
+	trials := 0
+	start = time.Now()
+	for time.Since(start) < minDur || trials == 0 {
+		trng := rand.New(rand.NewSource(cfg.Seed + int64(trials)*1_000_003))
+		dec, err := core.NewChunkedDecoder(layout, 0)
+		if err != nil {
+			return nil, err
+		}
+		for m := 0; m < 2*n && !dec.Complete(); m++ {
+			b, err := rankEnc.EncodeChunk(trng, m%layout.Count)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,67 @@
+package gf256
+
+import "encoding/binary"
+
+// Sparse kernels. A sparse coefficient vector is carried as parallel
+// slices: strictly increasing positions idx and their nonzero values val.
+// These entry points let encoders and eliminations work on the nonzero
+// runs of such a vector without ever materializing the dense form.
+
+// AddMulAt scatters dst[idx[i]] ^= c * val[i] for all i — the sparse
+// counterpart of AddMulSlice. idx and val must have the same length and
+// every index must be within dst.
+func AddMulAt(dst []byte, idx []uint32, val []byte, c byte) {
+	if len(idx) != len(val) {
+		panic("gf256: AddMulAt length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, j := range idx {
+			dst[j] ^= val[i]
+		}
+		return
+	}
+	lc := _tables.log[c]
+	exp := _tables.exp[lc : lc+255]
+	for i, j := range idx {
+		if v := val[i]; v != 0 {
+			dst[j] ^= exp[_tables.log[v]]
+		}
+	}
+}
+
+// ScatterAt sets dst[idx[i]] = val[i] for all i — densifying a sparse
+// vector into a (pre-zeroed) destination row.
+func ScatterAt(dst []byte, idx []uint32, val []byte) {
+	if len(idx) != len(val) {
+		panic("gf256: ScatterAt length mismatch")
+	}
+	for i, j := range idx {
+		dst[j] = val[i]
+	}
+}
+
+// NextNonzero returns the smallest position p in [from, len(v)) with
+// v[p] != 0, or len(v) when the tail is all zero. Zero runs are skipped a
+// word at a time, which is what lets elimination over sparse or banded
+// rows jump straight between nonzero columns.
+func NextNonzero(v []byte, from int) int {
+	i := from
+	if i < 0 {
+		i = 0
+	}
+	n := len(v)
+	for ; i+8 <= n; i += 8 {
+		if binary.LittleEndian.Uint64(v[i:]) != 0 {
+			break
+		}
+	}
+	for ; i < n; i++ {
+		if v[i] != 0 {
+			return i
+		}
+	}
+	return n
+}

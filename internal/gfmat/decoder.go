@@ -170,20 +170,71 @@ func (d *Decoder) AddBounded(coeff, payload []byte, bound int) (bool, error) {
 	if d.scratchWidth > bound {
 		clear(c[bound:d.scratchWidth])
 	}
+	return d.eliminate(payload, 0, bound)
+}
 
+// AddSparse absorbs one coded block given as a sparse coefficient vector:
+// strictly increasing positions idx with values val (zeros among the
+// values are tolerated and ignored). The block is never densified by the
+// caller — the decoder scatters the entries into its own scratch row and
+// eliminates over [idx[0], idx[last]+1) only, so a block with d nonzeros
+// in a width-w band costs O(w) instead of O(numSymbols) before any pivot
+// rows fold in. An empty vector is linearly dependent by definition.
+func (d *Decoder) AddSparse(idx []uint32, val, payload []byte) (bool, error) {
+	if len(idx) != len(val) {
+		return false, fmt.Errorf("%w: %d sparse indices with %d values",
+			ErrDimensionMismatch, len(idx), len(val))
+	}
+	if len(payload) != d.payloadLen {
+		return false, fmt.Errorf("%w: payload length %d, want %d",
+			ErrDimensionMismatch, len(payload), d.payloadLen)
+	}
+	prev := -1
+	for _, j := range idx {
+		if int(j) <= prev || int(j) >= d.numSymbols {
+			return false, fmt.Errorf("%w: sparse index %d (after %d) outside strictly increasing [0, %d)",
+				ErrDimensionMismatch, j, prev, d.numSymbols)
+		}
+		prev = int(j)
+	}
+	if len(idx) == 0 {
+		return false, nil // zero vector: linearly dependent, payload skipped
+	}
+	c := d.scratchCoeff
+	clear(c[:d.scratchWidth])
+	gf256.ScatterAt(c, idx, val)
+	lo := int(idx[0])
+	hi := int(idx[len(idx)-1]) + 1
+	d.scratchWidth = hi
+	return d.eliminate(payload, lo, hi)
+}
+
+// eliminate reduces the block already staged in scratchCoeff — nonzero
+// only within [lo, w), with the scratch dirty prefix set to at least w —
+// against the existing pivot rows, commits it if innovative, and replays
+// the recorded row operations on the payload. Shared tail of AddBounded
+// and AddSparse.
+func (d *Decoder) eliminate(payload []byte, lo, w int) (bool, error) {
 	// Forward-reduce the incoming row against existing pivots. The active
 	// width w grows when a wider pivot row folds in; columns already passed
 	// stay final because a pivot row has no nonzeros before its pivot. The
 	// first nonzero column with no pivot row is the new pivot; reduction
 	// continues past it so the row ends up with zeros at every existing
-	// pivot column (the RREF invariant for the new row).
-	w := bound
+	// pivot column (the RREF invariant for the new row). Zero runs — the
+	// common case for sparse and banded rows, where most columns between
+	// the endpoints never light up — are skipped a word at a time.
+	c := d.scratchCoeff
 	pivot := -1
 	d.fwdOps = d.fwdOps[:0]
-	for col := 0; col < w; col++ {
+	for col := lo; col < w; col++ {
 		v := c[col]
 		if v == 0 {
-			continue
+			nz := gf256.NextNonzero(c[:w], col+1)
+			if nz >= w {
+				break
+			}
+			col = nz
+			v = c[col]
 		}
 		ri := d.pivotRow[col]
 		if ri < 0 {

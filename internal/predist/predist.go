@@ -19,6 +19,7 @@ package predist
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -102,10 +103,10 @@ type Deployment struct {
 	cfg       Config
 	locations []geom.Point // chosen point per location slot
 	altPoints []geom.Point // second candidate per slot (TwoChoices)
-	partOf    []int        // level part of each location slot
-	owner     []int        // resolved owner node per slot; -1 before resolution
-	coeff     [][]byte     // accumulated coding coefficients per slot
-	payload   [][]byte     // accumulated coded payload per slot
+	partOf    []int         // level part of each location slot
+	owner     []int         // resolved owner node per slot; -1 before resolution
+	coeff     []map[int]byte // accumulated coding coefficients per slot, sparse
+	payload   [][]byte      // accumulated coded payload per slot
 	stats     Stats
 	resolved  bool
 }
@@ -120,7 +121,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		cfg:     cfg,
 		partOf:  make([]int, cfg.M),
 		owner:   make([]int, cfg.M),
-		coeff:   make([][]byte, cfg.M),
+		coeff:   make([]map[int]byte, cfg.M),
 		payload: make([][]byte, cfg.M),
 	}
 	pts := geom.SeededLocations(cfg.Seed, 2*cfg.M)
@@ -128,7 +129,11 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	d.altPoints = pts[cfg.M:]
 	for i := range d.owner {
 		d.owner[i] = -1
-		d.coeff[i] = make([]byte, cfg.Levels.Total())
+		// Sparse accumulation: with the O(ln N) fanout a slot sees only a
+		// handful of source blocks, so per-slot state is O(nnz) instead of
+		// the dense O(N) vector this used to allocate (M·N bytes network
+		// wide — the memory the sparse representation exists to avoid).
+		d.coeff[i] = make(map[int]byte)
 		d.payload[i] = make([]byte, cfg.PayloadLen)
 	}
 	// Largest-remainder apportionment of the M slots over the n parts so
@@ -300,7 +305,13 @@ func (d *Deployment) Disseminate(rng *rand.Rand, tr Transport, origin, blockIdx 
 			d.owner[slot] = node // the block physically lands here now
 		}
 		beta := byte(1 + rng.Intn(255))
-		d.coeff[slot][blockIdx] ^= beta // c ← c + βx, coefficient side
+		// c ← c + βx, coefficient side; a fold back to zero deletes the
+		// entry so the map stays exactly the nonzero support.
+		if v := d.coeff[slot][blockIdx] ^ beta; v == 0 {
+			delete(d.coeff[slot], blockIdx)
+		} else {
+			d.coeff[slot][blockIdx] = v
+		}
 		if d.cfg.PayloadLen > 0 {
 			gf256.AddMulSlice(d.payload[slot], payload, beta)
 		}
@@ -310,7 +321,9 @@ func (d *Deployment) Disseminate(rng *rand.Rand, tr Transport, origin, blockIdx 
 
 // CodedBlocks returns the coded block of every slot whose owner passes the
 // alive filter (nil = all) and which received at least one source block.
-// The slot's level part becomes the block's level.
+// The slot's level part becomes the block's level. Blocks are emitted in
+// the sparse representation directly — the O(ln N) dissemination vectors
+// never take a dense round-trip on their way to the wire or the decoder.
 func (d *Deployment) CodedBlocks(alive func(node int) bool) []*core.CodedBlock {
 	out := make([]*core.CodedBlock, 0, d.cfg.M)
 	for i := range d.locations {
@@ -320,14 +333,33 @@ func (d *Deployment) CodedBlocks(alive func(node int) bool) []*core.CodedBlock {
 		if alive != nil && !alive(d.owner[i]) {
 			continue
 		}
-		if gf256.IsZero(d.coeff[i]) {
+		if len(d.coeff[i]) == 0 {
 			continue
 		}
 		out = append(out, &core.CodedBlock{
 			Level:   d.partOf[i],
-			Coeff:   append([]byte(nil), d.coeff[i]...),
+			SpCoeff: sparseFromMap(d.cfg.Levels.Total(), d.coeff[i]),
 			Payload: append([]byte(nil), d.payload[i]...),
 		})
 	}
 	return out
+}
+
+// sparseFromMap converts a sparse accumulation map into canonical form.
+func sparseFromMap(total int, m map[int]byte) *core.SparseCoeff {
+	pos := make([]int, 0, len(m))
+	for j := range m {
+		pos = append(pos, j)
+	}
+	sort.Ints(pos)
+	s := &core.SparseCoeff{
+		Len: total,
+		Idx: make([]uint32, len(pos)),
+		Val: make([]byte, len(pos)),
+	}
+	for i, j := range pos {
+		s.Idx[i] = uint32(j)
+		s.Val[i] = m[j]
+	}
+	return s
 }

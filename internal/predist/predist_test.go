@@ -407,3 +407,59 @@ func TestDisseminateValidation(t *testing.T) {
 		t.Error("short payload accepted")
 	}
 }
+
+// TestCodedBlocksStaySparse is the no-dense-round-trip regression test
+// for the encode path: every block a deployment emits must carry its
+// coefficients in the sparse representation (canonical form), never a
+// densified vector — and must survive the wire without densifying.
+func TestCodedBlocksStaySparse(t *testing.T) {
+	l := mustLevels(t, 8, 8, 8)
+	tr := sensorTransport(t, 31, 80)
+	cfg := Config{
+		Scheme: core.PLC, Levels: l, Dist: core.NewUniformDistribution(3),
+		M: 60, Seed: 32, Fanout: 4, PayloadLen: 6,
+	}
+	rng := rand.New(rand.NewSource(33))
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ResolveOwners(tr); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, cfg.PayloadLen)
+	for i := 0; i < l.Total(); i++ {
+		rng.Read(payload)
+		if err := d.Disseminate(rng, tr, rng.Intn(tr.NumNodes()), i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := d.CodedBlocks(nil)
+	if len(blocks) == 0 {
+		t.Fatal("no coded blocks emitted")
+	}
+	for i, b := range blocks {
+		if !b.IsSparse() || b.Coeff != nil {
+			t.Fatalf("block %d emitted dense — the encode path densified", i)
+		}
+		if err := b.SpCoeff.Validate(); err != nil {
+			t.Fatalf("block %d not canonical: %v", i, err)
+		}
+		// With fanout 4 over 24 source blocks, a slot's support stays far
+		// below dense.
+		if b.SpCoeff.NNZ() >= l.Total() {
+			t.Fatalf("block %d has %d nonzeros — not sparse", i, b.SpCoeff.NNZ())
+		}
+		data, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back core.CodedBlock
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if !back.IsSparse() {
+			t.Fatalf("block %d densified crossing the wire", i)
+		}
+	}
+}

@@ -42,7 +42,7 @@ func (d *Deployment) Repair(rng *rand.Rand, tr Transport, origin int, sources []
 		if err != nil {
 			return repaired, err
 		}
-		coeff := make([]byte, d.cfg.Levels.Total())
+		coeff := make(map[int]byte, hi-lo)
 		payload := make([]byte, d.cfg.PayloadLen)
 		for j := lo; j < hi; j++ {
 			beta := byte(1 + rng.Intn(255))

@@ -405,17 +405,35 @@ func preferOrder(perReplica []int) []int {
 }
 
 func sortBlocks(blocks []*core.CodedBlock) {
-	sort.SliceStable(blocks, func(i, j int) bool {
+	// Dense comparison keys are precomputed so sparse blocks (nil Coeff)
+	// order by their actual coefficient vectors, not their representation —
+	// keeping rerun determinism independent of which wire version a block
+	// arrived in.
+	keys := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		keys[i] = b.DenseCoeff()
+	}
+	order := make([]int, len(blocks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
 		if blocks[i].Level != blocks[j].Level {
 			return blocks[i].Level < blocks[j].Level
 		}
-		if c := bytes.Compare(blocks[i].Coeff, blocks[j].Coeff); c != 0 {
+		if c := bytes.Compare(keys[i], keys[j]); c != 0 {
 			return c < 0
 		}
 		return bytes.Compare(blocks[i].Payload, blocks[j].Payload) < 0
 	})
+	sorted := make([]*core.CodedBlock, len(blocks))
+	for pos, i := range order {
+		sorted[pos] = blocks[i]
+	}
+	copy(blocks, sorted)
 }
 
 func wireLen(b *core.CodedBlock) int {
-	return 13 + len(b.Coeff) + len(b.Payload) // core wire header (13 bytes) + body
+	return b.WireSize() // exact marshaled size, representation-aware
 }

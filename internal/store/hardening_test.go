@@ -1,15 +1,18 @@
 package store
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
@@ -40,6 +43,145 @@ func TestDecodeBlockListHostileCount(t *testing.T) {
 	if got, err := decodeBlockList(binary.BigEndian.AppendUint32(nil, 0)); err != nil || len(got) != 0 {
 		t.Fatalf("empty list: %v, %v", got, err)
 	}
+}
+
+// sparseFrame hand-assembles a v3 pairs-mode block frame so the tests
+// can produce the hostile shapes MarshalBinary refuses to emit.
+func sparseFrame(nCoeff uint32, idx []uint32, val []byte) []byte {
+	out := []byte{'P', 'B', 3}
+	out = binary.BigEndian.AppendUint16(out, 0) // level
+	out = binary.BigEndian.AppendUint32(out, nCoeff)
+	out = binary.BigEndian.AppendUint32(out, 0) // no payload
+	out = append(out, 0)                        // pairs mode
+	out = binary.BigEndian.AppendUint32(out, uint32(len(idx)))
+	for _, j := range idx {
+		out = binary.BigEndian.AppendUint32(out, j)
+	}
+	return append(out, val...)
+}
+
+// wrapBlockList embeds raw block frames in a frameBlocks body the way the
+// server does, bypassing the client-side marshal checks.
+func wrapBlockList(frames ...[]byte) []byte {
+	body := binary.BigEndian.AppendUint32(nil, uint32(len(frames)))
+	for _, f := range frames {
+		body = binary.BigEndian.AppendUint32(body, uint32(len(f)))
+		body = append(body, f...)
+	}
+	return body
+}
+
+// TestDecodeBlockListHostileSparse pins the store-side handling of v3
+// sparse frames: a hostile coefficient section inside an otherwise
+// well-formed block list must surface as ErrCorruptFrame (the core
+// unmarshal error wrapped at the framing layer), never as a panic or a
+// silently mangled block.
+func TestDecodeBlockListHostileSparse(t *testing.T) {
+	// A frame whose nnz field claims 4 billion pairs while shipping none:
+	// the clamp must bound the claim by the bytes present before any
+	// allocation sized from it.
+	inflated := sparseFrame(64, nil, nil)
+	binary.BigEndian.PutUint32(inflated[len(inflated)-4:], 0xFFFFFFFF)
+
+	for name, frame := range map[string][]byte{
+		"inflated nnz count": inflated,
+		"duplicate indices":  sparseFrame(64, []uint32{3, 3}, []byte{1, 2}),
+		"descending indices": sparseFrame(64, []uint32{5, 2}, []byte{1, 2}),
+		"index out of range": sparseFrame(64, []uint32{64}, []byte{1}),
+		"zero pair value":    sparseFrame(64, []uint32{1}, []byte{0}),
+		"giant dense claim":  sparseFrame(1<<31, []uint32{0}, []byte{1}),
+	} {
+		if _, err := decodeBlockList(wrapBlockList(frame)); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("%s: err = %v, want ErrCorruptFrame", name, err)
+		}
+	}
+}
+
+// TestDecodeBlockListSparseRoundTrip pins that canonical v3 frames flow
+// through the store framing unchanged: a sparse block survives
+// encode/decode still sparse and re-marshals bit-identically, and a v1
+// dense frame decodes to the exact bytes it arrived as.
+func TestDecodeBlockListSparseRoundTrip(t *testing.T) {
+	sp := &core.CodedBlock{
+		Level: 1,
+		SpCoeff: &core.SparseCoeff{
+			Len: 512,
+			Idx: []uint32{7, 99, 400},
+			Val: []byte{3, 5, 9},
+		},
+		Payload: []byte{0xAA, 0xBB},
+	}
+	spWire, err := sp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, dense := testCode(t, 1)
+	denseWire, err := dense[0].MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := decodeBlockList(wrapBlockList(spWire, denseWire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d blocks, want 2", len(got))
+	}
+	if !got[0].IsSparse() {
+		t.Fatal("sparse block densified by store framing")
+	}
+	if got[1].IsSparse() {
+		t.Fatal("dense block sparsified by store framing")
+	}
+	for i, want := range [][]byte{spWire, denseWire} {
+		back, err := got[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, want) {
+			t.Errorf("block %d re-marshal drifted from wire bytes", i)
+		}
+	}
+}
+
+// TestStoreSparseEndToEnd puts a sparse block through a live server and
+// reads it back: the v3 frame crosses the socket framing intact.
+func TestStoreSparseEndToEnd(t *testing.T) {
+	srv := newTestServer(t, ServerConfig{})
+	cl := newTestClient(t, srv.Addr(), nil)
+	ctx := context.Background()
+
+	levels, sources, _ := testCode(t, 0)
+	enc, err := core.NewEncoder(core.PLC, levels, sources, core.WithSparsity(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	blocks, err := enc.EncodeBatch(rng, core.PriorityDistribution{0.4, 0.6}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if err := cl.Put(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, err := cl.Get(ctx, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseSeen := 0
+	for _, b := range back {
+		if b.IsSparse() {
+			sparseSeen++
+		}
+	}
+	if sparseSeen == 0 {
+		t.Fatal("no sparse blocks survived the store round trip")
+	}
+	dec := decodeAll(t, levels, back)
+	checkCriticalLevel(t, dec, levels, sources)
 }
 
 // TestEncodeBlockListBounds pins the encoder-side overflow checks.

@@ -163,8 +163,11 @@ func TestFacadeSparsityHelpers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !b.IsSparse() {
+		t.Fatal("sparse encoder emitted a dense block")
+	}
 	nnz := 0
-	for _, c := range b.Coeff {
+	for _, c := range b.DenseCoeff() {
 		if c != 0 {
 			nnz++
 		}
