@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair bench-metrics bench-sparse check fuzz-smoke daemon-demo repair-demo figures examples clean
+.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair bench-metrics bench-sparse bench-disk check fuzz-smoke daemon-demo repair-demo figures examples clean
 
 all: build vet test
 
@@ -71,13 +71,27 @@ bench-sparse:
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_sparse.json -by "make bench-sparse" \
 	    -note "DecodeXN vs DecodeXNRef is the sparse-aware elimination vs dense AddRef over the same densified stream; 64 B payloads keep elimination dominant; wire-B/block metrics are coefficient wire bytes per block, WireSparseN1024Ref being the dense v1 frames of the same vectors; ChunkedN4096 has no Ref (dense baseline impractical at that N)"
 
+# Disk-engine perf baseline: group-commit puts against the fsync-per-put
+# durability baseline (Ref) under the identical 32-connection load, the
+# beyond-RAM capacity run (10x an in-memory cap per iteration, heap
+# growth reported), and the frame buffer-reuse pairs (-benchmem so the
+# B/op delta of the pool and read-scratch paths lands in the snapshot),
+# captured as BENCH_disk.json.
+bench-disk:
+	{ $(GO) test -run='^$$' -bench 'BenchmarkDiskPutGroupCommit' -benchtime=2000x ./internal/diskstore && \
+	  $(GO) test -run='^$$' -bench 'BenchmarkDiskPutBeyondRAM' -benchtime=1x ./internal/diskstore && \
+	  $(GO) test -run='^$$' -bench 'BenchmarkFrame(Write|Read)' -benchtime=1000x -benchmem ./internal/store ; } \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_disk.json -by "make bench-disk" \
+	    -note "DiskPutGroupCommit vs Ref is one fsync per coalesced batch vs one per put, same 32 concurrent putters; DiskPutBeyondRAM ingests 10x a 1024-block RAM cap per iteration (capacity-x = stored blocks / cap, heap-MB = heap growth vs stored-MB on disk); FrameWrite/Read vs Ref are the pooled build buffer and caller-owned read scratch vs fresh allocations per frame"
+
 # Fast correctness gate: vet everything, race-test the packages with
 # concurrent hot paths (the word-parallel kernels, the row arenas, the
-# parallel encoder, the networked store, the repair daemon and the shared
-# metrics registry they all write to).
+# parallel encoder, the networked store, the disk engine's group-commit
+# writer, the repair daemon and the shared metrics registry they all
+# write to).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/store ./internal/repair ./internal/metrics
+	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/store ./internal/diskstore ./internal/repair ./internal/metrics
 
 # Short fuzz pass over every fuzz target: the block-file parser, the wire
 # format, the decoder equivalence oracle and the GF(2^8) kernels. ~20s per

@@ -18,6 +18,7 @@
 //	prlcd repair -addrs ... -sizes ... -total 160 -watch             # loop
 //	prlcd serve -addr ... -repair -peers ... -sizes ... -total 160   # serve + repair
 //	prlcd serve -addr ... -metrics 127.0.0.1:7091                    # + observability
+//	prlcd serve -addr ... -data-dir /var/lib/prlcd -retention 24h    # + persistence
 //	prlcd metrics 127.0.0.1:7091                                     # metrics table
 //
 // `store put` prints the exact `store get` invocation that recovers the
@@ -27,6 +28,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +43,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/diskstore"
 	"repro/internal/metrics"
 	"repro/internal/repair"
 	"repro/internal/store"
@@ -74,13 +77,17 @@ func run(args []string, out io.Writer) error {
 func serve(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("prlcd serve", flag.ContinueOnError)
 	var (
-		addr        string
-		maxConns    int
-		maxBlocks   int
-		maxFrame    int
-		metricsAddr string
-		withRepair  bool
-		rOpts       repairOpts
+		addr         string
+		maxConns     int
+		maxBlocks    int
+		maxFrame     int
+		metricsAddr  string
+		withRepair   bool
+		dataDir      string
+		fsyncStr     string
+		retention    time.Duration
+		segmentBytes int64
+		rOpts        repairOpts
 	)
 	fs.StringVar(&addr, "addr", "127.0.0.1:7071", "listen address")
 	fs.IntVar(&maxConns, "max-conns", 64, "maximum concurrent connections")
@@ -88,6 +95,10 @@ func serve(args []string, out io.Writer) error {
 	fs.IntVar(&maxFrame, "max-frame", store.DefaultMaxFrame, "maximum frame size in bytes")
 	fs.StringVar(&metricsAddr, "metrics", "", "observability listen address (Prometheus /metrics, /metrics.json, /debug/pprof)")
 	fs.BoolVar(&withRepair, "repair", false, "run a repair daemon client loop over -peers alongside serving")
+	fs.StringVar(&dataDir, "data-dir", "", "persist blocks to segment files under this directory (empty = in-memory)")
+	fs.StringVar(&fsyncStr, "fsync", "batch", "disk durability: batch (group commit), always (per put) or none")
+	fs.DurationVar(&retention, "retention", 0, "delete disk segments older than this rolling window (0 = keep forever)")
+	fs.Int64Var(&segmentBytes, "segment-bytes", 0, "disk segment rotation threshold in bytes (0 = 64 MiB default)")
 	rOpts.register(fs, "peers", 10*time.Second)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,11 +117,37 @@ func serve(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "prlcd: metrics on http://%s/metrics\n", mln.Addr())
 	}
 	rOpts.metrics = reg
+	var engine store.BlockStore
+	if dataDir != "" {
+		fsyncMode, err := diskstore.ParseFsyncMode(fsyncStr)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		t0 := time.Now()
+		eng, err := diskstore.Open(dataDir, diskstore.Options{
+			SegmentBytes:   segmentBytes,
+			Fsync:          fsyncMode,
+			Retention:      retention,
+			MaxBlocks:      maxBlocks,
+			MaxRecordBytes: maxFrame,
+			Metrics:        reg,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		// The daemon owns the engine's lifecycle: the server drains its
+		// connections on Shutdown, then this close flushes the tail.
+		defer eng.Close()
+		fmt.Fprintf(out, "prlcd: disk store %s: recovered %d blocks in %d segments (%v, fsync=%s)\n",
+			dataDir, eng.Len(), eng.Segments(), time.Since(t0).Round(time.Millisecond), fsyncMode)
+		engine = eng
+	}
 	srv, err := store.NewServer(store.ServerConfig{
 		Addr:      addr,
 		MaxConns:  maxConns,
 		MaxBlocks: maxBlocks,
 		MaxFrame:  maxFrame,
+		Blocks:    engine,
 		Metrics:   reg,
 	})
 	if err != nil {
@@ -393,6 +430,9 @@ func putCmd(args []string, out io.Writer) error {
 	defer repl.Close()
 	ctx := context.Background()
 	if _, err := repl.PutAll(ctx, cb); err != nil {
+		if errors.Is(err, store.ErrStoreFull) {
+			return fmt.Errorf("put: a daemon is at capacity (raise its -max-blocks, widen its -retention window, or add replicas): %w", err)
+		}
 		return err
 	}
 	copies := 0

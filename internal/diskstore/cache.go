@@ -1,0 +1,106 @@
+package diskstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a byte-bounded LRU over record wire bytes, keyed by
+// (segment id, record offset). It keeps the hot prefix of Gets — and
+// the dedup read-backs of retried puts — off the disk. Values are
+// shared read-only with callers, which matches the BlockStore contract
+// (Get results must not be modified).
+type blockCache struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	ll    *list.List // front = most recently used
+	m     map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	seg uint64
+	off int64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	data []byte
+}
+
+// newBlockCache builds a cache bounded at max bytes; max <= 0 disables
+// caching entirely (every get misses, every put is dropped).
+func newBlockCache(max int64) *blockCache {
+	return &blockCache{
+		max: max,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached bytes for a record, refreshing its recency.
+func (c *blockCache) get(seg uint64, off int64) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[cacheKey{seg, off}]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put inserts one record, evicting from the cold end until the budget
+// holds. Oversized records are not cached. Returns how many entries
+// were evicted and the resulting cache size.
+func (c *blockCache) put(seg uint64, off int64, data []byte) (evicted int, size int64) {
+	if c.max <= 0 || int64(len(data)) > c.max {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{seg, off}
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return 0, c.bytes
+	}
+	for c.bytes+int64(len(data)) > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.dropLocked(back)
+		evicted++
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.bytes += int64(len(data))
+	return evicted, c.bytes
+}
+
+// purgeSeg drops every entry of one segment (called when it expires).
+func (c *blockCache) purgeSeg(seg uint64) (purged int, size int64) {
+	if c.max <= 0 {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*cacheEntry).key.seg == seg {
+			c.dropLocked(el)
+			purged++
+		}
+		el = next
+	}
+	return purged, c.bytes
+}
+
+func (c *blockCache) dropLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.m, e.key)
+	c.bytes -= int64(len(e.data))
+}

@@ -1,0 +1,457 @@
+// Package diskstore is the disk-backed storage engine behind the store
+// daemon: an append-only log of coded blocks in their core wire
+// encoding, split into rotating segment files, with an in-memory index
+// rebuilt by a CRC-checked scan on startup. It exists because the
+// paper's premise is *persistence* — prioritized coded blocks must
+// outlive node failures — and a RAM-only store makes every restart a
+// data death while capping sustained traffic at memory size.
+//
+// The performance core is a group-commit writer: concurrent puts are
+// coalesced by a single writer goroutine into one buffered write and
+// one fsync per batch, so durability costs one disk flush per tens of
+// blocks instead of one per block (the same batching economics as the
+// word-parallel kernels, applied to I/O). Reads go through a small
+// byte-bounded block cache; old segments age out under a TTL rolling
+// window so measurement epochs reclaim their space.
+//
+// A Store implements store.BlockStore, so `prlcd serve -data-dir`
+// swaps it in behind the unchanged TCP surface: blocks on disk are
+// byte-identical to blocks on the socket, and a segment is replayable
+// with the ordinary core.CodedBlock unmarshal path.
+package diskstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// FsyncMode selects the durability/throughput tradeoff of the writer.
+type FsyncMode int
+
+const (
+	// FsyncBatch is group commit: one fsync per write batch (default).
+	// A crash loses at most the unacknowledged tail of the current
+	// batch — and clients treat unacked puts as failed, so nothing a
+	// client saw succeed is lost.
+	FsyncBatch FsyncMode = iota
+	// FsyncAlways fsyncs after every block: the per-put durability
+	// baseline the group-commit speedup is measured against.
+	FsyncAlways
+	// FsyncNone never fsyncs explicitly; OS writeback decides. Fastest,
+	// survives process crashes but not power loss.
+	FsyncNone
+)
+
+// ParseFsyncMode maps the -fsync flag values to a mode.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "batch", "":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	case "none":
+		return FsyncNone, nil
+	default:
+		return 0, fmt.Errorf("diskstore: unknown fsync mode %q (want batch, always or none)", s)
+	}
+}
+
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncNone:
+		return "none"
+	default:
+		return "batch"
+	}
+}
+
+// Options parameterizes a disk store.
+type Options struct {
+	// SegmentBytes is the rotation threshold: once the active segment
+	// reaches it, the segment is sealed and a new one starts. Default
+	// 64 MiB.
+	SegmentBytes int64
+	// Fsync selects the durability mode. Default FsyncBatch.
+	Fsync FsyncMode
+	// Retention is the rolling window: sealed segments whose creation
+	// time is older than this are deleted, blocks included. 0 keeps
+	// everything forever.
+	Retention time.Duration
+	// RetentionCheck is how often the retention window is enforced.
+	// Default 1 minute (only consulted when Retention > 0).
+	RetentionCheck time.Duration
+	// MaxBlocks / MaxBytes cap the stored inventory (0 = unbounded);
+	// puts beyond either cap are rejected with store.ErrStoreFull.
+	MaxBlocks int
+	MaxBytes  int64
+	// MaxBatchBlocks / MaxBatchBytes bound one group-commit batch.
+	// Defaults 256 blocks / 1 MiB.
+	MaxBatchBlocks int
+	MaxBatchBytes  int
+	// QueueDepth is the put queue feeding the writer; while a flush is
+	// on the disk, up to this many puts pile up and form the next
+	// batch. Default 1024.
+	QueueDepth int
+	// CacheBytes bounds the read-through block cache. Default 16 MiB;
+	// negative disables caching.
+	CacheBytes int64
+	// MaxRecordBytes bounds a single block record, mirroring the wire
+	// frame limit. Default store.DefaultMaxFrame.
+	MaxRecordBytes int
+	// Logf receives recovery and retention notices (torn tails
+	// truncated, segments expired). Default log.Printf.
+	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the diskstore_* series (see
+	// DESIGN.md §12). Nil disables instrumentation at zero cost.
+	Metrics *metrics.Registry
+}
+
+func (o *Options) fillDefaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.RetentionCheck <= 0 {
+		o.RetentionCheck = time.Minute
+	}
+	if o.MaxBatchBlocks <= 0 {
+		o.MaxBatchBlocks = 256
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 1 << 20
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 16 << 20
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = store.DefaultMaxFrame
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+}
+
+// Store is the disk-backed block store. It is safe for concurrent use;
+// all mutation of the index happens under mu, all file appends happen
+// on the single writer goroutine.
+type Store struct {
+	dir  string
+	opts Options
+	met  diskMetrics
+
+	mu       sync.Mutex
+	segs     []*segment // ordered by id; segs[len-1] is the active one
+	byHash   map[uint64][]blockRef
+	pending  map[uint64][]*writeReq
+	perLevel map[int]levelTally
+	blocks   int
+	bytes    int64
+	pendBytes int64
+	pendBlocks int
+	closed   bool
+	putters  sync.WaitGroup // in-flight senders on reqCh
+
+	cache *blockCache
+
+	// Writer-goroutine state: the active segment's append handle and the
+	// reusable batch serialization buffer. Only writerLoop (and recover,
+	// which happens-before it) touch these.
+	wf      *os.File
+	scratch []byte
+
+	reqCh   chan *writeReq
+	stopRet chan struct{}
+	wg      sync.WaitGroup
+}
+
+// levelTally mirrors the store package's per-level inventory slice.
+type levelTally struct {
+	count int
+	bytes int64
+}
+
+// blockRef locates one committed block record.
+type blockRef struct {
+	seg *segment
+	idx int // index into seg.recs
+}
+
+var _ store.BlockStore = (*Store)(nil)
+
+// Open opens (or creates) a disk store rooted at dir, replaying every
+// segment to rebuild the index. Torn tails — records whose length or
+// CRC does not validate, the signature of a crash mid-write — are
+// truncated away and counted; everything before them is recovered.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.fillDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		met:      newDiskMetrics(opts.Metrics),
+		byHash:   make(map[uint64][]blockRef),
+		pending:  make(map[uint64][]*writeReq),
+		perLevel: make(map[int]levelTally),
+		cache:    newBlockCache(opts.CacheBytes),
+		scratch:  make([]byte, 0, opts.MaxBatchBytes),
+		reqCh:    make(chan *writeReq, opts.QueueDepth),
+		stopRet:  make(chan struct{}),
+	}
+	t0 := time.Now()
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.met.recoveryNs.Set(time.Since(t0).Nanoseconds())
+	s.met.recoveredBlocks.Add(uint64(s.blocks))
+	s.met.setInventory(s.blocks, s.bytes, len(s.segs))
+	s.wg.Add(1)
+	go s.writerLoop()
+	if opts.Retention > 0 {
+		s.wg.Add(1)
+		go s.retentionLoop()
+	}
+	return s, nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// hashWire is the dedup hash: FNV-64a over the full wire encoding.
+// Collisions are resolved by byte comparison (see dupLocked), so the
+// hash only has to be cheap and well-spread, never trusted.
+func hashWire(wire []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(wire)
+	return h.Sum64()
+}
+
+// Put stores one block: it reserves the block in the dedup index, hands
+// it to the group-commit writer, and waits for the batch holding it to
+// reach the disk. Identical concurrent puts coalesce onto one record —
+// followers wait for the leader's flush, so a dedup answer is never
+// less durable than a stored one.
+func (s *Store) Put(level int, wire []byte) (bool, error) {
+	if len(wire) == 0 {
+		return false, fmt.Errorf("%w: empty block", store.ErrBadRequest)
+	}
+	if len(wire) > s.opts.MaxRecordBytes {
+		return false, fmt.Errorf("%w: block %d bytes exceeds record limit %d",
+			store.ErrBadRequest, len(wire), s.opts.MaxRecordBytes)
+	}
+	hash := hashWire(wire)
+	t0 := time.Now()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: engine closed", store.ErrStoreUnavailable)
+	}
+	// Dup of an unflushed put: join its flush instead of re-writing.
+	for _, p := range s.pending[hash] {
+		if string(p.wire) == string(wire) {
+			s.mu.Unlock()
+			<-p.done
+			return false, p.err
+		}
+	}
+	if dup, err := s.dupLocked(hash, wire); err != nil {
+		s.mu.Unlock()
+		return false, err
+	} else if dup {
+		s.mu.Unlock()
+		s.met.putsDeduped.Inc()
+		return false, nil
+	}
+	if s.opts.MaxBlocks > 0 && s.blocks+s.pendBlocks >= s.opts.MaxBlocks {
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: %d blocks stored, cap %d", store.ErrStoreFull, s.blocks, s.opts.MaxBlocks)
+	}
+	if s.opts.MaxBytes > 0 && s.bytes+s.pendBytes+int64(len(wire)) > s.opts.MaxBytes {
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: %d bytes stored, cap %d", store.ErrStoreFull, s.bytes, s.opts.MaxBytes)
+	}
+	req := &writeReq{
+		kind:  reqPut,
+		level: level,
+		hash:  hash,
+		wire:  append([]byte(nil), wire...), // the engine must not retain the caller's buffer
+		done:  make(chan struct{}),
+	}
+	s.pending[hash] = append(s.pending[hash], req)
+	s.pendBytes += int64(len(wire))
+	s.pendBlocks++
+	s.putters.Add(1)
+	s.mu.Unlock()
+
+	s.reqCh <- req
+	s.putters.Done()
+	<-req.done
+	s.met.putWaitNs.ObserveSince(t0)
+	if req.err != nil {
+		return false, req.err
+	}
+	return true, nil
+}
+
+// dupLocked reports whether an identical committed block exists. Hash
+// candidates are verified byte-for-byte (reading them back through the
+// cache), so a hash collision can never drop a distinct block.
+func (s *Store) dupLocked(hash uint64, wire []byte) (bool, error) {
+	for _, ref := range s.byHash[hash] {
+		rec := ref.seg.recs[ref.idx]
+		if int(rec.n) != len(wire) {
+			continue
+		}
+		data, err := s.readBlock(ref.seg, rec)
+		if err != nil {
+			// The candidate aged out mid-check; it no longer blocks the put.
+			continue
+		}
+		if string(data) == string(wire) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Get returns the wire bytes of every block with level <= maxLevel
+// (maxLevel < 0 = all), reading through the block cache.
+func (s *Store) Get(maxLevel int) ([][]byte, error) {
+	s.mu.Lock()
+	type lookup struct {
+		seg *segment
+		rec rec
+	}
+	want := make([]lookup, 0, s.blocks)
+	for _, seg := range s.segs {
+		for _, r := range seg.recs {
+			if maxLevel < 0 || int(r.level) <= maxLevel {
+				want = append(want, lookup{seg, r})
+			}
+		}
+	}
+	s.mu.Unlock()
+	out := make([][]byte, 0, len(want))
+	for _, l := range want {
+		data, err := s.readBlock(l.seg, l.rec)
+		if err != nil {
+			// The segment expired between the index snapshot and the read:
+			// its blocks are no longer part of the inventory.
+			continue
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// readBlock fetches one record's wire bytes, cache first.
+func (s *Store) readBlock(seg *segment, r rec) ([]byte, error) {
+	if data, ok := s.cache.get(seg.id, r.off); ok {
+		s.met.cacheHits.Inc()
+		return data, nil
+	}
+	s.met.cacheMisses.Inc()
+	data, err := seg.readRecord(r)
+	if err != nil {
+		return nil, err
+	}
+	evicted, size := s.cache.put(seg.id, r.off, data)
+	s.met.cacheEvictions.Add(uint64(evicted))
+	s.met.cacheBytes.Set(size)
+	return data, nil
+}
+
+// Stats returns an inventory snapshot, PerLevel ascending by level.
+func (s *Store) Stats() store.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := store.Stats{Blocks: s.blocks}
+	for lvl, tally := range s.perLevel {
+		st.Bytes += tally.bytes
+		st.PerLevel = append(st.PerLevel, store.LevelCount{Level: lvl, Count: tally.count, Bytes: tally.bytes})
+	}
+	for i := 1; i < len(st.PerLevel); i++ {
+		for j := i; j > 0 && st.PerLevel[j].Level < st.PerLevel[j-1].Level; j-- {
+			st.PerLevel[j], st.PerLevel[j-1] = st.PerLevel[j-1], st.PerLevel[j]
+		}
+	}
+	return st
+}
+
+// Len returns the number of stored blocks.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blocks
+}
+
+// Bytes returns the total stored wire bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Segments returns how many segment files currently exist.
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
+}
+
+// Sync flushes every queued put to disk and fsyncs the active segment,
+// regardless of fsync mode. Close calls it; tests and checkpoints can
+// call it directly.
+func (s *Store) Sync() error {
+	req := &writeReq{kind: reqSync, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: engine closed", store.ErrStoreUnavailable)
+	}
+	s.putters.Add(1)
+	s.mu.Unlock()
+	s.reqCh <- req
+	s.putters.Done()
+	<-req.done
+	return req.err
+}
+
+// Close drains the put queue, flushes and fsyncs the tail, and releases
+// every file handle. Puts racing Close either complete durably or
+// report the store closed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopRet)
+	s.putters.Wait() // no new senders can start: closed is set
+	close(s.reqCh)   // writer drains the queue, then flushes and exits
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, seg := range s.segs {
+		if err := seg.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,288 @@
+package diskstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Segment file layout. A segment is an append-only log:
+//
+//	header  16 bytes   magic "PLCSEG1\n" + uint64 BE creation unix-nanos
+//	records repeated   uint32 BE wire length | uint32 BE IEEE CRC(wire) |
+//	                   wire bytes (one core.CodedBlock wire frame, v1 or
+//	                   v3, exactly as received on the socket)
+//
+// The CRC guards each record independently, so recovery can replay a
+// segment record by record and stop at the first torn one — a crash
+// mid-write leaves at most one partial record, always at the tail.
+// Record bodies reuse the block wire encoding, so a segment is
+// replayable with core.CodedBlock.UnmarshalBinary and nothing else.
+const (
+	segMagic     = "PLCSEG1\n"
+	segHeaderLen = 8 + 8
+	recHeaderLen = 4 + 4
+
+	segSuffix = ".plcseg"
+)
+
+// segName formats a segment file name; ids are zero-padded so
+// lexicographic order is replay order.
+func segName(id uint64) string {
+	return fmt.Sprintf("seg-%08d%s", id, segSuffix)
+}
+
+// rec is one committed block record in the in-memory index.
+type rec struct {
+	off   int64  // record start (the length field), not the wire bytes
+	n     int32  // wire length
+	level uint16 // priority level, parsed from the wire frame
+	hash  uint64 // dedup hash of the wire bytes
+}
+
+// segment is one on-disk log file plus its index slice. recs is
+// guarded by the Store's mu; the read handle by fmu, so retention can
+// delete a segment out from under a concurrent Get without racing it.
+type segment struct {
+	id        uint64
+	path      string
+	createdAt time.Time
+	size      int64
+	recs      []rec
+
+	fmu     sync.RWMutex
+	rf      *os.File // lazily-opened read handle
+	deleted bool
+}
+
+// readRecord fetches one record's wire bytes from the file.
+func (g *segment) readRecord(r rec) ([]byte, error) {
+	g.fmu.RLock()
+	if g.deleted {
+		g.fmu.RUnlock()
+		return nil, fmt.Errorf("diskstore: segment %d expired", g.id)
+	}
+	rf := g.rf
+	g.fmu.RUnlock()
+	if rf == nil {
+		g.fmu.Lock()
+		if g.deleted {
+			g.fmu.Unlock()
+			return nil, fmt.Errorf("diskstore: segment %d expired", g.id)
+		}
+		if g.rf == nil {
+			f, err := os.Open(g.path)
+			if err != nil {
+				g.fmu.Unlock()
+				return nil, err
+			}
+			g.rf = f
+		}
+		rf = g.rf
+		g.fmu.Unlock()
+	}
+	data := make([]byte, r.n)
+	// ReadAt is safe against the deleter: unlinking does not invalidate
+	// an open handle, and close waits on fmu below.
+	g.fmu.RLock()
+	defer g.fmu.RUnlock()
+	if g.deleted {
+		return nil, fmt.Errorf("diskstore: segment %d expired", g.id)
+	}
+	if _, err := rf.ReadAt(data, r.off+recHeaderLen); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// close releases the read handle.
+func (g *segment) close() error {
+	g.fmu.Lock()
+	defer g.fmu.Unlock()
+	var err error
+	if g.rf != nil {
+		err = g.rf.Close()
+		g.rf = nil
+	}
+	return err
+}
+
+// remove unlinks the segment file and closes its handle; concurrent
+// reads either finish against the still-open handle or observe deleted.
+func (g *segment) remove() error {
+	g.fmu.Lock()
+	defer g.fmu.Unlock()
+	g.deleted = true
+	err := os.Remove(g.path)
+	if g.rf != nil {
+		g.rf.Close()
+		g.rf = nil
+	}
+	return err
+}
+
+// appendRecord serializes one record into buf and returns it.
+func appendRecord(buf, wire []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(wire)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(wire))
+	return append(buf, wire...)
+}
+
+// wireLevel extracts the priority level from a block wire frame without
+// a full unmarshal: magic "PB", version byte, then the BE level. The
+// store validated the frame before Put, and recovery re-checks exactly
+// this much before trusting a record.
+func wireLevel(wire []byte) (int, bool) {
+	if len(wire) < 13 || wire[0] != 'P' || wire[1] != 'B' {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint16(wire[3:5])), true
+}
+
+// scanResult is what loading one segment yields.
+type scanResult struct {
+	seg       *segment
+	tornBytes int64 // bytes truncated off the tail (0 = clean)
+}
+
+// loadSegment replays one segment file, validating every record CRC,
+// and truncates the file at the first record that does not parse — the
+// torn tail a crash mid-write leaves behind. A file too short or
+// corrupt to even carry a header is truncated to empty and re-headed.
+func loadSegment(path string, id uint64, maxRecord int) (scanResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return scanResult{}, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return scanResult{}, err
+	}
+	fileSize := info.Size()
+
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || string(hdr[:8]) != segMagic {
+		// No intact header: nothing in this file is recoverable. Rewrite
+		// it as an empty segment rather than guessing at its contents.
+		created := time.Now()
+		if werr := writeSegmentHeader(path, created); werr != nil {
+			return scanResult{}, werr
+		}
+		seg := &segment{id: id, path: path, createdAt: created, size: segHeaderLen}
+		return scanResult{seg: seg, tornBytes: fileSize}, nil
+	}
+	seg := &segment{
+		id:        id,
+		path:      path,
+		createdAt: time.Unix(0, int64(binary.BigEndian.Uint64(hdr[8:]))),
+	}
+
+	br := bufio.NewReaderSize(f, 1<<20)
+	off := int64(segHeaderLen)
+	var rh [recHeaderLen]byte
+	for {
+		if fileSize-off < recHeaderLen {
+			break // clean EOF or a tail too short to be a record
+		}
+		if _, err := io.ReadFull(br, rh[:]); err != nil {
+			break
+		}
+		n := int64(binary.BigEndian.Uint32(rh[:4]))
+		wantCRC := binary.BigEndian.Uint32(rh[4:])
+		if n == 0 || n > int64(maxRecord) || n > fileSize-off-recHeaderLen {
+			break // length field torn or truncated body
+		}
+		wire := make([]byte, n)
+		if _, err := io.ReadFull(br, wire); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(wire) != wantCRC {
+			break // payload corrupted
+		}
+		level, ok := wireLevel(wire)
+		if !ok {
+			break // CRC matched garbage that is not a block frame
+		}
+		seg.recs = append(seg.recs, rec{
+			off:   off,
+			n:     int32(n),
+			level: uint16(level),
+			hash:  hashWire(wire),
+		})
+		off += recHeaderLen + n
+	}
+	seg.size = off
+	torn := fileSize - off
+	if torn > 0 {
+		if err := os.Truncate(path, off); err != nil {
+			return scanResult{}, fmt.Errorf("diskstore: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	return scanResult{seg: seg, tornBytes: torn}, nil
+}
+
+// writeSegmentHeader (re)creates path as an empty segment.
+func writeSegmentHeader(path string, created time.Time) error {
+	buf := make([]byte, 0, segHeaderLen)
+	buf = append(buf, segMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(created.UnixNano()))
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// listSegments returns the segment files under dir, ordered by id.
+func listSegments(dir string) ([]string, []uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	var ids []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), segSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		names = append(names, filepath.Join(dir, name))
+		ids = append(ids, id)
+	}
+	sort.Sort(&segSort{names, ids})
+	return names, ids, nil
+}
+
+type segSort struct {
+	names []string
+	ids   []uint64
+}
+
+func (s *segSort) Len() int           { return len(s.ids) }
+func (s *segSort) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *segSort) Swap(i, j int) {
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+}
+
+// syncDir fsyncs the directory so segment creates and deletes survive a
+// power loss; errors are returned for the caller to judge (a missing
+// dir fsync weakens durability but loses no already-synced data).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,337 @@
+package diskstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/store"
+)
+
+// reqKind discriminates what rides the writer queue.
+type reqKind int
+
+const (
+	reqPut    reqKind = iota // append one block record
+	reqSync                  // flush + fsync the active segment
+	reqRotate                // seal the active segment, open the next
+)
+
+// writeReq is one unit of work for the writer goroutine. done is closed
+// once the request's outcome (err) is decided — for puts, that means
+// the batch holding the record reached the disk under the configured
+// fsync mode.
+type writeReq struct {
+	kind  reqKind
+	level int
+	hash  uint64
+	wire  []byte
+	err   error
+	done  chan struct{}
+}
+
+// writerLoop is the group-commit core: the single goroutine that owns
+// the active segment's append handle. It blocks for the first queued
+// request, then drains whatever else has piled up — which, while a
+// previous fsync was on the disk, is every concurrent put that arrived
+// in the meantime — and commits the whole batch with one buffered
+// write and one fsync. Batch size is latency-bounded by construction
+// (nothing waits longer than one flush) and size-bounded by
+// MaxBatchBlocks/MaxBatchBytes.
+func (s *Store) writerLoop() {
+	defer s.wg.Done()
+	defer s.sealActive()
+	batch := make([]*writeReq, 0, s.opts.MaxBatchBlocks)
+	for first := range s.reqCh {
+		batch = batch[:0]
+		bytes := 0
+		var ctrl *writeReq
+		if first.kind == reqPut {
+			batch = append(batch, first)
+			bytes = len(first.wire)
+		} else {
+			ctrl = first
+		}
+	drain:
+		for ctrl == nil && len(batch) < s.opts.MaxBatchBlocks && bytes < s.opts.MaxBatchBytes {
+			select {
+			case r, ok := <-s.reqCh:
+				if !ok {
+					break drain
+				}
+				if r.kind != reqPut {
+					ctrl = r // flush what we have, then honor the control request
+					break drain
+				}
+				batch = append(batch, r)
+				bytes += len(r.wire)
+			default:
+				break drain
+			}
+		}
+		if len(batch) > 0 {
+			s.flush(batch, bytes)
+		}
+		if ctrl != nil {
+			s.handleCtrl(ctrl)
+		}
+	}
+}
+
+// flush commits one batch: records are serialized into one buffer and
+// written with one Write call, then fsynced per the configured mode
+// (FsyncAlways degrades to write+fsync per record — the baseline the
+// group-commit speedup in BENCH_disk.json is measured against).
+func (s *Store) flush(batch []*writeReq, bytes int) {
+	seg, err := s.activeForAppend(int64(bytes) + int64(len(batch)*recHeaderLen))
+	if err != nil {
+		s.failBatch(batch, err)
+		return
+	}
+	base := seg.size
+	var werr error
+	if s.opts.Fsync == FsyncAlways {
+		for _, r := range batch {
+			if werr != nil {
+				break
+			}
+			if _, werr = s.wf.Write(appendRecord(s.scratch[:0], r.wire)); werr == nil {
+				t0 := time.Now()
+				werr = s.wf.Sync()
+				s.met.fsyncs.Inc()
+				s.met.fsyncNs.ObserveSince(t0)
+			}
+		}
+	} else {
+		buf := s.scratch[:0]
+		for _, r := range batch {
+			buf = appendRecord(buf, r.wire)
+		}
+		if cap(buf) <= s.opts.MaxBatchBytes*2 {
+			s.scratch = buf // keep the grown buffer for the next batch
+		}
+		_, werr = s.wf.Write(buf)
+		if werr == nil && s.opts.Fsync == FsyncBatch {
+			t0 := time.Now()
+			werr = s.wf.Sync()
+			s.met.fsyncs.Inc()
+			s.met.fsyncNs.ObserveSince(t0)
+		}
+	}
+	if werr != nil {
+		// The tail of the segment is now suspect. Drop the batch back to
+		// the callers (their blocks are NOT durable) and cut the file
+		// back to the last committed record so the log stays replayable.
+		s.met.writeErrors.Inc()
+		os.Truncate(seg.path, base)
+		s.failBatch(batch, fmt.Errorf("%w: disk write: %v", store.ErrStoreUnavailable, werr))
+		return
+	}
+
+	s.mu.Lock()
+	off := base
+	for _, r := range batch {
+		seg.recs = append(seg.recs, rec{
+			off:   off,
+			n:     int32(len(r.wire)),
+			level: uint16(r.level),
+			hash:  r.hash,
+		})
+		s.byHash[r.hash] = append(s.byHash[r.hash], blockRef{seg: seg, idx: len(seg.recs) - 1})
+		s.removePendingLocked(r)
+		tally := s.perLevel[r.level]
+		tally.count++
+		tally.bytes += int64(len(r.wire))
+		s.perLevel[r.level] = tally
+		s.blocks++
+		s.bytes += int64(len(r.wire))
+		off += recHeaderLen + int64(len(r.wire))
+	}
+	seg.size = off
+	s.met.setInventory(s.blocks, s.bytes, len(s.segs))
+	s.mu.Unlock()
+
+	s.met.flushes.Inc()
+	s.met.batchBlocks.Observe(int64(len(batch)))
+	s.met.batchBytes.Observe(int64(bytes))
+	s.met.writeBytes.Add(uint64(off - base))
+	for _, r := range batch {
+		close(r.done)
+	}
+	if seg.size >= s.opts.SegmentBytes {
+		if err := s.rotate(); err != nil {
+			s.opts.Logf("diskstore: rotate after full segment: %v", err)
+		}
+	}
+}
+
+// failBatch reports err to every request and unreserves the blocks.
+func (s *Store) failBatch(batch []*writeReq, err error) {
+	s.mu.Lock()
+	for _, r := range batch {
+		r.err = err
+		s.removePendingLocked(r)
+	}
+	s.mu.Unlock()
+	for _, r := range batch {
+		close(r.done)
+	}
+}
+
+// removePendingLocked drops a request from the dedup reservation map.
+func (s *Store) removePendingLocked(r *writeReq) {
+	list := s.pending[r.hash]
+	for i, p := range list {
+		if p == r {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(s.pending, r.hash)
+	} else {
+		s.pending[r.hash] = list
+	}
+	s.pendBytes -= int64(len(r.wire))
+	s.pendBlocks--
+}
+
+// handleCtrl serves sync and rotate requests on the writer goroutine.
+func (s *Store) handleCtrl(r *writeReq) {
+	switch r.kind {
+	case reqSync:
+		if s.wf != nil {
+			t0 := time.Now()
+			r.err = s.wf.Sync()
+			s.met.fsyncs.Inc()
+			s.met.fsyncNs.ObserveSince(t0)
+		}
+	case reqRotate:
+		if s.activeHasData() {
+			r.err = s.rotate()
+		}
+	}
+	close(r.done)
+}
+
+// activeForAppend returns the active segment, rotating first when the
+// incoming batch would not fit and the segment already has data.
+func (s *Store) activeForAppend(incoming int64) (*segment, error) {
+	if s.wf == nil {
+		if err := s.rotate(); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	seg := s.segs[len(s.segs)-1]
+	full := seg.size > segHeaderLen && seg.size+incoming > s.opts.SegmentBytes
+	s.mu.Unlock()
+	if full {
+		if err := s.rotate(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		seg = s.segs[len(s.segs)-1]
+		s.mu.Unlock()
+	}
+	return seg, nil
+}
+
+// activeHasData reports whether the active segment holds any records.
+func (s *Store) activeHasData() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs) > 0 && s.segs[len(s.segs)-1].size > segHeaderLen
+}
+
+// rotate seals the active segment (final fsync, handle closed) and
+// opens the next one. Called from the writer goroutine only.
+func (s *Store) rotate() error {
+	if err := s.sealActive(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	var id uint64 = 1
+	if n := len(s.segs); n > 0 {
+		id = s.segs[n-1].id + 1
+	}
+	s.mu.Unlock()
+	path := filepath.Join(s.dir, segName(id))
+	created := time.Now()
+	if err := writeSegmentHeader(path, created); err != nil {
+		return fmt.Errorf("diskstore: create segment %d: %w", id, err)
+	}
+	wf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: open segment %d for append: %w", id, err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		s.opts.Logf("diskstore: fsync data dir: %v", err)
+	}
+	seg := &segment{id: id, path: path, createdAt: created, size: segHeaderLen}
+	s.wf = wf
+	s.mu.Lock()
+	s.segs = append(s.segs, seg)
+	s.met.setInventory(s.blocks, s.bytes, len(s.segs))
+	s.mu.Unlock()
+	s.met.segmentsCreated.Inc()
+	return nil
+}
+
+// sealActive fsyncs and closes the append handle (idempotent).
+func (s *Store) sealActive() error {
+	if s.wf == nil {
+		return nil
+	}
+	serr := s.wf.Sync()
+	cerr := s.wf.Close()
+	s.wf = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// recover replays every segment under the data dir, rebuilding the
+// index and truncating torn tails, then reopens the last segment for
+// append (or defers creation of a fresh one to the first put).
+func (s *Store) recover() error {
+	names, ids, err := listSegments(s.dir)
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	for i, name := range names {
+		res, err := loadSegment(name, ids[i], s.opts.MaxRecordBytes)
+		if err != nil {
+			return err
+		}
+		if res.tornBytes > 0 {
+			s.met.tornTails.Inc()
+			s.met.tornBytes.Add(uint64(res.tornBytes))
+			s.opts.Logf("diskstore: %s: truncated %d-byte torn tail, %d records recovered",
+				filepath.Base(name), res.tornBytes, len(res.seg.recs))
+		}
+		seg := res.seg
+		for idx, r := range seg.recs {
+			s.byHash[r.hash] = append(s.byHash[r.hash], blockRef{seg: seg, idx: idx})
+			tally := s.perLevel[int(r.level)]
+			tally.count++
+			tally.bytes += int64(r.n)
+			s.perLevel[int(r.level)] = tally
+			s.blocks++
+			s.bytes += int64(r.n)
+		}
+		s.segs = append(s.segs, seg)
+	}
+	// Reopen the last segment for append if it still has room; a full
+	// (or absent) one is left sealed and the first flush rotates.
+	if n := len(s.segs); n > 0 && s.segs[n-1].size < s.opts.SegmentBytes {
+		wf, err := os.OpenFile(s.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("diskstore: reopen active segment: %w", err)
+		}
+		s.wf = wf
+	}
+	return nil
+}

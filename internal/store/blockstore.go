@@ -1,0 +1,150 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockStore is the storage engine behind a Server: it holds marshaled
+// CodedBlocks (the core wire encoding, exactly as received) keyed by
+// nothing but their own bytes, deduplicates identical blocks so client
+// put-retries stay idempotent, and answers level-prefix reads. The
+// Server owns the TCP surface; the engine owns placement — in memory
+// (MemStore) or on disk (diskstore.Store).
+//
+// Implementations must be safe for concurrent use: the server calls
+// into the engine from one goroutine per connection.
+type BlockStore interface {
+	// Put stores one block. wire is the block's core wire encoding and
+	// level its priority level (already parsed from wire by the caller).
+	// It returns stored=false with a nil error when an identical block
+	// was already present, and ErrStoreFull (possibly wrapped) when the
+	// engine is at capacity. Implementations must not retain wire.
+	Put(level int, wire []byte) (stored bool, err error)
+
+	// Get returns the wire bytes of every stored block with
+	// level <= maxLevel; maxLevel < 0 returns everything. The returned
+	// slices are read-only and must not be modified by the caller.
+	Get(maxLevel int) ([][]byte, error)
+
+	// Stats returns an inventory snapshot with PerLevel sorted
+	// ascending by level.
+	Stats() Stats
+
+	// Len returns the number of stored blocks.
+	Len() int
+
+	// Bytes returns the total stored wire bytes.
+	Bytes() int64
+
+	// Close releases the engine's resources, flushing anything not yet
+	// durable. The engine rejects operations after Close.
+	Close() error
+}
+
+// MemStore is the RAM-only engine: the seed behavior of the store
+// daemon, factored behind BlockStore. A restart loses everything; use
+// diskstore.Store when blocks must outlive the process.
+type MemStore struct {
+	maxBlocks int
+
+	mu       sync.Mutex
+	blocks   []storedBlock
+	seen     map[string]struct{}
+	perLevel map[int]levelTally
+	bytes    int64
+	closed   bool
+}
+
+// NewMemStore returns an in-memory engine capping stored blocks at
+// maxBlocks (0 = unlimited).
+func NewMemStore(maxBlocks int) *MemStore {
+	return &MemStore{
+		maxBlocks: maxBlocks,
+		seen:      make(map[string]struct{}),
+		perLevel:  make(map[int]levelTally),
+	}
+}
+
+// Put stores one block, deduplicating identical bytes.
+func (m *MemStore) Put(level int, wire []byte) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, fmt.Errorf("%w: engine closed", ErrStoreUnavailable)
+	}
+	if _, dup := m.seen[string(wire)]; dup {
+		return false, nil
+	}
+	if m.maxBlocks > 0 && len(m.blocks) >= m.maxBlocks {
+		return false, fmt.Errorf("%w: %d blocks stored, cap %d", ErrStoreFull, len(m.blocks), m.maxBlocks)
+	}
+	key := string(wire) // one copy serves both the dedup key and the data
+	m.seen[key] = struct{}{}
+	m.blocks = append(m.blocks, storedBlock{level: level, data: []byte(key)})
+	tally := m.perLevel[level]
+	tally.count++
+	tally.bytes += int64(len(wire))
+	m.perLevel[level] = tally
+	m.bytes += int64(len(wire))
+	return true, nil
+}
+
+// Get returns stored blocks with level <= maxLevel (maxLevel < 0 = all).
+func (m *MemStore) Get(maxLevel int) ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]byte, 0, len(m.blocks))
+	for _, sb := range m.blocks {
+		if maxLevel < 0 || sb.level <= maxLevel {
+			out = append(out, sb.data)
+		}
+	}
+	return out, nil
+}
+
+// Stats returns an inventory snapshot.
+func (m *MemStore) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return statsFromTallies(len(m.blocks), m.perLevel)
+}
+
+// Len returns the number of stored blocks.
+func (m *MemStore) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blocks)
+}
+
+// Bytes returns the total stored wire bytes.
+func (m *MemStore) Bytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// Close marks the engine closed; stored blocks are dropped.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.blocks, m.seen, m.perLevel, m.bytes = nil, nil, nil, 0
+	return nil
+}
+
+// statsFromTallies assembles a Stats snapshot from per-level tallies,
+// sorted ascending by level (the wire encoding's order).
+func statsFromTallies(blocks int, perLevel map[int]levelTally) Stats {
+	st := Stats{Blocks: blocks}
+	for lvl, tally := range perLevel {
+		st.Bytes += tally.bytes
+		st.PerLevel = append(st.PerLevel, LevelCount{Level: lvl, Count: tally.count, Bytes: tally.bytes})
+	}
+	for i := 1; i < len(st.PerLevel); i++ {
+		for j := i; j > 0 && st.PerLevel[j].Level < st.PerLevel[j-1].Level; j-- {
+			st.PerLevel[j], st.PerLevel[j-1] = st.PerLevel[j-1], st.PerLevel[j]
+		}
+	}
+	return st
+}

@@ -316,8 +316,12 @@ func (c *Client) doAttempts(ctx context.Context, op string, reqType byte, body [
 		if err == nil {
 			return resp, nil
 		}
-		if errors.Is(err, ErrBadRequest) || errors.Is(err, context.Canceled) ||
-			errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrClientClosed) {
+		if errors.Is(err, ErrBadRequest) || errors.Is(err, ErrStoreFull) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, ErrClientClosed) {
+			// A full store cannot un-fill within a backoff window, so the
+			// rejection surfaces immediately; the replicated layer fails the
+			// block over to the next replica instead of burning retries here.
 			return nil, fmt.Errorf("store: %s %s: %w", op, c.cfg.Addr, err)
 		}
 		lastErr = err
@@ -356,9 +360,10 @@ func (c *Client) attempt(ctx context.Context, reqType byte, body []byte, wantRes
 		return resp, nil
 	case frameErr:
 		err := decodeErrFrame(resp)
-		if errors.Is(err, ErrBadRequest) {
-			// The connection is still in sync after a semantic
-			// rejection; corruption and drain responses are terminal.
+		if errors.Is(err, ErrBadRequest) || errors.Is(err, ErrStoreFull) {
+			// The connection is still in sync after a semantic or
+			// store-full rejection (the server keeps serving gets);
+			// corruption and drain responses are terminal.
 			c.release(conn, stop)
 		} else {
 			conn.Close()

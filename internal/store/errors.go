@@ -32,4 +32,21 @@ var (
 
 	// ErrClientClosed reports an operation on a closed Client.
 	ErrClientClosed = errors.New("store: client closed")
+
+	// ErrStoreFull reports a put rejected because the storage engine is at
+	// capacity (MaxBlocks on the in-memory store, MaxBytes on disk). It is
+	// deliberately distinguishable from other put failures: a client gives
+	// up on the replica immediately instead of burning retries on a store
+	// that cannot un-fill, while errors.Is(err, ErrStoreUnavailable) still
+	// holds so replicated fail-over and repair keep routing around it.
+	ErrStoreFull error = &storeFullError{}
 )
+
+// storeFullError makes ErrStoreFull match ErrStoreUnavailable under
+// errors.Is without string matching: full is a *kind* of unavailable
+// (try another replica), but callers who care can test for it exactly.
+type storeFullError struct{}
+
+func (*storeFullError) Error() string { return "store: full" }
+
+func (*storeFullError) Is(target error) bool { return target == ErrStoreUnavailable }

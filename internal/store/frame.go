@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -51,13 +52,27 @@ const (
 const (
 	errCodeCorrupt     = 1 // transport corruption: retry on a fresh connection
 	errCodeBad         = 2 // semantic rejection: do not retry
-	errCodeUnavailable = 3 // server draining or full: try another replica
+	errCodeUnavailable = 3 // server draining or I/O trouble: try another replica
+	errCodeFull        = 4 // storage engine at capacity: fail over, do not retry here
 )
+
+// frameBufPool recycles frame build buffers across writeFrame calls —
+// a put-heavy client otherwise allocates one block-sized buffer per
+// request. Buffers above maxPooledBuf (a full get response can be
+// 16 MiB) are dropped instead of pinned in the pool.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+const maxPooledBuf = 1 << 20
 
 // writeFrame serializes one frame with a single Write call, so a
 // fault-injecting transport that corrupts per-write corrupts per-frame.
+// The build buffer comes from frameBufPool; it is returned before the
+// call exits, which is safe because Write does not retain its argument.
 func writeFrame(w io.Writer, typ byte, body []byte) error {
-	buf := make([]byte, 0, frameHeader+len(body))
+	bp := frameBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	buf = binary.BigEndian.AppendUint32(buf, uint32(frameOverhead+len(body)))
 	buf = append(buf, typ)
 	crc := crc32.NewIEEE()
@@ -66,27 +81,46 @@ func writeFrame(w io.Writer, typ byte, body []byte) error {
 	buf = binary.BigEndian.AppendUint32(buf, crc.Sum32())
 	buf = append(buf, body...)
 	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf
+		frameBufPool.Put(bp)
+	}
 	return err
 }
 
-// readFrame reads and validates one frame. Length-field violations and
-// CRC mismatches wrap ErrCorruptFrame; after either, the stream is out
-// of sync and the connection must be closed.
+// readFrame reads and validates one frame, allocating a fresh body.
+// Length-field violations and CRC mismatches wrap ErrCorruptFrame;
+// after either, the stream is out of sync and the connection must be
+// closed.
 func readFrame(r io.Reader, maxFrame int) (byte, []byte, error) {
+	typ, body, _, err := readFrameBuf(r, maxFrame, nil)
+	return typ, body, err
+}
+
+// readFrameBuf is readFrame with caller-owned buffer reuse: the frame
+// is read into scratch (grown as needed) and body aliases it, so a
+// connection loop passing the returned buffer back in reads every
+// request with zero steady-state allocations. The body is only valid
+// until the next call with the same buffer; callers that retain block
+// bytes (the put path) must copy, which they already do to own them.
+func readFrameBuf(r io.Reader, maxFrame int, scratch []byte) (byte, []byte, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, scratch, err
 	}
 	n := int(binary.BigEndian.Uint32(lenBuf[:]))
 	if n < frameOverhead {
-		return 0, nil, fmt.Errorf("%w: frame length %d below header", ErrCorruptFrame, n)
+		return 0, nil, scratch, fmt.Errorf("%w: frame length %d below header", ErrCorruptFrame, n)
 	}
 	if n > maxFrame+frameOverhead {
-		return 0, nil, fmt.Errorf("%w: frame length %d exceeds limit %d", ErrCorruptFrame, n, maxFrame)
+		return 0, nil, scratch, fmt.Errorf("%w: frame length %d exceeds limit %d", ErrCorruptFrame, n, maxFrame)
 	}
-	rest := make([]byte, n)
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	rest := scratch[:n]
 	if _, err := io.ReadFull(r, rest); err != nil {
-		return 0, nil, err
+		return 0, nil, scratch, err
 	}
 	typ := rest[0]
 	want := binary.BigEndian.Uint32(rest[1:5])
@@ -94,9 +128,9 @@ func readFrame(r io.Reader, maxFrame int) (byte, []byte, error) {
 	crc.Write(rest[:1])
 	crc.Write(rest[5:])
 	if crc.Sum32() != want {
-		return 0, nil, fmt.Errorf("%w: crc mismatch on %q frame", ErrCorruptFrame, typ)
+		return 0, nil, scratch, fmt.Errorf("%w: crc mismatch on %q frame", ErrCorruptFrame, typ)
 	}
-	return typ, rest[5:], nil
+	return typ, rest[5:], scratch, nil
 }
 
 // writeErrFrame best-effort sends an error response; failures are
@@ -119,6 +153,8 @@ func decodeErrFrame(body []byte) error {
 		return fmt.Errorf("%w: server: %s", ErrCorruptFrame, msg)
 	case errCodeUnavailable:
 		return fmt.Errorf("%w: server: %s", ErrStoreUnavailable, msg)
+	case errCodeFull:
+		return fmt.Errorf("%w: server: %s", ErrStoreFull, msg)
 	default:
 		return fmt.Errorf("%w: server: %s", ErrBadRequest, msg)
 	}

@@ -28,6 +28,7 @@ type serverMetrics struct {
 	putsStored   *metrics.Counter
 	putsDeduped  *metrics.Counter
 	putsRejected *metrics.Counter
+	putsFull     *metrics.Counter
 	putsBad      *metrics.Counter
 	gets         *metrics.Counter
 	stats        *metrics.Counter
@@ -57,6 +58,7 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 		putsStored:    r.Counter("store_server_puts_stored_total"),
 		putsDeduped:   r.Counter("store_server_puts_deduped_total"),
 		putsRejected:  r.Counter("store_server_puts_rejected_total"),
+		putsFull:      r.Counter("store_server_puts_full_total"),
 		putsBad:       r.Counter("store_server_puts_bad_total"),
 		requestNs:     r.Histogram("store_server_request_ns"),
 		blocks:        r.Gauge("store_server_blocks"),

@@ -24,8 +24,14 @@ type ServerConfig struct {
 	// MaxFrame bounds a single request frame. Default DefaultMaxFrame.
 	MaxFrame int
 	// MaxBlocks caps stored blocks (0 = unlimited); once full, puts are
-	// rejected as unavailable so clients fail over to another replica.
+	// rejected with ErrStoreFull so clients fail over to another replica.
+	// Only consulted when Blocks is nil (it caps the default MemStore).
 	MaxBlocks int
+	// Blocks is the storage engine. Nil means a fresh in-memory store
+	// capped at MaxBlocks. The server does NOT close an injected engine
+	// on Shutdown — whoever opened it (e.g. prlcd wiring a disk store)
+	// closes it after the drain, so a restart can reopen the same data.
+	Blocks BlockStore
 	// IdleTimeout is how long a connection may sit between requests
 	// before the server closes it. Default 30s.
 	IdleTimeout time.Duration
@@ -67,19 +73,18 @@ type levelTally struct {
 }
 
 // Server is a TCP block-store daemon: it accepts frames (see frame.go),
-// keeps coded blocks in memory, and drains gracefully on Shutdown.
-// Identical blocks are deduplicated, which makes client put-retries
-// idempotent: a retry after a lost ack cannot double-store.
+// hands coded blocks to its BlockStore engine (in-memory by default,
+// disk-backed via diskstore), and drains gracefully on Shutdown.
+// Identical blocks are deduplicated by the engine, which makes client
+// put-retries idempotent: a retry after a lost ack cannot double-store.
 type Server struct {
-	cfg ServerConfig
-	ln  net.Listener
-	met serverMetrics
+	cfg    ServerConfig
+	ln     net.Listener
+	met    serverMetrics
+	blocks BlockStore
 
-	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	blocks   []storedBlock
-	seen     map[string]struct{}
-	perLevel map[int]levelTally
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 
 	wg        sync.WaitGroup
 	draining  chan struct{}
@@ -92,6 +97,10 @@ type Server struct {
 // serving immediately. Callers must eventually Shutdown it.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	cfg.fillDefaults()
+	blocks := cfg.Blocks
+	if blocks == nil {
+		blocks = NewMemStore(cfg.MaxBlocks)
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("store: listen %s: %w", cfg.Addr, err)
@@ -100,9 +109,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:      cfg,
 		ln:       ln,
 		met:      newServerMetrics(cfg.Metrics),
+		blocks:   blocks,
 		conns:    make(map[net.Conn]struct{}),
-		seen:     make(map[string]struct{}),
-		perLevel: make(map[int]levelTally),
 		draining: make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -119,33 +127,10 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Done() <-chan struct{} { return s.done }
 
 // Len returns the number of stored blocks.
-func (s *Server) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.blocks)
-}
+func (s *Server) Len() int { return s.blocks.Len() }
 
 // Stats returns an inventory snapshot.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.statsLocked()
-}
-
-func (s *Server) statsLocked() Stats {
-	st := Stats{Blocks: len(s.blocks)}
-	for lvl, tally := range s.perLevel {
-		st.Bytes += tally.bytes
-		st.PerLevel = append(st.PerLevel, LevelCount{Level: lvl, Count: tally.count, Bytes: tally.bytes})
-	}
-	// Deterministic order for wire encoding and printing.
-	for i := 1; i < len(st.PerLevel); i++ {
-		for j := i; j > 0 && st.PerLevel[j].Level < st.PerLevel[j-1].Level; j-- {
-			st.PerLevel[j], st.PerLevel[j-1] = st.PerLevel[j-1], st.PerLevel[j]
-		}
-	}
-	return st
-}
+func (s *Server) Stats() Stats { return s.blocks.Stats() }
 
 // Shutdown drains the server: the listener closes, idle connections are
 // kicked, in-flight requests finish, and once the context expires any
@@ -225,12 +210,19 @@ func (s *Server) handleConn(raw net.Conn) {
 	// Deadlines set on the metered wrapper pass through to raw, so the
 	// shutdown path (which pokes raw directly) still interrupts reads.
 	conn := meterConn(raw, s.met.bytesIn, s.met.bytesOut)
+	// One frame buffer per connection, reused across requests: handlers
+	// either consume the body before the next read or copy what they
+	// keep (the put path stores its own copy).
+	var scratch []byte
 	for {
 		if s.drainingNow() {
 			return
 		}
 		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		typ, body, err := readFrame(conn, s.cfg.MaxFrame)
+		var typ byte
+		var body []byte
+		var err error
+		typ, body, scratch, err = readFrameBuf(conn, s.cfg.MaxFrame, scratch)
 		if err != nil {
 			if errors.Is(err, ErrCorruptFrame) {
 				// The stream is out of sync: report and hang up. The
@@ -288,27 +280,24 @@ func (s *Server) handlePut(conn net.Conn, body []byte) error {
 		writeErrFrame(conn, errCodeBad, fmt.Sprintf("bad block: %v", err))
 		return nil
 	}
-	s.mu.Lock()
-	key := string(body)
-	if _, dup := s.seen[key]; !dup {
-		if s.cfg.MaxBlocks > 0 && len(s.blocks) >= s.cfg.MaxBlocks {
-			s.mu.Unlock()
-			s.met.putsRejected.Inc()
-			writeErrFrame(conn, errCodeUnavailable, "store full")
-			return nil
-		}
-		s.seen[key] = struct{}{}
-		s.blocks = append(s.blocks, storedBlock{level: b.Level, data: append([]byte(nil), body...)})
-		tally := s.perLevel[b.Level]
-		tally.count++
-		tally.bytes += int64(len(body))
-		s.perLevel[b.Level] = tally
-		s.mu.Unlock()
+	stored, err := s.blocks.Put(b.Level, body)
+	switch {
+	case errors.Is(err, ErrStoreFull):
+		s.met.putsRejected.Inc()
+		s.met.putsFull.Inc()
+		writeErrFrame(conn, errCodeFull, err.Error())
+		return nil
+	case err != nil:
+		// Engine failure (a disk write that did not land): the block is
+		// not durable, so the client must not treat it as stored.
+		s.met.putsRejected.Inc()
+		writeErrFrame(conn, errCodeUnavailable, err.Error())
+		return nil
+	case stored:
 		s.met.putsStored.Inc()
-		s.met.blocks.Inc()
-		s.met.blockBytes.Add(int64(len(body)))
-	} else {
-		s.mu.Unlock()
+		s.met.blocks.Set(int64(s.blocks.Len()))
+		s.met.blockBytes.Set(s.blocks.Bytes())
+	default:
 		s.met.putsDeduped.Inc()
 	}
 	return writeFrame(conn, frameOK, nil)
@@ -320,14 +309,14 @@ func (s *Server) handleGet(conn net.Conn, body []byte) error {
 		return nil
 	}
 	maxLevel := int(binary.BigEndian.Uint16(body))
-	s.mu.Lock()
-	out := make([][]byte, 0, len(s.blocks))
-	for _, sb := range s.blocks {
-		if maxLevel == 0xFFFF || sb.level <= maxLevel {
-			out = append(out, sb.data)
-		}
+	if maxLevel == 0xFFFF {
+		maxLevel = -1 // wire sentinel: all levels
 	}
-	s.mu.Unlock()
+	out, err := s.blocks.Get(maxLevel)
+	if err != nil {
+		writeErrFrame(conn, errCodeUnavailable, err.Error())
+		return nil
+	}
 	resp, err := encodeBlockList(out)
 	if err != nil {
 		writeErrFrame(conn, errCodeBad, err.Error())
