@@ -86,12 +86,12 @@ bench-disk:
 
 # Fast correctness gate: vet everything, race-test the packages with
 # concurrent hot paths (the word-parallel kernels, the row arenas, the
-# parallel encoder, the networked store, the disk engine's group-commit
-# writer, the repair daemon and the shared metrics registry they all
-# write to).
+# parallel encoder, the networked store, the placement ring and its
+# failure detector, the disk engine's group-commit writer, the repair
+# daemon and the shared metrics registry they all write to).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/store ./internal/diskstore ./internal/repair ./internal/metrics
+	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/chord ./internal/gossip ./internal/store ./internal/diskstore ./internal/repair ./internal/metrics
 
 # Short fuzz pass over every fuzz target: the block-file parser, the wire
 # format, the decoder equivalence oracle and the GF(2^8) kernels. ~20s per
@@ -105,6 +105,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz FuzzRecombineEquiv -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz FuzzSparseDenseEquiv -fuzztime $(FUZZTIME) ./internal/gfmat
 	$(GO) test -run='^$$' -fuzz FuzzChunkedDecodeEquiv -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz FuzzParseObjectID -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz FuzzObjectFrame -fuzztime $(FUZZTIME) ./internal/core
 
 # Three prlcd daemons on loopback ports, the tcpstore demo against them
 # (it shuts daemon 1 down over the wire), then kill the rest.

@@ -20,9 +20,18 @@
 //	prlcd serve -addr ... -metrics 127.0.0.1:7091                    # + observability
 //	prlcd serve -addr ... -data-dir /var/lib/prlcd -retention 24h    # + persistence
 //	prlcd metrics 127.0.0.1:7091                                     # metrics table
+//	prlcd ring -addrs ... -object report.pdf                         # placement view
 //
 // `store put` prints the exact `store get` invocation that recovers the
 // file, so the decode side needs no side-channel metadata.
+//
+// With `-object NAME`, put/get address one object namespace and route
+// through the placement ring: the object's blocks land on its
+// `-replicas` ring successors instead of the whole fleet, so many
+// objects share one fleet without mixing. `prlcd ring` shows the ring —
+// node IDs, ownership ranges, and (with -object) an object's replica
+// set. Without -object everything stays in the legacy key-less
+// namespace over the static replica list.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,7 +68,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: prlcd serve|store [flags]")
+		return fmt.Errorf("usage: prlcd serve|store|repair|ring|metrics [flags]")
 	}
 	switch args[0] {
 	case "serve":
@@ -67,10 +77,12 @@ func run(args []string, out io.Writer) error {
 		return storeCmd(args[1:], out)
 	case "repair":
 		return repairCmd(args[1:], out)
+	case "ring":
+		return ringCmd(args[1:], out)
 	case "metrics":
 		return metricsCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve, store, repair or metrics)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, store, repair, ring or metrics)", args[0])
 	}
 }
 
@@ -252,17 +264,48 @@ func pingCmd(args []string, out io.Writer) error {
 }
 
 func statCmd(args []string, out io.Writer) error {
-	return singleAddrCmd("stat", args, func(ctx context.Context, cl *store.Client) error {
-		st, err := cl.Stat(ctx)
-		if err != nil {
-			return err
+	fs := flag.NewFlagSet("prlcd store stat", flag.ContinueOnError)
+	addr := fs.String("addr", "", "daemon address")
+	objectStr := fs.String("object", "", "only show this object's section: a name to hash or canonical obj-<16 hex>")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-attempt timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("stat: -addr is required")
+	}
+	only, err := core.ParseObjectID(*objectStr)
+	if err != nil {
+		return fmt.Errorf("stat: -object: %w", err)
+	}
+	cl, err := newClient(*addr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 4**timeout)
+	defer cancel()
+	st, err := cl.Stat(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: %d blocks, %d bytes\n", cl.Addr(), st.Blocks, st.Bytes)
+	for _, lc := range st.PerLevel {
+		fmt.Fprintf(out, "  level %d: %d blocks, %d bytes\n", lc.Level, lc.Count, lc.Bytes)
+	}
+	if *objectStr != "" && len(st.PerObject) == 0 {
+		fmt.Fprintln(out, "  (daemon reports no per-object inventory — predates the object namespace)")
+	}
+	for _, os := range st.PerObject {
+		if *objectStr != "" && os.Object != only {
+			continue
 		}
-		fmt.Fprintf(out, "%s: %d blocks, %d bytes\n", cl.Addr(), st.Blocks, st.Bytes)
-		for _, lc := range st.PerLevel {
-			fmt.Fprintf(out, "  level %d: %d blocks, %d bytes\n", lc.Level, lc.Count, lc.Bytes)
+		fmt.Fprintf(out, "  object %s: %d blocks, %d bytes\n", os.Object, os.Blocks, os.Bytes)
+		for _, lc := range os.PerLevel {
+			fmt.Fprintf(out, "    level %d: %d blocks, %d bytes\n", lc.Level, lc.Count, lc.Bytes)
 		}
-		return nil
-	})
+	}
+	return nil
 }
 
 func shutdownCmd(args []string, out io.Writer) error {
@@ -293,6 +336,117 @@ func openReplicated(addrs []string, levels, tolerance, minWrites int, timeout ti
 	})
 }
 
+// openPlaced builds per-node clients and the consistent-hashing front
+// end that routes keyed objects to their ring successors.
+func openPlaced(addrs []string, levels, replicas, tolerance, minWrites int, timeout time.Duration) (*store.Placed, error) {
+	clients := make([]*store.Client, 0, len(addrs))
+	for _, a := range addrs {
+		cl, err := store.NewClient(store.ClientConfig{Addr: a, OpTimeout: timeout})
+		if err != nil {
+			for _, c := range clients {
+				c.Close()
+			}
+			return nil, err
+		}
+		clients = append(clients, cl)
+	}
+	p, err := store.NewPlaced(clients, levels, store.PlacedConfig{
+		Replication: replicas,
+		Tolerance:   tolerance,
+		MinWrites:   minWrites,
+	})
+	if err != nil {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+	return p, err
+}
+
+// ringCmd renders the placement ring for a fleet: each node's ring ID,
+// liveness (probed over the store wire path), and the hash range it
+// owns, plus — with -object — one object's replica set. Placement is a
+// pure function of the address list and liveness, so any machine can
+// compute the same view without asking the daemons where data lives.
+func ringCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prlcd ring", flag.ContinueOnError)
+	var (
+		addrsStr  string
+		objectStr string
+		replicas  int
+		timeout   time.Duration
+	)
+	fs.StringVar(&addrsStr, "addrs", "", "comma-separated daemon addresses of the fleet")
+	fs.StringVar(&objectStr, "object", "", "also resolve this object's replica set: a name to hash or canonical obj-<16 hex>")
+	fs.IntVar(&replicas, "replicas", 3, "ring successors each object is placed on")
+	fs.DurationVar(&timeout, "timeout", 2*time.Second, "per-node probe timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := cliutil.SplitAddrs(addrsStr)
+	if len(addrs) == 0 {
+		return fmt.Errorf("ring: -addrs is required")
+	}
+	if replicas > len(addrs) {
+		replicas = len(addrs)
+	}
+	placed, err := openPlaced(addrs, 1, replicas, 0, 1, timeout)
+	if err != nil {
+		return err
+	}
+	defer placed.Close()
+
+	for _, a := range addrs {
+		pctx, cancel := context.WithTimeout(context.Background(), timeout)
+		if err := placed.Probe(pctx, a); err != nil {
+			placed.SetAlive(a, false)
+		}
+		cancel()
+	}
+
+	members := placed.Members()
+	alive := 0
+	for _, m := range members {
+		if m.Alive {
+			alive++
+		}
+	}
+	fmt.Fprintf(out, "ring: %d nodes (%d alive), replication %d\n", len(members), alive, replicas)
+	// Ownership wraps among the alive nodes: each owns the ID range since
+	// the previous alive node, half-open on the left.
+	prevAlive := make([]uint64, len(members))
+	for i, m := range members {
+		prev := m.ID
+		for j := 1; j <= len(members); j++ {
+			c := members[(i-j+len(members))%len(members)]
+			if c.Alive {
+				prev = c.ID
+				break
+			}
+		}
+		prevAlive[i] = prev
+	}
+	for i, m := range members {
+		if !m.Alive {
+			fmt.Fprintf(out, "  %016x  %s  down\n", m.ID, m.Addr)
+			continue
+		}
+		fmt.Fprintf(out, "  %016x  %s  alive  owns (%016x, %016x]\n", m.ID, m.Addr, prevAlive[i], m.ID)
+	}
+	if objectStr != "" {
+		obj, err := core.ParseObjectID(objectStr)
+		if err != nil {
+			return fmt.Errorf("ring: -object: %w", err)
+		}
+		owners, err := placed.ReplicasForObject(obj)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "object %s (%016x): replicas %s\n", obj, uint64(obj), strings.Join(owners, ", "))
+	}
+	return nil
+}
+
 func putCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("prlcd store put", flag.ContinueOnError)
 	var (
@@ -304,6 +458,8 @@ func putCmd(args []string, out io.Writer) error {
 		distStr   string
 		schemeStr string
 		codingStr string
+		objectStr string
+		replicas  int
 		seed      int64
 		tolerance int
 		minWrites int
@@ -311,6 +467,8 @@ func putCmd(args []string, out io.Writer) error {
 	)
 	fs.StringVar(&addrsStr, "addrs", "", "comma-separated daemon addresses")
 	fs.StringVar(&in, "in", "", "input file")
+	fs.StringVar(&objectStr, "object", "", "object namespace: a name to hash or canonical obj-<16 hex> (empty = legacy key-less)")
+	fs.IntVar(&replicas, "replicas", 3, "ring successors the object is placed on when -object is set")
 	fs.IntVar(&blocks, "blocks", 100, "number of source blocks")
 	fs.IntVar(&coded, "coded", 0, "number of coded blocks (0 = 1.6x blocks)")
 	fs.StringVar(&levelsStr, "levels", "0.1,0.2,0.7", "level fractions, most important first")
@@ -423,30 +581,73 @@ func putCmd(args []string, out io.Writer) error {
 		}
 	}
 
-	repl, err := openReplicated(addrs, replLevels, tolerance, minWrites, timeout, nil)
+	obj, err := core.ParseObjectID(objectStr)
 	if err != nil {
-		return err
+		return fmt.Errorf("put: -object: %w", err)
 	}
-	defer repl.Close()
 	ctx := context.Background()
-	if _, err := repl.PutAll(ctx, cb); err != nil {
-		if errors.Is(err, store.ErrStoreFull) {
-			return fmt.Errorf("put: a daemon is at capacity (raise its -max-blocks, widen its -retention window, or add replicas): %w", err)
+	objArgs := ""
+	if obj != core.ZeroObject {
+		// Keyed put: stamp every block with the object and route through
+		// the placement ring — the blocks land on the object's -replicas
+		// ring successors instead of the whole fleet.
+		for _, b := range cb {
+			b.Object = obj
 		}
-		return err
-	}
-	copies := 0
-	for _, b := range cb {
-		copies += repl.ReplicasFor(b.Level)
-	}
-	fmt.Fprintf(out, "stored %d coded blocks (%d replica copies) across %d daemons\n",
-		len(cb), copies, len(addrs))
-	if coding == core.CodingChunked {
-		fmt.Fprintf(out, "recover with:\n  prlcd store get -addrs %s -out FILE -sizes %s -size %d -chunks %d,%d\n",
-			addrsStr, intsCSV(sizes), len(data), layout.Size, layout.Overlap)
+		if replicas > len(addrs) {
+			replicas = len(addrs)
+		}
+		objArgs = fmt.Sprintf(" -object %s -replicas %d", objectStr, replicas)
+		placed, err := openPlaced(addrs, replLevels, replicas, tolerance, minWrites, timeout)
+		if err != nil {
+			return err
+		}
+		defer placed.Close()
+		if _, err := placed.PutAll(ctx, cb); err != nil {
+			if errors.Is(err, store.ErrStoreFull) {
+				return fmt.Errorf("put: a daemon is at capacity (raise its -max-blocks, widen its -retention window, or add replicas): %w", err)
+			}
+			return err
+		}
+		shard, err := placed.Shard(obj)
+		if err != nil {
+			return err
+		}
+		copies := 0
+		for _, b := range cb {
+			copies += shard.ReplicasFor(b.Level)
+		}
+		owners, err := placed.ReplicasForObject(obj)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "stored %d coded blocks (%d replica copies) of %s on %d/%d daemons: %s\n",
+			len(cb), copies, obj, len(owners), len(addrs), strings.Join(owners, ", "))
 	} else {
-		fmt.Fprintf(out, "recover with:\n  prlcd store get -addrs %s -out FILE -scheme %s -sizes %s -size %d\n",
-			addrsStr, schemeStr, intsCSV(sizes), len(data))
+		repl, err := openReplicated(addrs, replLevels, tolerance, minWrites, timeout, nil)
+		if err != nil {
+			return err
+		}
+		defer repl.Close()
+		if _, err := repl.PutAll(ctx, cb); err != nil {
+			if errors.Is(err, store.ErrStoreFull) {
+				return fmt.Errorf("put: a daemon is at capacity (raise its -max-blocks, widen its -retention window, or add replicas): %w", err)
+			}
+			return err
+		}
+		copies := 0
+		for _, b := range cb {
+			copies += repl.ReplicasFor(b.Level)
+		}
+		fmt.Fprintf(out, "stored %d coded blocks (%d replica copies) across %d daemons\n",
+			len(cb), copies, len(addrs))
+	}
+	if coding == core.CodingChunked {
+		fmt.Fprintf(out, "recover with:\n  prlcd store get -addrs %s -out FILE -sizes %s -size %d -chunks %d,%d%s\n",
+			addrsStr, intsCSV(sizes), len(data), layout.Size, layout.Overlap, objArgs)
+	} else {
+		fmt.Fprintf(out, "recover with:\n  prlcd store get -addrs %s -out FILE -scheme %s -sizes %s -size %d%s\n",
+			addrsStr, schemeStr, intsCSV(sizes), len(data), objArgs)
 	}
 	return nil
 }
@@ -459,12 +660,16 @@ func getCmd(args []string, out io.Writer) error {
 		schemeStr string
 		sizesStr  string
 		chunksStr string
+		objectStr string
+		replicas  int
 		fileSize  int64
 		seed      int64
 		timeout   time.Duration
 	)
 	fs.StringVar(&addrsStr, "addrs", "", "comma-separated daemon addresses")
 	fs.StringVar(&outPath, "out", "", "output file for the recovered prefix")
+	fs.StringVar(&objectStr, "object", "", "object namespace from put time: a name to hash or canonical obj-<16 hex>")
+	fs.IntVar(&replicas, "replicas", 3, "ring successors used at put time when -object is set")
 	fs.StringVar(&schemeStr, "scheme", "plc", "coding scheme used at put time")
 	fs.StringVar(&sizesStr, "sizes", "", "per-level block counts from put time")
 	fs.StringVar(&chunksStr, "chunks", "", "size,overlap of the chunk layout when put used -coding chunked")
@@ -491,15 +696,37 @@ func getCmd(args []string, out io.Writer) error {
 		return err
 	}
 
-	repl, err := openReplicated(addrs, levels.Count(), 1, 1, timeout, nil)
+	obj, err := core.ParseObjectID(objectStr)
 	if err != nil {
-		return err
+		return fmt.Errorf("get: -object: %w", err)
 	}
-	defer repl.Close()
 	ctx := context.Background()
-	blocks, err := repl.Collect(ctx, -1)
-	if err != nil {
-		return err
+	var blocks []*core.CodedBlock
+	if obj != core.ZeroObject {
+		// Keyed get: resolve the object's shard on the same ring geometry
+		// the put used and collect only that namespace's blocks.
+		if replicas > len(addrs) {
+			replicas = len(addrs)
+		}
+		placed, err := openPlaced(addrs, levels.Count(), replicas, 1, 1, timeout)
+		if err != nil {
+			return err
+		}
+		defer placed.Close()
+		blocks, err = placed.Collect(ctx, obj, -1)
+		if err != nil {
+			return err
+		}
+	} else {
+		repl, err := openReplicated(addrs, levels.Count(), 1, 1, timeout, nil)
+		if err != nil {
+			return err
+		}
+		defer repl.Close()
+		blocks, err = repl.Collect(ctx, -1)
+		if err != nil {
+			return err
+		}
 	}
 	if len(blocks) == 0 {
 		return fmt.Errorf("get: daemons hold no blocks")

@@ -226,3 +226,90 @@ func TestServeDataDirSurvivesRestart(t *testing.T) {
 		t.Fatalf("serve exit: %v", err)
 	}
 }
+
+// TestKeyedPutGetAndRing is the multi-object quickstart: two objects
+// shipped into one 3-daemon fleet through the placement ring, recovered
+// independently via -object, with `prlcd ring` and per-object stat
+// output agreeing on where the blocks went.
+func TestKeyedPutGetAndRing(t *testing.T) {
+	addrs := startDaemons(t, 3)
+	addrList := strings.Join(addrs, ",")
+
+	dir := t.TempDir()
+	files := map[string][]byte{}
+	for i, name := range []string{"alpha", "beta"} {
+		data := make([]byte, 2048)
+		rand.New(rand.NewSource(int64(20 + i))).Read(data)
+		files[name] = data
+		in := filepath.Join(dir, name+".bin")
+		if err := os.WriteFile(in, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err := run([]string{
+			"store", "put", "-addrs", addrList, "-in", in, "-object", name,
+			"-blocks", "20", "-coded", "40", "-levels", "0.3,0.7", "-scheme", "plc",
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "-object "+name) {
+			t.Fatalf("keyed put did not print a keyed recovery command: %q", out.String())
+		}
+	}
+
+	for name, data := range files {
+		rec := filepath.Join(dir, name+".rec")
+		var out bytes.Buffer
+		err := run([]string{
+			"store", "get", "-addrs", addrList, "-out", rec, "-object", name,
+			"-scheme", "plc", "-sizes", "6,14", "-size", "2048",
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("object %s: recovered bytes differ (output: %q)", name, out.String())
+		}
+	}
+
+	// The ring view names every node alive and resolves alpha's replicas.
+	var out bytes.Buffer
+	if err := run([]string{"ring", "-addrs", addrList, "-object", "alpha"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ring: 3 nodes (3 alive), replication 3") {
+		t.Fatalf("ring header: %q", s)
+	}
+	for _, a := range addrs {
+		if !strings.Contains(s, a+"  alive  owns (") {
+			t.Fatalf("ring missing ownership line for %s: %q", a, s)
+		}
+	}
+	if !strings.Contains(s, "replicas "+addrs[0]) && !strings.Contains(s, "replicas "+addrs[1]) &&
+		!strings.Contains(s, "replicas "+addrs[2]) {
+		t.Fatalf("ring did not resolve the object's replica set: %q", s)
+	}
+
+	// Stat shows both namespaces, and -object narrows to one.
+	out.Reset()
+	if err := run([]string{"store", "stat", "-addr", addrs[0]}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s = out.String()
+	if !strings.Contains(s, "object obj-") {
+		t.Fatalf("stat missing per-object sections: %q", s)
+	}
+	out.Reset()
+	if err := run([]string{"store", "stat", "-addr", addrs[0], "-object", "alpha"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(out.String(), "object obj-"); c != 1 {
+		t.Fatalf("stat -object printed %d sections, want 1: %q", c, out.String())
+	}
+}

@@ -1,0 +1,113 @@
+package prlc
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestFacadePlacementRoundTrip exercises the placement surface through
+// the facade: named objects, a placed fleet, a gossip monitor driving
+// membership, keyed collect, and an object-scoped repair daemon.
+func TestFacadePlacementRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	levels, err := NewLevels(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	sources := make([][]byte, levels.Total())
+	for i := range sources {
+		sources[i] = make([]byte, 16)
+		rng.Read(sources[i])
+	}
+	enc, err := NewEncoder(PLC, levels, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := enc.EncodeBatch(rng, UniformDistribution(2), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obj := NamedObject("facade-object")
+	if obj == ZeroObject || obj == AllObjects {
+		t.Fatalf("NamedObject landed on a reserved value: %s", obj)
+	}
+	parsed, err := ParseObjectID(obj.String())
+	if err != nil || parsed != obj {
+		t.Fatalf("canonical form did not round-trip: %v, %v", parsed, err)
+	}
+	for _, b := range blocks {
+		b.Object = obj
+	}
+
+	const n = 3
+	servers := make([]*StoreServer, n)
+	clients := make([]*StoreClient, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := NewStoreServer(StoreServerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+		if clients[i], err = NewStoreClient(StoreClientConfig{Addr: srv.Addr()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		for _, s := range servers {
+			s.Shutdown(sctx)
+		}
+	})
+	placed, err := NewPlacedStore(clients, levels.Count(), PlacedStoreConfig{Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { placed.Close() })
+	if id := StoreNodeID(addrs[0]); placed.Members()[0].ID != id && placed.Members()[len(addrs)-1].ID != id &&
+		placed.Members()[1].ID != id {
+		t.Fatalf("StoreNodeID(%s) = %x not on the ring", addrs[0], id)
+	}
+
+	mon, err := NewGossipMonitor(addrs, placed, GossipMonitorConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Tick(ctx)
+
+	if _, err := placed.PutAll(ctx, blocks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := placed.Collect(ctx, obj, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("collected %d blocks, want %d", len(got), len(blocks))
+	}
+	for _, b := range got {
+		if b.Object != obj {
+			t.Fatalf("collect leaked object %s", b.Object)
+		}
+	}
+
+	d, err := NewObjectRepairDaemon(placed, obj, RepairConfig{
+		Scheme: PLC, Levels: levels, TotalBlocks: 24, Dist: UniformDistribution(2), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Audit == nil || rep.Audit.Reachable != n {
+		t.Fatalf("object audit did not reach the fleet: %+v", rep.Audit)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 const (
@@ -34,8 +35,12 @@ type node struct {
 	successors []int           // node indices, nearest first
 }
 
-// Ring is a Chord ring over a fixed node population with dynamic liveness.
+// Ring is a Chord ring over a node population with dynamic liveness.
+// All methods are safe for concurrent use: mutators (Join, Fail, Recover,
+// Stabilize) take the write lock, queries the read lock, so a membership
+// monitor can drive the ring while placement lookups race it.
 type Ring struct {
+	mu    sync.RWMutex
 	nodes []node
 	// byID sorts node indices by ID for ground-truth successor queries.
 	byID []int
@@ -58,7 +63,7 @@ func New(ids []uint64) (*Ring, error) {
 		r.byID[i] = i
 	}
 	sort.Slice(r.byID, func(a, b int) bool { return r.nodes[r.byID[a]].id < r.nodes[r.byID[b]].id })
-	r.Stabilize()
+	r.stabilizeLocked()
 	return r, nil
 }
 
@@ -81,18 +86,30 @@ func NewRandom(rng *rand.Rand, n int) (*Ring, error) {
 }
 
 // Len returns the node population size (alive or not).
-func (r *Ring) Len() int { return len(r.nodes) }
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
 
 // ID returns node i's ring identifier.
-func (r *Ring) ID(i int) uint64 { return r.nodes[i].id }
+func (r *Ring) ID(i int) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nodes[i].id
+}
 
 // Alive reports whether node i is alive.
 func (r *Ring) Alive(i int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return i >= 0 && i < len(r.nodes) && r.nodes[i].alive
 }
 
 // AliveCount returns the number of alive nodes.
 func (r *Ring) AliveCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	n := 0
 	for i := range r.nodes {
 		if r.nodes[i].alive {
@@ -105,6 +122,8 @@ func (r *Ring) AliveCount() int {
 // Fail marks node i dead. Its state remains (a failed node cannot serve
 // queries or blocks) until Recover.
 func (r *Ring) Fail(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if i < 0 || i >= len(r.nodes) {
 		return fmt.Errorf("chord: node %d out of range", i)
 	}
@@ -115,6 +134,8 @@ func (r *Ring) Fail(i int) error {
 // Recover marks node i alive again (a rejoin with the same ID). Call
 // Stabilize to reintegrate it into routing tables.
 func (r *Ring) Recover(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if i < 0 || i >= len(r.nodes) {
 		return fmt.Errorf("chord: node %d out of range", i)
 	}
@@ -126,6 +147,8 @@ func (r *Ring) Recover(i int) error {
 // and immediately stabilized into every routing table (modeling a
 // completed Chord join). It returns the new node's index.
 func (r *Ring) Join(id uint64) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for i := range r.nodes {
 		if r.nodes[i].id == id {
 			return 0, fmt.Errorf("chord: node ID %#x already present", id)
@@ -138,7 +161,7 @@ func (r *Ring) Join(id uint64) (int, error) {
 	r.byID = append(r.byID, 0)
 	copy(r.byID[pos+1:], r.byID[pos:])
 	r.byID[pos] = idx
-	r.Stabilize()
+	r.stabilizeLocked()
 	return idx, nil
 }
 
@@ -157,6 +180,8 @@ func inInterval(x, a, b uint64) bool {
 // Successor returns the alive node owning key — the ground truth the
 // routed Lookup must agree with.
 func (r *Ring) Successor(key uint64) (int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	// Binary search the first ID >= key, then scan clockwise for liveness.
 	n := len(r.byID)
 	lo := sort.Search(n, func(i int) bool { return r.nodes[r.byID[i]].id >= key })
@@ -169,10 +194,44 @@ func (r *Ring) Successor(key uint64) (int, error) {
 	return 0, fmt.Errorf("chord: no alive node owns key %#x", key)
 }
 
+// Successors returns up to n distinct alive nodes clockwise from key,
+// nearest first — the key's replica set in the successor-list placement
+// model (Chord's own replication rule, and the decentralized fragment
+// placement of Dimakis et al.). Fewer than n nodes come back when the
+// alive population is smaller; an empty ring is an error. The result is
+// a fresh slice ordered purely by ring geometry, so the same key and the
+// same alive membership always produce the same assignment.
+func (r *Ring) Successors(key uint64, n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("chord: successor count %d, want > 0", n)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := len(r.byID)
+	lo := sort.Search(total, func(i int) bool { return r.nodes[r.byID[i]].id >= key })
+	out := make([]int, 0, n)
+	for off := 0; off < total && len(out) < n; off++ {
+		idx := r.byID[(lo+off)%total]
+		if r.nodes[idx].alive {
+			out = append(out, idx)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chord: no alive node owns key %#x", key)
+	}
+	return out, nil
+}
+
 // Stabilize rebuilds every alive node's successor list and finger table
 // from the current alive membership — the fixed point of Chord's periodic
 // stabilize/fix_fingers protocol.
 func (r *Ring) Stabilize() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stabilizeLocked()
+}
+
+func (r *Ring) stabilizeLocked() {
 	aliveSorted := make([]int, 0, len(r.byID))
 	for _, idx := range r.byID {
 		if r.nodes[idx].alive {
@@ -210,6 +269,8 @@ func (r *Ring) Stabilize() {
 // mid-route (after failures, before stabilization) are skipped in favor of
 // closer-preceding alternatives or the successor list.
 func (r *Ring) Lookup(start int, key uint64) (owner, hops int, err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if start < 0 || start >= len(r.nodes) {
 		return 0, 0, fmt.Errorf("chord: start node %d out of range", start)
 	}

@@ -1,0 +1,191 @@
+package chord
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSuccessors(t *testing.T) {
+	r, err := New([]uint64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := func(idxs []int) []uint64 {
+		out := make([]uint64, len(idxs))
+		for i, idx := range idxs {
+			out[i] = r.ID(idx)
+		}
+		return out
+	}
+	got, err := r.Successors(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{20, 30, 40} {
+		if ids(got)[i] != want {
+			t.Fatalf("Successors(15, 3) = %v, want [20 30 40]", ids(got))
+		}
+	}
+	// Wraps past the top of the ring.
+	got, err = r.Successors(35, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{40, 10, 20} {
+		if ids(got)[i] != want {
+			t.Fatalf("Successors(35, 3) = %v, want [40 10 20]", ids(got))
+		}
+	}
+	// Dead nodes are skipped.
+	owner, _ := r.Successor(15)
+	if err := r.Fail(owner); err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.Successors(15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{30, 40} {
+		if ids(got)[i] != want {
+			t.Fatalf("Successors(15, 2) after failing 20 = %v, want [30 40]", ids(got))
+		}
+	}
+	// Requesting more than alive returns everyone, not an error.
+	got, err = r.Successors(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Successors over-ask returned %d nodes, want 3 alive", len(got))
+	}
+	if _, err := r.Successors(0, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+	// All nodes dead: error.
+	for i := 0; i < r.Len(); i++ {
+		r.Fail(i)
+	}
+	if _, err := r.Successors(0, 1); err == nil {
+		t.Error("empty alive set produced successors")
+	}
+}
+
+// TestSuccessorsDeterministic pins the placement contract: the same key
+// and the same membership sequence yield the same assignment, run to run.
+func TestSuccessorsDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r, err := NewRandom(rand.New(rand.NewSource(99)), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Fail(3)
+		r.Fail(7)
+		r.Join(0x1234)
+		r.Stabilize()
+		return r
+	}
+	a, b := build(), build()
+	for key := uint64(0); key < 1<<16; key += 1 << 11 {
+		sa, err := a.Successors(key, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.Successors(key, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sa) != len(sb) {
+			t.Fatalf("key %#x: %d vs %d successors", key, len(sa), len(sb))
+		}
+		for i := range sa {
+			if a.ID(sa[i]) != b.ID(sb[i]) {
+				t.Fatalf("key %#x: assignment differs at position %d", key, i)
+			}
+		}
+	}
+}
+
+// TestRingConcurrentChurn races Join/Fail/Recover/Stabilize against
+// Lookup/Successor/Successors from many goroutines — the access pattern
+// of a gossip-driven membership monitor updating the ring while placement
+// queries read it. Run under -race this is the thread-safety gate; the
+// only assertions are internal consistency of whatever each query sees.
+func TestRingConcurrentChurn(t *testing.T) {
+	r, err := NewRandom(rand.New(rand.NewSource(5)), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		readers = 8
+		ops     = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					// Never fail node 0 so at least one node stays alive and
+					// readers always have a valid start.
+					r.Fail(1 + rng.Intn(r.Len()-1))
+				case 1:
+					r.Recover(rng.Intn(r.Len()))
+				case 2:
+					r.Join(rng.Uint64())
+				case 3:
+					r.Stabilize()
+				}
+			}
+		}(int64(w + 1))
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				key := rng.Uint64()
+				if succ, err := r.Successors(key, 3); err == nil {
+					seen := map[int]bool{}
+					for _, idx := range succ {
+						if seen[idx] {
+							t.Errorf("Successors returned duplicate node %d", idx)
+							return
+						}
+						seen[idx] = true
+					}
+				}
+				r.Successor(key)
+				r.AliveCount()
+				if r.Alive(0) {
+					r.Lookup(0, key)
+				}
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+	// The ring must still be coherent after the storm.
+	for i := 0; i < r.Len(); i++ {
+		r.Recover(i)
+	}
+	r.Stabilize()
+	for trial := 0; trial < 50; trial++ {
+		key := rand.New(rand.NewSource(int64(trial))).Uint64()
+		want, err := r.Successor(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := r.Lookup(0, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("post-churn lookup for %#x routed to %d, ground truth %d", key, got, want)
+		}
+	}
+}

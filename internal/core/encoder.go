@@ -21,6 +21,10 @@ import (
 // (gfmat.Decoder.AddSparse) and recombination; dense blocks keep the v1
 // wire encoding bit for bit.
 type CodedBlock struct {
+	// Object names the logical data object the block belongs to. The zero
+	// object is the key-less legacy namespace: it marshals as the original
+	// v1/v3 wire frames, non-zero objects as the keyed v2/v4 frames.
+	Object  ObjectID
 	Level   int
 	Coeff   []byte
 	SpCoeff *SparseCoeff
@@ -54,7 +58,7 @@ func (b *CodedBlock) DenseCoeff() []byte {
 // stays empty non-nil, so clones remain reflect.DeepEqual to marshaled
 // round-trips of the original.
 func (b *CodedBlock) Clone() *CodedBlock {
-	c := &CodedBlock{Level: b.Level}
+	c := &CodedBlock{Object: b.Object, Level: b.Level}
 	if b.Coeff != nil {
 		c.Coeff = make([]byte, len(b.Coeff))
 		copy(c.Coeff, b.Coeff)

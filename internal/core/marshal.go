@@ -15,16 +15,27 @@ var ErrWireFormat = errors.New("core: malformed wire block")
 // Wire format for coded blocks, so deployments can ship them over
 // sockets or store them on disk:
 //
-//	magic   "PB"     2 bytes
-//	version 1 | 3    1 byte
-//	level   uint16   big endian
-//	nCoeff  uint32   big endian  (dense coefficient length)
-//	nPay    uint32   big endian
+//	magic   "PB"         2 bytes
+//	version 1 | 2 | 3 | 4  1 byte
+//	object  uint64       big endian  (versions 2 and 4 only)
+//	level   uint16       big endian
+//	nCoeff  uint32       big endian  (dense coefficient length)
+//	nPay    uint32       big endian
 //	coeff   version-dependent, see below
 //	payload nPay bytes
 //
-// Version 1 carries the coefficients dense: nCoeff raw bytes. Version 3
-// carries them sparse, shipping only the nonzero structure:
+// Versions 2 and 4 are the object-keyed forms of 1 and 3: they insert
+// the 8-byte ObjectID immediately after the version byte and are
+// otherwise identical. A block with the zero (legacy) object always
+// marshals as v1/v3, bit-identical to prior releases, and key-less
+// v1/v3 frames decode as the zero object — so old and new daemons
+// interoperate on the single-object workload, and dedup by marshaled
+// bytes keeps working across the version bump. A v2/v4 frame carrying
+// the zero object is rejected as non-canonical for the same reason.
+//
+// Versions 1 and 2 carry the coefficients dense: nCoeff raw bytes.
+// Versions 3 and 4 carry them sparse, shipping only the nonzero
+// structure:
 //
 //	mode    1 byte
 //	mode 0 (index/value pairs):
@@ -46,8 +57,13 @@ var ErrWireFormat = errors.New("core: malformed wire block")
 const (
 	wireMagic        = "PB"
 	wireVersion      = 1
+	wireVersionKey   = 2
 	wireVersionSpars = 3
+	wireVersionSpKey = 4
 	wireHeader       = 2 + 1 + 2 + 4 + 4
+	// wireKeyedHeader is wireHeader plus the 8-byte object ID that v2/v4
+	// frames insert after the version byte.
+	wireKeyedHeader = wireHeader + 8
 
 	wireModePairs = 0
 	wireModeSpan  = 1
@@ -79,25 +95,44 @@ func sparseWireCost(s *SparseCoeff) int {
 	return pairs
 }
 
+// wireHeaderSize returns the header length the block marshals with:
+// keyed frames carry the 8-byte object ID, legacy zero-object frames
+// do not.
+func (b *CodedBlock) wireHeaderSize() int {
+	if b.Object != ZeroObject {
+		return wireKeyedHeader
+	}
+	return wireHeader
+}
+
 // WireSize returns the exact MarshalBinary output size in bytes.
 func (b *CodedBlock) WireSize() int {
 	if b.SpCoeff != nil {
-		return wireHeader + sparseWireCost(b.SpCoeff) + len(b.Payload)
+		return b.wireHeaderSize() + sparseWireCost(b.SpCoeff) + len(b.Payload)
 	}
-	return wireHeader + len(b.Coeff) + len(b.Payload)
+	return b.wireHeaderSize() + len(b.Coeff) + len(b.Payload)
 }
 
-// MarshalBinary encodes the block in the wire format: version 1 for dense
-// blocks (bit-identical to prior releases), version 3 for sparse ones.
+// MarshalBinary encodes the block in the wire format: version 1/3 for
+// zero-object blocks (bit-identical to prior releases), version 2/4 —
+// same layout plus the 8-byte object ID — for keyed ones.
 func (b *CodedBlock) MarshalBinary() ([]byte, error) {
 	if b.Level < 0 || b.Level > 0xFFFF {
 		return nil, fmt.Errorf("core: level %d does not fit the wire format", b.Level)
 	}
+	if b.Object == AllObjects {
+		return nil, fmt.Errorf("core: block carries the reserved all-objects wildcard %s", b.Object)
+	}
 	s := b.SpCoeff
 	if s == nil {
-		out := make([]byte, 0, wireHeader+len(b.Coeff)+len(b.Payload))
+		out := make([]byte, 0, b.wireHeaderSize()+len(b.Coeff)+len(b.Payload))
 		out = append(out, wireMagic...)
-		out = append(out, wireVersion)
+		if b.Object != ZeroObject {
+			out = append(out, wireVersionKey)
+			out = binary.BigEndian.AppendUint64(out, uint64(b.Object))
+		} else {
+			out = append(out, wireVersion)
+		}
 		out = binary.BigEndian.AppendUint16(out, uint16(b.Level))
 		out = binary.BigEndian.AppendUint32(out, uint32(len(b.Coeff)))
 		out = binary.BigEndian.AppendUint32(out, uint32(len(b.Payload)))
@@ -111,9 +146,14 @@ func (b *CodedBlock) MarshalBinary() ([]byte, error) {
 	if s.Len > maxSparseCoeffLen {
 		return nil, fmt.Errorf("core: sparse coefficient length %d exceeds wire maximum %d", s.Len, maxSparseCoeffLen)
 	}
-	out := make([]byte, 0, wireHeader+sparseWireCost(s)+len(b.Payload))
+	out := make([]byte, 0, b.wireHeaderSize()+sparseWireCost(s)+len(b.Payload))
 	out = append(out, wireMagic...)
-	out = append(out, wireVersionSpars)
+	if b.Object != ZeroObject {
+		out = append(out, wireVersionSpKey)
+		out = binary.BigEndian.AppendUint64(out, uint64(b.Object))
+	} else {
+		out = append(out, wireVersionSpars)
+	}
 	out = binary.BigEndian.AppendUint16(out, uint16(b.Level))
 	out = binary.BigEndian.AppendUint32(out, uint32(s.Len))
 	out = binary.BigEndian.AppendUint32(out, uint32(len(b.Payload)))
@@ -140,10 +180,12 @@ func (b *CodedBlock) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalBinary decodes a block from the wire format, copying the
-// input. A version-1 frame yields a dense block, a version-3 frame a
-// sparse one; hostile v3 frames — inflated index counts, out-of-range or
-// duplicate indices, non-canonical encodings — are rejected with
-// ErrWireFormat before any structure-sized allocation happens.
+// input. Version 1/2 frames yield dense blocks, version 3/4 frames
+// sparse ones; the keyed versions (2/4) carry the ObjectID, the legacy
+// ones decode as the zero object. Hostile frames — inflated index
+// counts, out-of-range or duplicate indices, non-canonical encodings
+// (including a keyed frame carrying a reserved object) — are rejected
+// with ErrWireFormat before any structure-sized allocation happens.
 func (b *CodedBlock) UnmarshalBinary(data []byte) error {
 	if len(data) < wireHeader {
 		return fmt.Errorf("%w: truncated at %d bytes", ErrWireFormat, len(data))
@@ -152,29 +194,52 @@ func (b *CodedBlock) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: bad magic %q", ErrWireFormat, data[:2])
 	}
 	version := data[2]
-	level := int(binary.BigEndian.Uint16(data[3:]))
-	nCoeff := int(binary.BigEndian.Uint32(data[5:]))
-	nPay := int(binary.BigEndian.Uint32(data[9:]))
+	obj := ZeroObject
+	hdr := wireHeader
+	fixed := data[3:]
+	switch version {
+	case wireVersionKey, wireVersionSpKey:
+		if len(data) < wireKeyedHeader {
+			return fmt.Errorf("%w: keyed frame truncated at %d bytes", ErrWireFormat, len(data))
+		}
+		obj = ObjectID(binary.BigEndian.Uint64(fixed))
+		if obj == ZeroObject {
+			return fmt.Errorf("%w: keyed frame carries the zero object (must use version %d/%d)",
+				ErrWireFormat, wireVersion, wireVersionSpars)
+		}
+		if obj == AllObjects {
+			return fmt.Errorf("%w: keyed frame carries the reserved all-objects wildcard", ErrWireFormat)
+		}
+		hdr = wireKeyedHeader
+		fixed = fixed[8:]
+	case wireVersion, wireVersionSpars:
+	default:
+		return fmt.Errorf("%w: unsupported version %d", ErrWireFormat, version)
+	}
+	level := int(binary.BigEndian.Uint16(fixed))
+	nCoeff := int(binary.BigEndian.Uint32(fixed[2:]))
+	nPay := int(binary.BigEndian.Uint32(fixed[6:]))
 	if nCoeff < 0 || nPay < 0 {
 		return fmt.Errorf("%w: negative section size", ErrWireFormat)
 	}
 	switch version {
-	case wireVersion:
-		if len(data) != wireHeader+nCoeff+nPay {
+	case wireVersion, wireVersionKey:
+		if len(data) != hdr+nCoeff+nPay {
 			return fmt.Errorf("%w: length %d does not match header (%d coeff, %d payload)",
 				ErrWireFormat, len(data), nCoeff, nPay)
 		}
+		b.Object = obj
 		b.Level = level
-		b.Coeff = append([]byte(nil), data[wireHeader:wireHeader+nCoeff]...)
+		b.Coeff = append([]byte(nil), data[hdr:hdr+nCoeff]...)
 		b.SpCoeff = nil
-		b.Payload = append([]byte(nil), data[wireHeader+nCoeff:]...)
+		b.Payload = append([]byte(nil), data[hdr+nCoeff:]...)
 		return nil
-	case wireVersionSpars:
+	default: // wireVersionSpars, wireVersionSpKey
 		if nCoeff > maxSparseCoeffLen {
 			return fmt.Errorf("%w: sparse coefficient length %d exceeds maximum %d",
 				ErrWireFormat, nCoeff, maxSparseCoeffLen)
 		}
-		body := data[wireHeader:]
+		body := data[hdr:]
 		if len(body) < 1+nPay {
 			return fmt.Errorf("%w: truncated sparse coefficient section", ErrWireFormat)
 		}
@@ -184,13 +249,12 @@ func (b *CodedBlock) UnmarshalBinary(data []byte) error {
 		if err != nil {
 			return err
 		}
+		b.Object = obj
 		b.Level = level
 		b.Coeff = nil
 		b.SpCoeff = s
 		b.Payload = append([]byte(nil), body[len(body)-nPay:]...)
 		return nil
-	default:
-		return fmt.Errorf("%w: unsupported version %d", ErrWireFormat, version)
 	}
 }
 

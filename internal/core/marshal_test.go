@@ -169,7 +169,7 @@ func TestUnmarshalSparseRejectsHostile(t *testing.T) {
 	cases := map[string][]byte{
 		"truncated mode byte":  hdr(8, 0),
 		"unknown mode":         cat(hdr(8, 0), []byte{9}, u32(0)),
-		"pairs count inflated": cat(hdr(8, 0), []byte{0}, u32(1 << 30), u32(1), []byte{5}),
+		"pairs count inflated": cat(hdr(8, 0), []byte{0}, u32(1<<30), u32(1), []byte{5}),
 		"pairs count short":    cat(hdr(8, 0), []byte{0}, u32(2), u32(1), []byte{5}),
 		"index out of range":   cat(hdr(8, 0), []byte{0}, u32(1), u32(8), []byte{5}),
 		"duplicate index":      cat(hdr(8, 0), []byte{0}, u32(2), u32(3), u32(3), []byte{5, 6}),
@@ -237,7 +237,9 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		band[i] = byte(i)
 	}
 	sparseSpan := &CodedBlock{Level: 2, SpCoeff: SparsifyCoeff(band), Payload: []byte{}}
-	for _, sb := range []*CodedBlock{sparsePairs, sparseSpan} {
+	keyedDense := &CodedBlock{Object: NamedObject("fuzz"), Level: 1, Coeff: []byte{1, 0, 2}, Payload: []byte{9}}
+	keyedSparse := &CodedBlock{Object: NamedObject("fuzz"), Level: 2, SpCoeff: SparsifyCoeff([]byte{0, 7, 0, 0, 0, 0, 0, 9}), Payload: []byte{4}}
+	for _, sb := range []*CodedBlock{sparsePairs, sparseSpan, keyedDense, keyedSparse} {
 		sdata, err := sb.MarshalBinary()
 		if err != nil {
 			f.Fatal(err)

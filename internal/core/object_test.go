@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestObjectIDStringParseRoundTrip(t *testing.T) {
+	ids := []ObjectID{0, 1, 0xDEADBEEF, NamedObject("alpha"), NamedObject("β"), ^ObjectID(0) - 1}
+	for _, id := range ids {
+		s := id.String()
+		got, err := ParseObjectID(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if got != id {
+			t.Fatalf("%s parsed back as %s", id, got)
+		}
+	}
+	if ZeroObject.String() != "obj-0000000000000000" {
+		t.Fatalf("canonical zero form drifted: %s", ZeroObject)
+	}
+}
+
+func TestNamedObject(t *testing.T) {
+	if NamedObject("") != ZeroObject {
+		t.Error("empty name is not the legacy zero object")
+	}
+	if NamedObject("photos") == NamedObject("logs") {
+		t.Error("distinct names collided")
+	}
+	if NamedObject("photos") != NamedObject("photos") {
+		t.Error("NamedObject is not deterministic")
+	}
+	for _, name := range []string{"a", "alpha", "obj", "x/y/z"} {
+		id := NamedObject(name)
+		if id == ZeroObject || id == AllObjects {
+			t.Errorf("NamedObject(%q) hit a reserved value", name)
+		}
+	}
+	// Name resolution through ParseObjectID matches NamedObject directly.
+	got, err := ParseObjectID("photos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != NamedObject("photos") {
+		t.Error("ParseObjectID name path disagrees with NamedObject")
+	}
+}
+
+func TestParseObjectIDRejects(t *testing.T) {
+	for _, s := range []string{
+		"obj-123",               // short hex
+		"obj-zzzzzzzzzzzzzzzz",  // non-hex
+		"obj-00000000000000001", // long hex
+		AllObjects.String(),     // reserved wildcard
+	} {
+		if _, err := ParseObjectID(s); err == nil {
+			t.Errorf("ParseObjectID(%q) accepted", s)
+		}
+	}
+}
+
+func TestMarshalKeyedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		b := &CodedBlock{
+			Object:  ObjectID(1 + rng.Uint64()%(^uint64(0)-1)),
+			Level:   rng.Intn(100),
+			Payload: make([]byte, rng.Intn(40)),
+		}
+		rng.Read(b.Payload)
+		if trial%2 == 0 {
+			b.Coeff = make([]byte, rng.Intn(40))
+			rng.Read(b.Coeff)
+		} else {
+			dense := make([]byte, 1+rng.Intn(60))
+			for j := range dense {
+				if rng.Intn(3) == 0 {
+					dense[j] = byte(1 + rng.Intn(255))
+				}
+			}
+			b.SpCoeff = SparsifyCoeff(dense)
+		}
+		data, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != b.WireSize() {
+			t.Fatalf("trial %d: WireSize %d, marshaled %d", trial, b.WireSize(), len(data))
+		}
+		wantVer := byte(wireVersionKey)
+		if b.IsSparse() {
+			wantVer = wireVersionSpKey
+		}
+		if data[2] != wantVer {
+			t.Fatalf("trial %d: keyed block marshaled as version %d", trial, data[2])
+		}
+		var got CodedBlock
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Object != b.Object || got.Level != b.Level {
+			t.Fatalf("trial %d: object/level mismatch: got %s/%d want %s/%d",
+				trial, got.Object, got.Level, b.Object, b.Level)
+		}
+		if !bytes.Equal(got.DenseCoeff(), b.DenseCoeff()) || !bytes.Equal(got.Payload, b.Payload) {
+			t.Fatalf("trial %d: coeff/payload mismatch", trial)
+		}
+		again, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("trial %d: re-marshal differs", trial)
+		}
+	}
+}
+
+// TestMarshalZeroObjectBitIdentical pins the compatibility contract: a
+// zero-object block marshals to exactly the frame it produced before the
+// namespace existed, so dedup-by-bytes and old daemons keep working.
+func TestMarshalZeroObjectBitIdentical(t *testing.T) {
+	b := &CodedBlock{Level: 3, Coeff: []byte{1, 0, 2}, Payload: []byte{9, 9}}
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("PB\x01\x00\x03\x00\x00\x00\x03\x00\x00\x00\x02\x01\x00\x02\x09\x09")
+	if !bytes.Equal(data, want) {
+		t.Fatalf("zero-object v1 encoding drifted:\ngot  %x\nwant %x", data, want)
+	}
+	var got CodedBlock
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Object != ZeroObject {
+		t.Fatalf("legacy frame decoded with object %s", got.Object)
+	}
+}
+
+func TestUnmarshalKeyedRejectsHostile(t *testing.T) {
+	mk := func(ver byte, obj uint64, level uint16, coeff, pay []byte) []byte {
+		out := []byte("PB")
+		out = append(out, ver)
+		out = binary.BigEndian.AppendUint64(out, obj)
+		out = binary.BigEndian.AppendUint16(out, level)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(coeff)))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(pay)))
+		out = append(out, coeff...)
+		out = append(out, pay...)
+		return out
+	}
+	good := mk(wireVersionKey, 42, 1, []byte{1, 2}, []byte{3})
+	var b CodedBlock
+	if err := b.UnmarshalBinary(good); err != nil {
+		t.Fatalf("well-formed keyed frame rejected: %v", err)
+	}
+	cases := map[string][]byte{
+		"zero object in keyed frame":     mk(wireVersionKey, 0, 1, []byte{1}, nil),
+		"wildcard object in keyed frame": mk(wireVersionKey, ^uint64(0), 1, []byte{1}, nil),
+		"keyed frame truncated mid-id":   good[:8],
+		"keyed length off by one":        good[:len(good)-1],
+	}
+	for name, data := range cases {
+		var b CodedBlock
+		err := b.UnmarshalBinary(data)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrWireFormat) {
+			t.Errorf("%s: error %v does not wrap ErrWireFormat", name, err)
+		}
+	}
+	// The marshal side refuses the wildcard too.
+	bad := &CodedBlock{Object: AllObjects, Coeff: []byte{1}}
+	if _, err := bad.MarshalBinary(); err == nil {
+		t.Error("marshal accepted the all-objects wildcard")
+	}
+}
+
+func TestRecombineObject(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	levels, err := NewLevels(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := NamedObject("recombine-object")
+	a := &CodedBlock{Object: obj, Level: 0, Coeff: []byte{1, 2, 0, 0}, Payload: []byte{5}}
+	b := &CodedBlock{Object: obj, Level: 1, Coeff: []byte{3, 4, 5, 6}, Payload: []byte{7}}
+	out, err := Recombine(rng, PLC, levels, []*CodedBlock{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Object != obj {
+		t.Fatalf("recombined block carries %s, want %s", out.Object, obj)
+	}
+	other := &CodedBlock{Object: NamedObject("other"), Level: 1, Coeff: []byte{3, 4, 5, 6}, Payload: []byte{7}}
+	if _, err := Recombine(rng, PLC, levels, []*CodedBlock{a, other}); err == nil {
+		t.Fatal("mixed-object recombine accepted")
+	}
+}
+
+func TestCloneKeepsObject(t *testing.T) {
+	b := &CodedBlock{Object: NamedObject("clone"), Level: 1, Coeff: []byte{1}, Payload: []byte{2}}
+	if c := b.Clone(); c.Object != b.Object {
+		t.Fatalf("Clone dropped the object: %s", c.Object)
+	}
+}
+
+// FuzzParseObjectID hardens the object-spec parser: no panic on arbitrary
+// input, and every accepted ID round-trips through its canonical form.
+func FuzzParseObjectID(f *testing.F) {
+	f.Add("")
+	f.Add("photos")
+	f.Add("obj-00000000000000ff")
+	f.Add("obj-ffffffffffffffff")
+	f.Add("obj-short")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := ParseObjectID(s)
+		if err != nil {
+			return
+		}
+		if id == AllObjects {
+			t.Fatalf("ParseObjectID(%q) returned the reserved wildcard", s)
+		}
+		back, err := ParseObjectID(id.String())
+		if err != nil {
+			t.Fatalf("canonical form %s failed to parse: %v", id, err)
+		}
+		if back != id {
+			t.Fatalf("canonical round trip drifted: %s -> %s", id, back)
+		}
+	})
+}
+
+// FuzzObjectFrame hardens the keyed wire versions: any (object, level,
+// coeff, payload) combination the marshaler accepts must survive an
+// unmarshal round-trip with the object intact, and the frame version must
+// match the object (legacy for zero, keyed otherwise).
+func FuzzObjectFrame(f *testing.F) {
+	f.Add(uint64(0), uint16(0), []byte{}, []byte{})
+	f.Add(uint64(42), uint16(3), []byte{1, 0, 2}, []byte{9})
+	f.Add(^uint64(0), uint16(1), []byte{1}, []byte{})
+	f.Add(uint64(NamedObject("fuzz")), uint16(7), []byte{0, 0, 5}, []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, obj uint64, level uint16, coeff, pay []byte) {
+		b := &CodedBlock{Object: ObjectID(obj), Level: int(level), Coeff: coeff, Payload: pay}
+		data, err := b.MarshalBinary()
+		if err != nil {
+			if ObjectID(obj) != AllObjects {
+				t.Fatalf("marshal rejected a valid block: %v", err)
+			}
+			return
+		}
+		wantVer := byte(wireVersion)
+		if obj != 0 {
+			wantVer = wireVersionKey
+		}
+		if data[2] != wantVer {
+			t.Fatalf("object %#x marshaled as version %d", obj, data[2])
+		}
+		var got CodedBlock
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("marshaled frame rejected: %v", err)
+		}
+		if got.Object != b.Object || got.Level != b.Level ||
+			!bytes.Equal(got.Coeff, append([]byte{}, coeff...)) ||
+			!bytes.Equal(got.Payload, append([]byte{}, pay...)) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, b)
+		}
+	})
+}

@@ -71,9 +71,14 @@ func recombine(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlo
 	n := levels.Total()
 	payloadLen := len(blocks[0].Payload)
 	outLevel := blocks[0].Level
+	outObject := blocks[0].Object
 	for i, b := range blocks {
 		if b == nil {
 			return nil, 0, fmt.Errorf("core: recombine input %d is nil", i)
+		}
+		if b.Object != outObject {
+			return nil, 0, fmt.Errorf("core: recombine input %d belongs to %s, want %s (mixed objects corrupt both)",
+				i, b.Object, outObject)
 		}
 		if b.CoeffLen() != n {
 			return nil, 0, fmt.Errorf("core: recombine input %d has %d coefficients, want %d (mixed dimensions?)",
@@ -129,6 +134,7 @@ func recombine(rng *rand.Rand, scheme Scheme, levels *Levels, blocks []*CodedBlo
 		}
 	}
 	out := &CodedBlock{
+		Object:  outObject,
 		Level:   outLevel,
 		Coeff:   make([]byte, n),
 		Payload: make([]byte, payloadLen),

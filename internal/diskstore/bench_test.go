@@ -3,6 +3,7 @@ package diskstore
 import (
 	"encoding/binary"
 	"math/rand"
+	"repro/internal/core"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -44,7 +45,7 @@ func benchPutParallel(b *testing.B, mode FsyncMode) {
 		for pb.Next() {
 			n++
 			binary.BigEndian.PutUint64(wire[24:], n)
-			if _, err := s.Put(0, wire); err != nil {
+			if _, err := s.Put(core.ZeroObject, 0, wire); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -91,7 +92,7 @@ func BenchmarkDiskPutBeyondRAM(b *testing.B) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(int64(i*putters + g + 1)))
 				for j := 0; j < total/putters; j++ {
-					if _, err := s.Put(j%3, fakeWire(rng, j%3, wireBytes)); err != nil {
+					if _, err := s.Put(core.ZeroObject, j%3, fakeWire(rng, j%3, wireBytes)); err != nil {
 						b.Error(err)
 						return
 					}

@@ -25,9 +25,11 @@ import (
 	"hash/fnv"
 	"log"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/store"
 )
@@ -150,17 +152,17 @@ type Store struct {
 	opts Options
 	met  diskMetrics
 
-	mu       sync.Mutex
-	segs     []*segment // ordered by id; segs[len-1] is the active one
-	byHash   map[uint64][]blockRef
-	pending  map[uint64][]*writeReq
-	perLevel map[int]levelTally
-	blocks   int
-	bytes    int64
-	pendBytes int64
+	mu         sync.Mutex
+	segs       []*segment // ordered by id; segs[len-1] is the active one
+	byHash     map[uint64][]blockRef
+	pending    map[uint64][]*writeReq
+	tallies    map[objLevel]levelTally
+	blocks     int
+	bytes      int64
+	pendBytes  int64
 	pendBlocks int
-	closed   bool
-	putters  sync.WaitGroup // in-flight senders on reqCh
+	closed     bool
+	putters    sync.WaitGroup // in-flight senders on reqCh
 
 	cache *blockCache
 
@@ -181,6 +183,12 @@ type levelTally struct {
 	bytes int64
 }
 
+// objLevel keys the per-object per-level inventory.
+type objLevel struct {
+	obj   core.ObjectID
+	level int
+}
+
 // blockRef locates one committed block record.
 type blockRef struct {
 	seg *segment
@@ -199,16 +207,16 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
 	s := &Store{
-		dir:      dir,
-		opts:     opts,
-		met:      newDiskMetrics(opts.Metrics),
-		byHash:   make(map[uint64][]blockRef),
-		pending:  make(map[uint64][]*writeReq),
-		perLevel: make(map[int]levelTally),
-		cache:    newBlockCache(opts.CacheBytes),
-		scratch:  make([]byte, 0, opts.MaxBatchBytes),
-		reqCh:    make(chan *writeReq, opts.QueueDepth),
-		stopRet:  make(chan struct{}),
+		dir:     dir,
+		opts:    opts,
+		met:     newDiskMetrics(opts.Metrics),
+		byHash:  make(map[uint64][]blockRef),
+		pending: make(map[uint64][]*writeReq),
+		tallies: make(map[objLevel]levelTally),
+		cache:   newBlockCache(opts.CacheBytes),
+		scratch: make([]byte, 0, opts.MaxBatchBytes),
+		reqCh:   make(chan *writeReq, opts.QueueDepth),
+		stopRet: make(chan struct{}),
 	}
 	t0 := time.Now()
 	if err := s.recover(); err != nil {
@@ -243,9 +251,12 @@ func hashWire(wire []byte) uint64 {
 // reach the disk. Identical concurrent puts coalesce onto one record —
 // followers wait for the leader's flush, so a dedup answer is never
 // less durable than a stored one.
-func (s *Store) Put(level int, wire []byte) (bool, error) {
+func (s *Store) Put(obj core.ObjectID, level int, wire []byte) (bool, error) {
 	if len(wire) == 0 {
 		return false, fmt.Errorf("%w: empty block", store.ErrBadRequest)
+	}
+	if obj == core.AllObjects {
+		return false, fmt.Errorf("%w: cannot store under the all-objects wildcard", store.ErrBadRequest)
 	}
 	if len(wire) > s.opts.MaxRecordBytes {
 		return false, fmt.Errorf("%w: block %d bytes exceeds record limit %d",
@@ -285,6 +296,7 @@ func (s *Store) Put(level int, wire []byte) (bool, error) {
 	}
 	req := &writeReq{
 		kind:  reqPut,
+		obj:   obj,
 		level: level,
 		hash:  hash,
 		wire:  append([]byte(nil), wire...), // the engine must not retain the caller's buffer
@@ -327,9 +339,10 @@ func (s *Store) dupLocked(hash uint64, wire []byte) (bool, error) {
 	return false, nil
 }
 
-// Get returns the wire bytes of every block with level <= maxLevel
-// (maxLevel < 0 = all), reading through the block cache.
-func (s *Store) Get(maxLevel int) ([][]byte, error) {
+// Get returns the wire bytes of every block of obj (core.AllObjects =
+// every object) with level <= maxLevel (maxLevel < 0 = all), reading
+// through the block cache.
+func (s *Store) Get(obj core.ObjectID, maxLevel int) ([][]byte, error) {
 	s.mu.Lock()
 	type lookup struct {
 		seg *segment
@@ -338,6 +351,9 @@ func (s *Store) Get(maxLevel int) ([][]byte, error) {
 	want := make([]lookup, 0, s.blocks)
 	for _, seg := range s.segs {
 		for _, r := range seg.recs {
+			if obj != core.AllObjects && r.obj != obj {
+				continue
+			}
 			if maxLevel < 0 || int(r.level) <= maxLevel {
 				want = append(want, lookup{seg, r})
 			}
@@ -374,21 +390,49 @@ func (s *Store) readBlock(seg *segment, r rec) ([]byte, error) {
 	return data, nil
 }
 
-// Stats returns an inventory snapshot, PerLevel ascending by level.
+// Stats returns an inventory snapshot: aggregate PerLevel ascending by
+// level plus PerObject ascending by object ID, matching the MemStore
+// contract so the stat wire path is engine-agnostic.
 func (s *Store) Stats() store.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := store.Stats{Blocks: s.blocks}
-	for lvl, tally := range s.perLevel {
+	agg := make(map[int]levelTally)
+	perObj := make(map[core.ObjectID]map[int]levelTally)
+	for k, tally := range s.tallies {
 		st.Bytes += tally.bytes
-		st.PerLevel = append(st.PerLevel, store.LevelCount{Level: lvl, Count: tally.count, Bytes: tally.bytes})
-	}
-	for i := 1; i < len(st.PerLevel); i++ {
-		for j := i; j > 0 && st.PerLevel[j].Level < st.PerLevel[j-1].Level; j-- {
-			st.PerLevel[j], st.PerLevel[j-1] = st.PerLevel[j-1], st.PerLevel[j]
+		a := agg[k.level]
+		a.count += tally.count
+		a.bytes += tally.bytes
+		agg[k.level] = a
+		po := perObj[k.obj]
+		if po == nil {
+			po = make(map[int]levelTally)
+			perObj[k.obj] = po
 		}
+		po[k.level] = tally
 	}
+	st.PerLevel = levelCounts(agg)
+	for obj, po := range perObj {
+		os := store.ObjectStats{Object: obj, PerLevel: levelCounts(po)}
+		for _, lc := range os.PerLevel {
+			os.Blocks += lc.Count
+			os.Bytes += lc.Bytes
+		}
+		st.PerObject = append(st.PerObject, os)
+	}
+	sort.Slice(st.PerObject, func(i, j int) bool { return st.PerObject[i].Object < st.PerObject[j].Object })
 	return st
+}
+
+// levelCounts flattens a per-level tally map, sorted ascending by level.
+func levelCounts(perLevel map[int]levelTally) []store.LevelCount {
+	out := make([]store.LevelCount, 0, len(perLevel))
+	for lvl, tally := range perLevel {
+		out = append(out, store.LevelCount{Level: lvl, Count: tally.count, Bytes: tally.bytes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Level < out[j].Level })
+	return out
 }
 
 // Len returns the number of stored blocks.

@@ -71,7 +71,7 @@ func testBlocks(t *testing.T, n int) (*core.Levels, [][]byte, [][]byte, []int) {
 func putAll(t *testing.T, s *Store, wires [][]byte, lvls []int) {
 	t.Helper()
 	for i, w := range wires {
-		stored, err := s.Put(lvls[i], w)
+		stored, err := s.Put(core.ZeroObject, lvls[i], w)
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
@@ -112,14 +112,14 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if s.Len() != len(wires) {
 		t.Fatalf("Len = %d, want %d", s.Len(), len(wires))
 	}
-	all, err := s.Get(-1)
+	all, err := s.Get(core.AllObjects, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sameSet(t, all, wires)
 
 	// Level filter: only level-0 blocks come back for maxLevel 0.
-	l0, err := s.Get(0)
+	l0, err := s.Get(core.AllObjects, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestPutDeduplicates(t *testing.T) {
 	_, _, wires, lvls := testBlocks(t, 8)
 	putAll(t, s, wires, lvls)
 	for i, w := range wires {
-		stored, err := s.Put(lvls[i], w)
+		stored, err := s.Put(core.ZeroObject, lvls[i], w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +178,7 @@ func TestConcurrentIdenticalPutsCoalesce(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			ok, err := s.Put(lvls[0], wires[0])
+			ok, err := s.Put(core.ZeroObject, lvls[0], wires[0])
 			if err != nil {
 				t.Error(err)
 			}
@@ -211,7 +211,7 @@ func TestRestartRecoversBitExact(t *testing.T) {
 
 	reg := metrics.NewRegistry()
 	s2 := openTest(t, dir, Options{Metrics: reg})
-	all, err := s2.Get(-1)
+	all, err := s2.Get(core.AllObjects, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestRestartRecoversBitExact(t *testing.T) {
 	}
 	// Dedup index must survive the restart: re-puts still coalesce.
 	for i, w := range wires {
-		if stored, err := s2.Put(lvls[i], w); err != nil || stored {
+		if stored, err := s2.Put(core.ZeroObject, lvls[i], w); err != nil || stored {
 			t.Fatalf("re-put %d after restart: stored=%v err=%v", i, stored, err)
 		}
 	}
@@ -249,7 +249,7 @@ func TestRotationSpillsToNewSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2 := openTest(t, dir, Options{SegmentBytes: 4 << 10})
-	all, err := s2.Get(-1)
+	all, err := s2.Get(core.AllObjects, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestRetentionExpiresSealedSegments(t *testing.T) {
 
 	// Gets serve the survivors; expired blocks can be re-put (their
 	// dedup entries are gone) and the files are really deleted.
-	got, err := s.Get(-1)
+	got, err := s.Get(core.AllObjects, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestRetentionExpiresSealedSegments(t *testing.T) {
 		if surviving[string(w)] {
 			continue
 		}
-		stored, err := s.Put(lvls[i], w)
+		stored, err := s.Put(core.ZeroObject, lvls[i], w)
 		if err != nil || !stored {
 			t.Fatalf("re-put of expired block %d: stored=%v err=%v", i, stored, err)
 		}
@@ -352,7 +352,7 @@ func TestMaxBlocksRejectsWithErrStoreFull(t *testing.T) {
 	s := openTest(t, t.TempDir(), Options{MaxBlocks: 4})
 	_, _, wires, lvls := testBlocks(t, 5)
 	putAll(t, s, wires[:4], lvls[:4])
-	_, err := s.Put(lvls[4], wires[4])
+	_, err := s.Put(core.ZeroObject, lvls[4], wires[4])
 	if !errors.Is(err, store.ErrStoreFull) {
 		t.Fatalf("err = %v, want ErrStoreFull", err)
 	}
@@ -360,7 +360,7 @@ func TestMaxBlocksRejectsWithErrStoreFull(t *testing.T) {
 		t.Fatalf("ErrStoreFull must also match ErrStoreUnavailable for fail-over, got %v", err)
 	}
 	// Duplicates of stored blocks are still accepted (idempotent retry).
-	if stored, err := s.Put(lvls[0], wires[0]); err != nil || stored {
+	if stored, err := s.Put(core.ZeroObject, lvls[0], wires[0]); err != nil || stored {
 		t.Fatalf("dup put on full store: stored=%v err=%v", stored, err)
 	}
 }
@@ -369,7 +369,7 @@ func TestMaxBytesRejectsWithErrStoreFull(t *testing.T) {
 	_, _, wires, lvls := testBlocks(t, 3)
 	s := openTest(t, t.TempDir(), Options{MaxBytes: int64(len(wires[0]) + len(wires[1]))})
 	putAll(t, s, wires[:2], lvls[:2])
-	if _, err := s.Put(lvls[2], wires[2]); !errors.Is(err, store.ErrStoreFull) {
+	if _, err := s.Put(core.ZeroObject, lvls[2], wires[2]); !errors.Is(err, store.ErrStoreFull) {
 		t.Fatalf("err = %v, want ErrStoreFull", err)
 	}
 }
@@ -385,7 +385,7 @@ func TestFsyncModes(t *testing.T) {
 				t.Fatal(err)
 			}
 			s2 := openTest(t, dir, Options{})
-			all, err := s2.Get(-1)
+			all, err := s2.Get(core.AllObjects, -1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -399,11 +399,11 @@ func TestCacheServesRepeatGets(t *testing.T) {
 	s := openTest(t, t.TempDir(), Options{Metrics: reg})
 	_, _, wires, lvls := testBlocks(t, 8)
 	putAll(t, s, wires, lvls)
-	if _, err := s.Get(-1); err != nil {
+	if _, err := s.Get(core.AllObjects, -1); err != nil {
 		t.Fatal(err)
 	}
 	missesAfterFirst := countVal(t, reg.Snapshot(), "diskstore_cache_misses_total")
-	if _, err := s.Get(-1); err != nil {
+	if _, err := s.Get(core.AllObjects, -1); err != nil {
 		t.Fatal(err)
 	}
 	snap := reg.Snapshot()
@@ -447,7 +447,7 @@ func TestPutAfterCloseFails(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Put(lvls[0], wires[0]); !errors.Is(err, store.ErrStoreUnavailable) {
+	if _, err := s.Put(core.ZeroObject, lvls[0], wires[0]); !errors.Is(err, store.ErrStoreUnavailable) {
 		t.Fatalf("put after close: %v, want ErrStoreUnavailable", err)
 	}
 }
@@ -523,7 +523,7 @@ func TestGetDuringRetention(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 20; i++ {
-		if _, err := s.Get(-1); err != nil {
+		if _, err := s.Get(core.AllObjects, -1); err != nil {
 			t.Errorf("get during retention: %v", err)
 		}
 	}
@@ -580,7 +580,7 @@ func TestTornTailTruncation(t *testing.T) {
 
 	// Every surviving block is bit-identical to what was put, and the
 	// survivors are exactly the records before the tear.
-	got, err := s2.Get(-1)
+	got, err := s2.Get(core.AllObjects, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -607,11 +607,11 @@ func TestTornTailTruncation(t *testing.T) {
 	}
 	// Lost blocks can be re-put and the store keeps working.
 	for i, w := range wires {
-		if _, err := s2.Put(lvls[i], w); err != nil {
+		if _, err := s2.Put(core.ZeroObject, lvls[i], w); err != nil {
 			t.Fatalf("re-put %d after recovery: %v", i, err)
 		}
 	}
-	all, err := s2.Get(-1)
+	all, err := s2.Get(core.AllObjects, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -620,5 +620,140 @@ func TestTornTailTruncation(t *testing.T) {
 		if !bytes.HasPrefix(b, []byte("PB")) {
 			t.Fatal("recovered block lost its wire magic")
 		}
+	}
+}
+
+// keyedBlocks marshals n coded blocks stamped with obj (keyed wire
+// versions v2/v4).
+func keyedBlocks(t *testing.T, obj core.ObjectID, n int, seed int64) ([][]byte, []int) {
+	t.Helper()
+	levels, err := core.NewLevels(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sources := make([][]byte, levels.Total())
+	for i := range sources {
+		sources[i] = make([]byte, 32)
+		rng.Read(sources[i])
+	}
+	enc, err := core.NewEncoder(core.PLC, levels, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := enc.EncodeBatch(rng, core.PriorityDistribution{0.4, 0.6}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := make([][]byte, len(blocks))
+	lvls := make([]int, len(blocks))
+	for i, b := range blocks {
+		b.Object = obj
+		w, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wires[i] = w
+		lvls[i] = b.Level
+	}
+	return wires, lvls
+}
+
+// TestKeyedRestartReplay pins the persistence half of the object
+// namespace: two objects' keyed records survive a close/reopen with
+// their namespaces intact — per-object reads, level filters and stats
+// all rebuilt purely from the segment scan.
+func TestKeyedRestartReplay(t *testing.T) {
+	dir := t.TempDir()
+	alpha := core.NamedObject("alpha")
+	beta := core.NamedObject("beta")
+	aw, al := keyedBlocks(t, alpha, 10, 1)
+	bw, bl := keyedBlocks(t, beta, 14, 2)
+
+	s := openTest(t, dir, Options{})
+	for i, w := range aw {
+		if _, err := s.Put(alpha, al[i], w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range bw {
+		if _, err := s.Put(beta, bl[i], w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A legacy key-less block shares the store under the zero object.
+	_, _, zw, zl := testBlocks(t, 3)
+	for i, w := range zw {
+		if _, err := s.Put(core.ZeroObject, zl[i], w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	got, err := s2.Get(alpha, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, aw)
+	got, err = s2.Get(beta, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, bw)
+	got, err = s2.Get(core.ZeroObject, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, zw)
+	all, err := s2.Get(core.AllObjects, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(aw)+len(bw)+len(zw) {
+		t.Fatalf("wildcard read returned %d blocks, want %d", len(all), len(aw)+len(bw)+len(zw))
+	}
+
+	// Keyed level filter: alpha's critical prefix only.
+	l0, err := s2.Get(alpha, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantL0 [][]byte
+	for i, w := range aw {
+		if al[i] == 0 {
+			wantL0 = append(wantL0, w)
+		}
+	}
+	sameSet(t, l0, wantL0)
+
+	st := s2.Stats()
+	if len(st.PerObject) != 3 {
+		t.Fatalf("replay rebuilt %d object namespaces, want 3: %+v", len(st.PerObject), st.PerObject)
+	}
+	byObj := map[core.ObjectID]store.ObjectStats{}
+	var sum int
+	for _, os := range st.PerObject {
+		byObj[os.Object] = os
+		sum += os.Blocks
+	}
+	if sum != st.Blocks {
+		t.Fatalf("per-object blocks %d do not add up to total %d", sum, st.Blocks)
+	}
+	if byObj[alpha].Blocks != len(aw) || byObj[beta].Blocks != len(bw) || byObj[core.ZeroObject].Blocks != len(zw) {
+		t.Fatalf("per-object counts drifted after replay: %+v", st.PerObject)
+	}
+
+	// Dedup survives the restart per namespace: re-putting alpha's first
+	// block is a retry, not new data.
+	if stored, err := s2.Put(alpha, al[0], aw[0]); err != nil || stored {
+		t.Fatalf("re-put after replay: stored=%v err=%v", stored, err)
+	}
+
+	// The wildcard is a read-side concept only.
+	if _, err := s2.Put(core.AllObjects, 0, aw[0]); !errors.Is(err, store.ErrBadRequest) {
+		t.Fatalf("wildcard put err = %v, want ErrBadRequest", err)
 	}
 }

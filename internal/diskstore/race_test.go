@@ -3,6 +3,7 @@ package diskstore
 import (
 	"encoding/binary"
 	"math/rand"
+	"repro/internal/core"
 	"sync"
 	"testing"
 	"time"
@@ -50,7 +51,7 @@ func TestConcurrentPutGetRotateRetention(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(g)))
 			for i := 0; i < perPut; i++ {
 				w := fakeWire(rng, g%3, wireSize)
-				if _, err := s.Put(g%3, w); err != nil {
+				if _, err := s.Put(core.ZeroObject, g%3, w); err != nil {
 					t.Errorf("putter %d: %v", g, err)
 					return
 				}
@@ -62,7 +63,7 @@ func TestConcurrentPutGetRotateRetention(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 40; i++ {
-				if _, err := s.Get(g - 1); err != nil { // levels -1, 0, 1
+				if _, err := s.Get(core.AllObjects, g-1); err != nil { // levels -1, 0, 1
 					t.Errorf("reader %d: %v", g, err)
 					return
 				}
@@ -98,7 +99,7 @@ func TestConcurrentPutGetRotateRetention(t *testing.T) {
 	// Whatever survived the churn must replay cleanly: a fresh open sees
 	// no torn tails and a Get sees exactly Len blocks.
 	s2 := openTest(t, dir, Options{})
-	got, err := s2.Get(-1)
+	got, err := s2.Get(core.AllObjects, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestConcurrentPutsDistinctAllStored(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1000 + g)))
 			for i := 0; i < N; i++ {
-				stored, err := s.Put(0, fakeWire(rng, 0, 64))
+				stored, err := s.Put(core.ZeroObject, 0, fakeWire(rng, 0, 64))
 				if err != nil {
 					t.Errorf("putter %d: %v", g, err)
 					return
@@ -156,7 +157,7 @@ func TestCloseRacingPuts(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(2000 + g)))
 			w := fakeWire(rng, 0, 64)
-			if stored, err := s.Put(0, w); err == nil && stored {
+			if stored, err := s.Put(core.ZeroObject, 0, w); err == nil && stored {
 				acked[g] = w
 			}
 		}(g)
@@ -169,7 +170,7 @@ func TestCloseRacingPuts(t *testing.T) {
 
 	s2 := openTest(t, dir, Options{})
 	got := make(map[string]bool)
-	all, err := s2.Get(-1)
+	all, err := s2.Get(core.AllObjects, -1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -98,13 +98,14 @@ func (s *Store) dropRefLocked(seg *segment, r rec) {
 	} else {
 		s.byHash[r.hash] = refs
 	}
-	tally := s.perLevel[int(r.level)]
+	k := objLevel{r.obj, int(r.level)}
+	tally := s.tallies[k]
 	tally.count--
 	tally.bytes -= int64(r.n)
 	if tally.count <= 0 {
-		delete(s.perLevel, int(r.level))
+		delete(s.tallies, k)
 	} else {
-		s.perLevel[int(r.level)] = tally
+		s.tallies[k] = tally
 	}
 	s.blocks--
 	s.bytes -= int64(r.n)

@@ -13,14 +13,16 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Segment file layout. A segment is an append-only log:
 //
 //	header  16 bytes   magic "PLCSEG1\n" + uint64 BE creation unix-nanos
 //	records repeated   uint32 BE wire length | uint32 BE IEEE CRC(wire) |
-//	                   wire bytes (one core.CodedBlock wire frame, v1 or
-//	                   v3, exactly as received on the socket)
+//	                   wire bytes (one core.CodedBlock wire frame, any
+//	                   version v1–v4, exactly as received on the socket)
 //
 // The CRC guards each record independently, so recovery can replay a
 // segment record by record and stop at the first torn one — a crash
@@ -43,10 +45,11 @@ func segName(id uint64) string {
 
 // rec is one committed block record in the in-memory index.
 type rec struct {
-	off   int64  // record start (the length field), not the wire bytes
-	n     int32  // wire length
-	level uint16 // priority level, parsed from the wire frame
-	hash  uint64 // dedup hash of the wire bytes
+	off   int64         // record start (the length field), not the wire bytes
+	n     int32         // wire length
+	obj   core.ObjectID // object namespace, parsed from the wire frame
+	level uint16        // priority level, parsed from the wire frame
+	hash  uint64        // dedup hash of the wire bytes
 }
 
 // segment is one on-disk log file plus its index slice. recs is
@@ -137,15 +140,38 @@ func appendRecord(buf, wire []byte) []byte {
 	return append(buf, wire...)
 }
 
-// wireLevel extracts the priority level from a block wire frame without
-// a full unmarshal: magic "PB", version byte, then the BE level. The
-// store validated the frame before Put, and recovery re-checks exactly
-// this much before trusting a record.
-func wireLevel(wire []byte) (int, bool) {
-	if len(wire) < 13 || wire[0] != 'P' || wire[1] != 'B' {
-		return 0, false
+// Block wire frame geometry mirrored from the core marshal layer: the
+// header is magic "PB" + version; key-less versions (1 dense, 3 sparse)
+// put the BE level right after, keyed versions (2 dense, 4 sparse)
+// insert the 8-byte BE object ID between version and level.
+const (
+	wireMinLegacy = 13 // "PB" + ver + level + 2×uint32 counts
+	wireMinKeyed  = wireMinLegacy + 8
+)
+
+// wireMeta extracts the object and priority level from a block wire
+// frame without a full unmarshal. The store validated the frame before
+// Put, and recovery re-checks exactly this much before trusting a
+// record.
+func wireMeta(wire []byte) (core.ObjectID, int, bool) {
+	if len(wire) < wireMinLegacy || wire[0] != 'P' || wire[1] != 'B' {
+		return 0, 0, false
 	}
-	return int(binary.BigEndian.Uint16(wire[3:5])), true
+	switch wire[2] {
+	case 1, 3:
+		return core.ZeroObject, int(binary.BigEndian.Uint16(wire[3:5])), true
+	case 2, 4:
+		if len(wire) < wireMinKeyed {
+			return 0, 0, false
+		}
+		obj := core.ObjectID(binary.BigEndian.Uint64(wire[3:11]))
+		if obj == core.ZeroObject || obj == core.AllObjects {
+			return 0, 0, false // non-canonical keyed frame
+		}
+		return obj, int(binary.BigEndian.Uint16(wire[11:13])), true
+	default:
+		return 0, 0, false
+	}
 }
 
 // scanResult is what loading one segment yields.
@@ -209,13 +235,14 @@ func loadSegment(path string, id uint64, maxRecord int) (scanResult, error) {
 		if crc32.ChecksumIEEE(wire) != wantCRC {
 			break // payload corrupted
 		}
-		level, ok := wireLevel(wire)
+		obj, level, ok := wireMeta(wire)
 		if !ok {
 			break // CRC matched garbage that is not a block frame
 		}
 		seg.recs = append(seg.recs, rec{
 			off:   off,
 			n:     int32(n),
+			obj:   obj,
 			level: uint16(level),
 			hash:  hashWire(wire),
 		})

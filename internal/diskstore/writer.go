@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/store"
 )
 
@@ -24,6 +25,7 @@ const (
 // fsync mode.
 type writeReq struct {
 	kind  reqKind
+	obj   core.ObjectID
 	level int
 	hash  uint64
 	wire  []byte
@@ -135,15 +137,17 @@ func (s *Store) flush(batch []*writeReq, bytes int) {
 		seg.recs = append(seg.recs, rec{
 			off:   off,
 			n:     int32(len(r.wire)),
+			obj:   r.obj,
 			level: uint16(r.level),
 			hash:  r.hash,
 		})
 		s.byHash[r.hash] = append(s.byHash[r.hash], blockRef{seg: seg, idx: len(seg.recs) - 1})
 		s.removePendingLocked(r)
-		tally := s.perLevel[r.level]
+		k := objLevel{r.obj, r.level}
+		tally := s.tallies[k]
 		tally.count++
 		tally.bytes += int64(len(r.wire))
-		s.perLevel[r.level] = tally
+		s.tallies[k] = tally
 		s.blocks++
 		s.bytes += int64(len(r.wire))
 		off += recHeaderLen + int64(len(r.wire))
@@ -315,10 +319,11 @@ func (s *Store) recover() error {
 		seg := res.seg
 		for idx, r := range seg.recs {
 			s.byHash[r.hash] = append(s.byHash[r.hash], blockRef{seg: seg, idx: idx})
-			tally := s.perLevel[int(r.level)]
+			k := objLevel{r.obj, int(r.level)}
+			tally := s.tallies[k]
 			tally.count++
 			tally.bytes += int64(r.n)
-			s.perLevel[int(r.level)] = tally
+			s.tallies[k] = tally
 			s.blocks++
 			s.bytes += int64(r.n)
 		}

@@ -1,0 +1,312 @@
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file adds the live-fleet counterpart of the Walker simulator: a
+// SWIM-style failure detector that probes real daemons and publishes
+// Alive → Suspect → Dead transitions. The placement layer subscribes and
+// updates the chord ring, so object → replica assignment follows the
+// actual fleet instead of a static address list. It is "SWIM-lite":
+// direct probing with a suspicion stage before eviction (the part of
+// SWIM that prevents one dropped packet from reshuffling placement),
+// without the indirect-probe relays a WAN deployment would add.
+
+// State is a member's detector state.
+type State int
+
+const (
+	// Alive members answer probes and participate in placement.
+	Alive State = iota
+	// Suspect members missed recent probes; placement still counts them
+	// (their blocks are probably fine) but repair should start watching.
+	Suspect
+	// Dead members missed enough probes to be evicted from placement.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Prober checks one member's health. The store layer supplies an
+// implementation (a wire ping); gossip stays free of any store import so
+// the dependency points outward.
+type Prober interface {
+	Probe(ctx context.Context, addr string) error
+}
+
+// ProberFunc adapts a function to the Prober interface.
+type ProberFunc func(ctx context.Context, addr string) error
+
+func (f ProberFunc) Probe(ctx context.Context, addr string) error { return f(ctx, addr) }
+
+// Event is one membership transition.
+type Event struct {
+	Addr string
+	// Prev and Next are the states before and after the transition.
+	Prev, Next State
+}
+
+// MonitorConfig tunes the failure detector. The zero value works.
+type MonitorConfig struct {
+	// Interval between probe rounds in Run. Default 1s.
+	Interval time.Duration
+	// ProbeTimeout bounds each individual probe. Default 500ms.
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive probe failures that demote Alive to
+	// Suspect. Default 1.
+	SuspectAfter int
+	// DeadAfter is the consecutive probe failures that demote to Dead.
+	// Default 3. Must exceed SuspectAfter.
+	DeadAfter int
+	// Seed drives the per-round probe order. A fixed seed plus a fixed
+	// probe outcome sequence yields a fixed event sequence — the
+	// determinism the placement acceptance test pins.
+	Seed int64
+	// OnEvent, when set, is called synchronously with each transition, in
+	// deterministic order within a round. Keep it fast; it runs on the
+	// probe loop.
+	OnEvent func(Event)
+}
+
+func (c *MonitorConfig) withDefaults() MonitorConfig {
+	out := *c
+	if out.Interval <= 0 {
+		out.Interval = time.Second
+	}
+	if out.ProbeTimeout <= 0 {
+		out.ProbeTimeout = 500 * time.Millisecond
+	}
+	if out.SuspectAfter <= 0 {
+		out.SuspectAfter = 1
+	}
+	if out.DeadAfter <= out.SuspectAfter {
+		out.DeadAfter = out.SuspectAfter + 2
+	}
+	return out
+}
+
+type member struct {
+	state State
+	// misses counts consecutive failed probes since the last success.
+	misses int
+}
+
+// Monitor is a SWIM-lite membership failure detector over a set of
+// addresses. All methods are safe for concurrent use.
+type Monitor struct {
+	prober Prober
+	cfg    MonitorConfig
+
+	mu      sync.Mutex
+	members map[string]*member
+	rng     *rand.Rand
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+// NewMonitor builds a detector over the seed addresses, all initially
+// Alive (they are the operator-supplied bootstrap fleet; the first probe
+// round corrects optimism).
+func NewMonitor(addrs []string, p Prober, cfg MonitorConfig) (*Monitor, error) {
+	if p == nil {
+		return nil, fmt.Errorf("gossip: nil prober")
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("gossip: no seed members")
+	}
+	c := cfg.withDefaults()
+	m := &Monitor{
+		prober:  p,
+		cfg:     c,
+		members: make(map[string]*member, len(addrs)),
+		rng:     rand.New(rand.NewSource(c.Seed)),
+		stop:    make(chan struct{}),
+	}
+	for _, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("gossip: empty member address")
+		}
+		if _, dup := m.members[a]; dup {
+			return nil, fmt.Errorf("gossip: duplicate member %q", a)
+		}
+		m.members[a] = &member{state: Alive}
+	}
+	return m, nil
+}
+
+// Join adds a member (or revives a Dead one) as Alive and emits the
+// transition — the voluntary-join half of the protocol, driven by the
+// operator or a peer announcement rather than a probe.
+func (m *Monitor) Join(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("gossip: empty member address")
+	}
+	m.mu.Lock()
+	mb, ok := m.members[addr]
+	if !ok {
+		mb = &member{state: Dead}
+		m.members[addr] = mb
+	}
+	prev := mb.state
+	mb.state = Alive
+	mb.misses = 0
+	cb := m.cfg.OnEvent
+	m.mu.Unlock()
+	if prev != Alive && cb != nil {
+		cb(Event{Addr: addr, Prev: prev, Next: Alive})
+	}
+	return nil
+}
+
+// Leave marks a member Dead immediately — a graceful departure skips the
+// suspicion stage because the node told us it is going.
+func (m *Monitor) Leave(addr string) error {
+	m.mu.Lock()
+	mb, ok := m.members[addr]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("gossip: unknown member %q", addr)
+	}
+	prev := mb.state
+	mb.state = Dead
+	mb.misses = m.cfg.DeadAfter
+	cb := m.cfg.OnEvent
+	m.mu.Unlock()
+	if prev != Dead && cb != nil {
+		cb(Event{Addr: addr, Prev: prev, Next: Dead})
+	}
+	return nil
+}
+
+// State returns a member's current state; unknown members are Dead.
+func (m *Monitor) State(addr string) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mb, ok := m.members[addr]; ok {
+		return mb.state
+	}
+	return Dead
+}
+
+// Snapshot returns every member and its state, address-sorted.
+func (m *Monitor) Snapshot() []Event {
+	m.mu.Lock()
+	out := make([]Event, 0, len(m.members))
+	for a, mb := range m.members {
+		out = append(out, Event{Addr: a, Prev: mb.state, Next: mb.state})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// AliveAddrs returns the addresses currently counted into placement
+// (Alive or Suspect), sorted.
+func (m *Monitor) AliveAddrs() []string {
+	m.mu.Lock()
+	out := make([]string, 0, len(m.members))
+	for a, mb := range m.members {
+		if mb.state != Dead {
+			out = append(out, a)
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Tick runs one probe round: every member is probed once, in an order
+// drawn from the seeded RNG, and transitions fire synchronously in that
+// order. Exported so tests and one-shot tools drive rounds without a
+// clock; Run calls it on the configured interval.
+func (m *Monitor) Tick(ctx context.Context) {
+	m.mu.Lock()
+	addrs := make([]string, 0, len(m.members))
+	for a := range m.members {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	m.rng.Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+	m.mu.Unlock()
+
+	for _, addr := range addrs {
+		pctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
+		err := m.prober.Probe(pctx, addr)
+		cancel()
+		m.record(addr, err == nil)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// record applies one probe outcome and emits any transition.
+func (m *Monitor) record(addr string, ok bool) {
+	m.mu.Lock()
+	mb, present := m.members[addr]
+	if !present {
+		m.mu.Unlock()
+		return
+	}
+	prev := mb.state
+	if ok {
+		mb.misses = 0
+		mb.state = Alive
+	} else {
+		mb.misses++
+		switch {
+		case mb.misses >= m.cfg.DeadAfter:
+			mb.state = Dead
+		case mb.misses >= m.cfg.SuspectAfter && mb.state == Alive:
+			mb.state = Suspect
+		}
+	}
+	next := mb.state
+	cb := m.cfg.OnEvent
+	m.mu.Unlock()
+	if next != prev && cb != nil {
+		cb(Event{Addr: addr, Prev: prev, Next: next})
+	}
+}
+
+// Run probes on the configured interval until ctx is canceled or Stop is
+// called. It blocks; callers usually run it in a goroutine (and own the
+// wait for its exit, e.g. via a WaitGroup, when they need one).
+func (m *Monitor) Run(ctx context.Context) {
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.Tick(ctx)
+		}
+	}
+}
+
+// Stop signals a Run loop to exit. Safe to call more than once, and
+// harmless if Run was never started.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}

@@ -1,0 +1,283 @@
+package gossip
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProber scripts probe outcomes per address: true = healthy.
+type fakeProber struct {
+	mu sync.Mutex
+	up map[string]bool
+}
+
+func newFakeProber(addrs ...string) *fakeProber {
+	p := &fakeProber{up: make(map[string]bool)}
+	for _, a := range addrs {
+		p.up[a] = true
+	}
+	return p
+}
+
+func (p *fakeProber) set(addr string, up bool) {
+	p.mu.Lock()
+	p.up[addr] = up
+	p.mu.Unlock()
+}
+
+func (p *fakeProber) Probe(_ context.Context, addr string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.up[addr] {
+		return nil
+	}
+	return errors.New("probe failed")
+}
+
+func collectEvents(events *[]Event, mu *sync.Mutex) func(Event) {
+	return func(e Event) {
+		mu.Lock()
+		*events = append(*events, e)
+		mu.Unlock()
+	}
+}
+
+func TestMonitorSuspectThenDead(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1"}
+	p := newFakeProber(addrs...)
+	var mu sync.Mutex
+	var events []Event
+	m, err := NewMonitor(addrs, p, MonitorConfig{
+		Seed:         1,
+		SuspectAfter: 1,
+		DeadAfter:    3,
+		OnEvent:      collectEvents(&events, &mu),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	m.Tick(ctx)
+	if len(events) != 0 {
+		t.Fatalf("healthy round emitted %v", events)
+	}
+
+	p.set("b:1", false)
+	m.Tick(ctx) // miss 1 → Suspect
+	if got := m.State("b:1"); got != Suspect {
+		t.Fatalf("after 1 miss: %v", got)
+	}
+	if got := m.AliveAddrs(); !reflect.DeepEqual(got, []string{"a:1", "b:1", "c:1"}) {
+		t.Fatalf("suspect member left placement: %v", got)
+	}
+	m.Tick(ctx) // miss 2 → still Suspect
+	if got := m.State("b:1"); got != Suspect {
+		t.Fatalf("after 2 misses: %v", got)
+	}
+	m.Tick(ctx) // miss 3 → Dead
+	if got := m.State("b:1"); got != Dead {
+		t.Fatalf("after 3 misses: %v", got)
+	}
+	if got := m.AliveAddrs(); !reflect.DeepEqual(got, []string{"a:1", "c:1"}) {
+		t.Fatalf("dead member still placed: %v", got)
+	}
+	want := []Event{
+		{Addr: "b:1", Prev: Alive, Next: Suspect},
+		{Addr: "b:1", Prev: Suspect, Next: Dead},
+	}
+	mu.Lock()
+	got := append([]Event(nil), events...)
+	mu.Unlock()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("events %v, want %v", got, want)
+	}
+
+	// Recovery: one good probe restores Alive from either stage.
+	p.set("b:1", true)
+	m.Tick(ctx)
+	if got := m.State("b:1"); got != Alive {
+		t.Fatalf("after recovery: %v", got)
+	}
+}
+
+func TestMonitorJoinLeave(t *testing.T) {
+	p := newFakeProber("a:1")
+	var mu sync.Mutex
+	var events []Event
+	m, err := NewMonitor([]string{"a:1"}, p, MonitorConfig{OnEvent: collectEvents(&events, &mu)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.set("d:1", true)
+	if err := m.Join("d:1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.State("d:1"); got != Alive {
+		t.Fatalf("joined member is %v", got)
+	}
+	if err := m.Leave("a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.State("a:1"); got != Dead {
+		t.Fatalf("left member is %v", got)
+	}
+	if err := m.Leave("ghost"); err == nil {
+		t.Error("leaving an unknown member succeeded")
+	}
+	if got := m.State("ghost"); got != Dead {
+		t.Fatalf("unknown member is %v, want Dead", got)
+	}
+	// Rejoin after leave revives without a probe.
+	if err := m.Join("a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.State("a:1"); got != Alive {
+		t.Fatalf("rejoined member is %v", got)
+	}
+	want := []Event{
+		{Addr: "d:1", Prev: Dead, Next: Alive},
+		{Addr: "a:1", Prev: Alive, Next: Dead},
+		{Addr: "a:1", Prev: Dead, Next: Alive},
+	}
+	mu.Lock()
+	got := append([]Event(nil), events...)
+	mu.Unlock()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("events %v, want %v", got, want)
+	}
+}
+
+// TestMonitorDeterministicEvents pins the placement determinism
+// contract's membership half: the same seed and the same probe-outcome
+// script produce the same event sequence, run to run.
+func TestMonitorDeterministicEvents(t *testing.T) {
+	run := func() []Event {
+		addrs := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+		p := newFakeProber(addrs...)
+		var mu sync.Mutex
+		var events []Event
+		m, err := NewMonitor(addrs, p, MonitorConfig{
+			Seed:      42,
+			DeadAfter: 2,
+			OnEvent:   collectEvents(&events, &mu),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		script := []func(){
+			func() { p.set("b:1", false); p.set("d:1", false) },
+			func() { m.Tick(ctx) },
+			func() { m.Tick(ctx) },
+			func() { p.set("b:1", true) },
+			func() { m.Tick(ctx) },
+			func() { m.Join("f:1") },
+			func() { m.Tick(ctx) },
+		}
+		for _, step := range script {
+			step()
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Event(nil), events...)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("event sequences differ:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("script produced no events")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	p := newFakeProber()
+	if _, err := NewMonitor(nil, p, MonitorConfig{}); err == nil {
+		t.Error("empty member set accepted")
+	}
+	if _, err := NewMonitor([]string{"a", "a"}, p, MonitorConfig{}); err == nil {
+		t.Error("duplicate members accepted")
+	}
+	if _, err := NewMonitor([]string{""}, p, MonitorConfig{}); err == nil {
+		t.Error("empty address accepted")
+	}
+	if _, err := NewMonitor([]string{"a"}, nil, MonitorConfig{}); err == nil {
+		t.Error("nil prober accepted")
+	}
+}
+
+func TestMonitorRunStop(t *testing.T) {
+	p := newFakeProber("a:1")
+	var probes sync.WaitGroup
+	probes.Add(2)
+	counted := 0
+	var cmu sync.Mutex
+	wrapped := ProberFunc(func(ctx context.Context, addr string) error {
+		cmu.Lock()
+		if counted < 2 {
+			counted++
+			probes.Done()
+		}
+		cmu.Unlock()
+		return p.Probe(ctx, addr)
+	})
+	m, err := NewMonitor([]string{"a:1"}, wrapped, MonitorConfig{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		m.Run(context.Background())
+		close(done)
+	}()
+	probes.Wait() // at least two rounds ran
+	m.Stop()
+	m.Stop() // idempotent
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not exit after Stop")
+	}
+}
+
+// TestMonitorConcurrent races Ticks, Joins, Leaves and reads — the gate
+// for -race in make check.
+func TestMonitorConcurrent(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1", "d:1"}
+	p := newFakeProber(addrs...)
+	m, err := NewMonitor(addrs, p, MonitorConfig{Seed: 9, OnEvent: func(Event) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 5 {
+				case 0:
+					p.set(addrs[(g+i)%len(addrs)], i%2 == 0)
+					m.Tick(ctx)
+				case 1:
+					m.Join(fmt.Sprintf("x%d:%d", g, i))
+				case 2:
+					m.Leave(addrs[(g+i)%len(addrs)])
+				case 3:
+					m.State(addrs[i%len(addrs)])
+					m.AliveAddrs()
+				case 4:
+					m.Snapshot()
+					m.Join(addrs[(g+i)%len(addrs)])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

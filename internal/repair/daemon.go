@@ -17,6 +17,12 @@ import (
 
 // Config parameterizes a repair Daemon.
 type Config struct {
+	// Object is the namespace the daemon maintains; audits, collects and
+	// regenerated blocks are all scoped to it. The zero value is the
+	// legacy key-less namespace, so pre-namespace deployments repair
+	// unchanged. A daemon maintains exactly one namespace (recombining
+	// across objects would corrupt both); run one daemon per object.
+	Object core.ObjectID
 	// Scheme and Levels describe the code the store holds.
 	Scheme core.Scheme
 	Levels *core.Levels
@@ -108,7 +114,10 @@ type Report struct {
 // jitter. The daemon never decodes: its only data operations are
 // collect, recombine, put.
 type Daemon struct {
-	store *store.Replicated
+	// shard resolves the replica set each round operates on: constant
+	// for a static Replicated store, re-resolved through the placement
+	// ring for an object shard — so repair follows membership churn.
+	shard func() (*store.Replicated, error)
 	cfg   Config
 	met   daemonMetrics
 
@@ -125,28 +134,48 @@ type Daemon struct {
 	stopOnce sync.Once
 }
 
-// New validates the configuration and returns a stopped daemon; call
-// Start to launch the loop, or RunOnce to drive rounds manually.
+// New validates the configuration and returns a stopped daemon over a
+// static replica set; call Start to launch the loop, or RunOnce to
+// drive rounds manually.
 func New(r *store.Replicated, cfg Config) (*Daemon, error) {
 	if r == nil {
 		return nil, fmt.Errorf("repair: nil replicated store")
 	}
+	return newDaemon(func() (*store.Replicated, error) { return r, nil }, r.Levels(), cfg)
+}
+
+// NewObject returns a daemon maintaining one object on a placement
+// ring: each round re-resolves the object's shard, so repair follows
+// the ring through membership churn — regenerated blocks land on the
+// nodes that own the object now, not the ones that owned it at start.
+func NewObject(p *store.Placed, obj core.ObjectID, cfg Config) (*Daemon, error) {
+	if p == nil {
+		return nil, fmt.Errorf("repair: nil placed store")
+	}
+	if obj == core.AllObjects {
+		return nil, fmt.Errorf("repair: the all-objects wildcard names no shard")
+	}
+	cfg.Object = obj
+	return newDaemon(func() (*store.Replicated, error) { return p.Shard(obj) }, p.Levels(), cfg)
+}
+
+func newDaemon(shard func() (*store.Replicated, error), levels int, cfg Config) (*Daemon, error) {
 	if !cfg.Scheme.Valid() {
 		return nil, fmt.Errorf("repair: invalid scheme %v", cfg.Scheme)
 	}
 	if cfg.Levels == nil {
 		return nil, fmt.Errorf("repair: nil levels")
 	}
-	if cfg.Levels.Count() != r.Levels() {
-		return nil, fmt.Errorf("repair: code has %d levels, store replicates %d", cfg.Levels.Count(), r.Levels())
+	if cfg.Levels.Count() != levels {
+		return nil, fmt.Errorf("repair: code has %d levels, store replicates %d", cfg.Levels.Count(), levels)
 	}
-	if _, err := (&AuditConfig{Dist: cfg.Dist, TotalBlocks: cfg.TotalBlocks, Targets: cfg.Targets}).distinctTargets(r.Levels()); err != nil {
+	if _, err := (&AuditConfig{Dist: cfg.Dist, TotalBlocks: cfg.TotalBlocks, Targets: cfg.Targets}).distinctTargets(levels); err != nil {
 		return nil, err
 	}
 	cfg.fillDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Daemon{
-		store:  r,
+		shard:  shard,
 		cfg:    cfg,
 		met:    newDaemonMetrics(cfg.Metrics),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
@@ -286,8 +315,12 @@ func (d *Daemon) runOnce(ctx context.Context) (Report, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.runs++
-	audit, err := AuditFleet(ctx, d.store, AuditConfig{
-		Dist: d.cfg.Dist, TotalBlocks: d.cfg.TotalBlocks, Targets: d.cfg.Targets,
+	shard, err := d.shard()
+	if err != nil {
+		return Report{}, fmt.Errorf("repair: resolve shard: %w", err)
+	}
+	audit, err := AuditFleet(ctx, shard, AuditConfig{
+		Object: d.cfg.Object, Dist: d.cfg.Dist, TotalBlocks: d.cfg.TotalBlocks, Targets: d.cfg.Targets,
 	})
 	if err != nil {
 		return Report{}, err
@@ -305,7 +338,7 @@ func (d *Daemon) runOnce(ctx context.Context) (Report, error) {
 	// One collect covers every deficient level: survivors of level k
 	// also serve as sample padding for deeper PLC levels.
 	maxLevel := deficient[len(deficient)-1].Level
-	survivors, err := d.store.Collect(ctx, maxLevel)
+	survivors, err := shard.CollectObject(ctx, d.cfg.Object, maxLevel)
 	if err != nil {
 		return rep, err
 	}
@@ -348,7 +381,7 @@ func (d *Daemon) runOnce(ctx context.Context) (Report, error) {
 			if err != nil {
 				return rep, err
 			}
-			if err := d.store.PutPreferring(ctx, nb, prefer); err != nil {
+			if err := shard.PutPreferring(ctx, nb, prefer); err != nil {
 				return rep, fmt.Errorf("repair: place regenerated level-%d block: %w", lr.Level, err)
 			}
 			budget--

@@ -37,6 +37,13 @@ import (
 
 // AuditConfig describes what a healthy fleet looks like.
 type AuditConfig struct {
+	// Object scopes the audit to one namespace: per-level counts are
+	// read from that object's section of each replica's inventory.
+	// core.AllObjects audits the aggregate inventory across namespaces;
+	// the zero value audits the legacy key-less namespace (which, on a
+	// replica predating per-object stats, falls back to the aggregate —
+	// such a replica can hold nothing else).
+	Object core.ObjectID
 	// Dist is the priority distribution the deployment was provisioned
 	// with: level k's target share of distinct coded blocks.
 	Dist core.PriorityDistribution
@@ -48,6 +55,25 @@ type AuditConfig struct {
 	// per-level distinct-block targets (len = store levels). Useful when
 	// the put-time level draw is known precisely.
 	Targets []int
+}
+
+// perLevelFor selects the per-level slice the audit counts against:
+// the aggregate, or one object's section.
+func (cfg *AuditConfig) perLevelFor(st store.Stats) []store.LevelCount {
+	if cfg.Object == core.AllObjects {
+		return st.PerLevel
+	}
+	for _, os := range st.PerObject {
+		if os.Object == cfg.Object {
+			return os.PerLevel
+		}
+	}
+	if cfg.Object == core.ZeroObject && len(st.PerObject) == 0 {
+		// A replica without per-object stats predates the namespace; all
+		// its blocks are key-less, i.e. exactly the zero object.
+		return st.PerLevel
+	}
+	return nil
 }
 
 // LevelReport is one level's audit line.
@@ -208,7 +234,7 @@ func AuditFleet(ctx context.Context, r *store.Replicated, cfg AuditConfig) (*Aud
 				lr.PerReplica[i] = -1
 				continue
 			}
-			for _, lc := range stats[i].PerLevel {
+			for _, lc := range cfg.perLevelFor(stats[i]) {
 				if lc.Level == lvl {
 					lr.PerReplica[i] = lc.Count
 					lr.HaveCopies += lc.Count

@@ -3,11 +3,13 @@ package store
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // BlockStore is the storage engine behind a Server: it holds marshaled
 // CodedBlocks (the core wire encoding, exactly as received) keyed by
-// nothing but their own bytes, deduplicates identical blocks so client
+// object and priority level, deduplicates identical blocks so client
 // put-retries stay idempotent, and answers level-prefix reads. The
 // Server owns the TCP surface; the engine owns placement — in memory
 // (MemStore) or on disk (diskstore.Store).
@@ -15,20 +17,22 @@ import (
 // Implementations must be safe for concurrent use: the server calls
 // into the engine from one goroutine per connection.
 type BlockStore interface {
-	// Put stores one block. wire is the block's core wire encoding and
-	// level its priority level (already parsed from wire by the caller).
+	// Put stores one block. wire is the block's core wire encoding; obj
+	// and level are its object and priority level (already parsed from
+	// wire by the caller — the zero object for legacy key-less frames).
 	// It returns stored=false with a nil error when an identical block
 	// was already present, and ErrStoreFull (possibly wrapped) when the
 	// engine is at capacity. Implementations must not retain wire.
-	Put(level int, wire []byte) (stored bool, err error)
+	Put(obj core.ObjectID, level int, wire []byte) (stored bool, err error)
 
-	// Get returns the wire bytes of every stored block with
-	// level <= maxLevel; maxLevel < 0 returns everything. The returned
-	// slices are read-only and must not be modified by the caller.
-	Get(maxLevel int) ([][]byte, error)
+	// Get returns the wire bytes of every stored block of obj with
+	// level <= maxLevel; maxLevel < 0 returns every level, and
+	// obj == core.AllObjects selects every object. The returned slices
+	// are read-only and must not be modified by the caller.
+	Get(obj core.ObjectID, maxLevel int) ([][]byte, error)
 
-	// Stats returns an inventory snapshot with PerLevel sorted
-	// ascending by level.
+	// Stats returns an inventory snapshot: aggregate PerLevel sorted
+	// ascending by level, plus PerObject sorted ascending by object ID.
 	Stats() Stats
 
 	// Len returns the number of stored blocks.
@@ -42,18 +46,24 @@ type BlockStore interface {
 	Close() error
 }
 
+// objLevel keys the per-object per-level inventory.
+type objLevel struct {
+	obj   core.ObjectID
+	level int
+}
+
 // MemStore is the RAM-only engine: the seed behavior of the store
 // daemon, factored behind BlockStore. A restart loses everything; use
 // diskstore.Store when blocks must outlive the process.
 type MemStore struct {
 	maxBlocks int
 
-	mu       sync.Mutex
-	blocks   []storedBlock
-	seen     map[string]struct{}
-	perLevel map[int]levelTally
-	bytes    int64
-	closed   bool
+	mu      sync.Mutex
+	blocks  []storedBlock
+	seen    map[string]struct{}
+	tallies map[objLevel]levelTally
+	bytes   int64
+	closed  bool
 }
 
 // NewMemStore returns an in-memory engine capping stored blocks at
@@ -62,12 +72,12 @@ func NewMemStore(maxBlocks int) *MemStore {
 	return &MemStore{
 		maxBlocks: maxBlocks,
 		seen:      make(map[string]struct{}),
-		perLevel:  make(map[int]levelTally),
+		tallies:   make(map[objLevel]levelTally),
 	}
 }
 
 // Put stores one block, deduplicating identical bytes.
-func (m *MemStore) Put(level int, wire []byte) (bool, error) {
+func (m *MemStore) Put(obj core.ObjectID, level int, wire []byte) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -81,21 +91,26 @@ func (m *MemStore) Put(level int, wire []byte) (bool, error) {
 	}
 	key := string(wire) // one copy serves both the dedup key and the data
 	m.seen[key] = struct{}{}
-	m.blocks = append(m.blocks, storedBlock{level: level, data: []byte(key)})
-	tally := m.perLevel[level]
+	m.blocks = append(m.blocks, storedBlock{obj: obj, level: level, data: []byte(key)})
+	k := objLevel{obj, level}
+	tally := m.tallies[k]
 	tally.count++
 	tally.bytes += int64(len(wire))
-	m.perLevel[level] = tally
+	m.tallies[k] = tally
 	m.bytes += int64(len(wire))
 	return true, nil
 }
 
-// Get returns stored blocks with level <= maxLevel (maxLevel < 0 = all).
-func (m *MemStore) Get(maxLevel int) ([][]byte, error) {
+// Get returns stored blocks of obj (core.AllObjects = every object)
+// with level <= maxLevel (maxLevel < 0 = all).
+func (m *MemStore) Get(obj core.ObjectID, maxLevel int) ([][]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([][]byte, 0, len(m.blocks))
 	for _, sb := range m.blocks {
+		if obj != core.AllObjects && sb.obj != obj {
+			continue
+		}
 		if maxLevel < 0 || sb.level <= maxLevel {
 			out = append(out, sb.data)
 		}
@@ -107,7 +122,7 @@ func (m *MemStore) Get(maxLevel int) ([][]byte, error) {
 func (m *MemStore) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return statsFromTallies(len(m.blocks), m.perLevel)
+	return statsFromTallies(len(m.blocks), m.tallies)
 }
 
 // Len returns the number of stored blocks.
@@ -129,22 +144,58 @@ func (m *MemStore) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.closed = true
-	m.blocks, m.seen, m.perLevel, m.bytes = nil, nil, nil, 0
+	m.blocks, m.seen, m.tallies, m.bytes = nil, nil, nil, 0
 	return nil
 }
 
-// statsFromTallies assembles a Stats snapshot from per-level tallies,
-// sorted ascending by level (the wire encoding's order).
-func statsFromTallies(blocks int, perLevel map[int]levelTally) Stats {
+// statsFromTallies assembles a Stats snapshot from per-object per-level
+// tallies: the aggregate PerLevel sums over objects, and PerObject holds
+// each object's own breakdown, both sorted ascending (the wire
+// encoding's order).
+func statsFromTallies(blocks int, tallies map[objLevel]levelTally) Stats {
 	st := Stats{Blocks: blocks}
-	for lvl, tally := range perLevel {
+	agg := make(map[int]levelTally)
+	perObj := make(map[core.ObjectID]map[int]levelTally)
+	for k, tally := range tallies {
 		st.Bytes += tally.bytes
-		st.PerLevel = append(st.PerLevel, LevelCount{Level: lvl, Count: tally.count, Bytes: tally.bytes})
+		a := agg[k.level]
+		a.count += tally.count
+		a.bytes += tally.bytes
+		agg[k.level] = a
+		po := perObj[k.obj]
+		if po == nil {
+			po = make(map[int]levelTally)
+			perObj[k.obj] = po
+		}
+		po[k.level] = tally
 	}
-	for i := 1; i < len(st.PerLevel); i++ {
-		for j := i; j > 0 && st.PerLevel[j].Level < st.PerLevel[j-1].Level; j-- {
-			st.PerLevel[j], st.PerLevel[j-1] = st.PerLevel[j-1], st.PerLevel[j]
+	st.PerLevel = levelCounts(agg)
+	for obj, po := range perObj {
+		os := ObjectStats{Object: obj, PerLevel: levelCounts(po)}
+		for _, lc := range os.PerLevel {
+			os.Blocks += lc.Count
+			os.Bytes += lc.Bytes
+		}
+		st.PerObject = append(st.PerObject, os)
+	}
+	for i := 1; i < len(st.PerObject); i++ {
+		for j := i; j > 0 && st.PerObject[j].Object < st.PerObject[j-1].Object; j-- {
+			st.PerObject[j], st.PerObject[j-1] = st.PerObject[j-1], st.PerObject[j]
 		}
 	}
 	return st
+}
+
+// levelCounts flattens a per-level tally map, sorted ascending by level.
+func levelCounts(perLevel map[int]levelTally) []LevelCount {
+	out := make([]LevelCount, 0, len(perLevel))
+	for lvl, tally := range perLevel {
+		out = append(out, LevelCount{Level: lvl, Count: tally.count, Bytes: tally.bytes})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Level < out[j-1].Level; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }

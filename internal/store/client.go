@@ -2,7 +2,6 @@ package store
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -176,36 +175,40 @@ func (c *Client) PutAll(ctx context.Context, blocks []*core.CodedBlock) (int, er
 	return len(blocks), nil
 }
 
-// Get fetches every stored block with Level <= maxLevel; maxLevel < 0
-// fetches everything. Levels at or above the wire sentinel 0xFFFF are
-// rejected with ErrBadRequest rather than silently widened to "all" —
-// blocks can never carry such a level (see core.CodedBlock.MarshalBinary),
-// so the request is a caller bug, not a fetch-everything intent. When
-// HedgeDelay is set, a straggling fetch is raced by a duplicate request.
+// Get fetches every stored block with Level <= maxLevel across every
+// object; maxLevel < 0 fetches everything. Levels at or above the wire
+// sentinel 0xFFFF are rejected with ErrBadRequest rather than silently
+// widened to "all" — blocks can never carry such a level (see
+// core.CodedBlock.MarshalBinary), so the request is a caller bug, not a
+// fetch-everything intent. When HedgeDelay is set, a straggling fetch is
+// raced by a duplicate request. Get sends the legacy 2-byte request, so
+// it works against pre-namespace daemons unchanged.
 func (c *Client) Get(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
+	return c.GetObject(ctx, core.AllObjects, maxLevel)
+}
+
+// GetObject is Get restricted to one object's blocks. core.AllObjects
+// selects every object; any other object sends the keyed 10-byte get
+// body, which pre-namespace daemons reject with ErrBadRequest.
+func (c *Client) GetObject(ctx context.Context, obj core.ObjectID, maxLevel int) ([]*core.CodedBlock, error) {
 	if maxLevel >= 0xFFFF {
 		return nil, fmt.Errorf("%w: max level %d exceeds the wire limit %d", ErrBadRequest, maxLevel, 0xFFFE)
 	}
 	if c.cfg.HedgeDelay <= 0 {
-		return c.get(ctx, maxLevel)
+		return c.get(ctx, obj, maxLevel)
 	}
-	return c.hedgedGet(ctx, maxLevel)
+	return c.hedgedGet(ctx, obj, maxLevel)
 }
 
-func (c *Client) get(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
-	wire := uint16(0xFFFF) // wire sentinel: all levels
-	if maxLevel >= 0 {
-		wire = uint16(maxLevel)
-	}
-	body := binary.BigEndian.AppendUint16(nil, wire)
-	resp, err := c.do(ctx, "get", frameGet, body, frameBlocks)
+func (c *Client) get(ctx context.Context, obj core.ObjectID, maxLevel int) ([]*core.CodedBlock, error) {
+	resp, err := c.do(ctx, "get", frameGet, encodeGetBody(obj, maxLevel), frameBlocks)
 	if err != nil {
 		return nil, err
 	}
 	return decodeBlockList(resp)
 }
 
-func (c *Client) hedgedGet(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
+func (c *Client) hedgedGet(ctx context.Context, obj core.ObjectID, maxLevel int) ([]*core.CodedBlock, error) {
 	type result struct {
 		blocks []*core.CodedBlock
 		err    error
@@ -219,7 +222,7 @@ func (c *Client) hedgedGet(ctx context.Context, maxLevel int) ([]*core.CodedBloc
 			c.met.hedgesFired.Inc()
 		}
 		go func() {
-			blocks, err := c.get(hctx, maxLevel)
+			blocks, err := c.get(hctx, obj, maxLevel)
 			ch <- result{blocks, err, isHedge}
 		}()
 	}

@@ -36,7 +36,7 @@ const (
 // shell conventions ('+' ok, '!' error).
 const (
 	framePut      = 'P' // body: one CodedBlock (core wire format)
-	frameGet      = 'G' // body: uint16 max level (0xFFFF = all)
+	frameGet      = 'G' // body: uint16 max level (0xFFFF = all), optionally + uint64 object ID
 	frameStat     = 'S' // body: empty
 	framePing     = 'i' // body: empty
 	frameShutdown = 'Q' // body: empty; server acks, drains, and exits
@@ -230,6 +230,51 @@ func decodeBlockList(body []byte) ([]*core.CodedBlock, error) {
 	return out, nil
 }
 
+// The get body has two generations. The legacy 2-byte form carries only
+// a uint16 max level (0xFFFF = all levels) and selects every object —
+// exactly what pre-namespace clients sent and servers answered. The keyed
+// 10-byte form appends a uint64 object ID; core.AllObjects there keeps
+// the every-object behavior explicit. Old servers reject the 10-byte
+// body, old clients never send it, so mixed fleets degrade loudly rather
+// than silently mis-filtering.
+const (
+	getBodyLegacy = 2
+	getBodyKeyed  = 2 + 8
+)
+
+// encodeGetBody builds a get request body: legacy when obj is the
+// wildcard (maximum interop), keyed otherwise.
+func encodeGetBody(obj core.ObjectID, maxLevel int) []byte {
+	wire := uint16(0xFFFF) // wire sentinel: all levels
+	if maxLevel >= 0 {
+		wire = uint16(maxLevel)
+	}
+	body := binary.BigEndian.AppendUint16(nil, wire)
+	if obj != core.AllObjects {
+		body = binary.BigEndian.AppendUint64(body, uint64(obj))
+	}
+	return body
+}
+
+// decodeGetBody parses either get-body generation, returning maxLevel
+// (-1 = all levels) and the object selector (core.AllObjects = every
+// object).
+func decodeGetBody(body []byte) (core.ObjectID, int, error) {
+	if len(body) != getBodyLegacy && len(body) != getBodyKeyed {
+		return 0, 0, fmt.Errorf("%w: get body %d bytes, want %d or %d",
+			ErrBadRequest, len(body), getBodyLegacy, getBodyKeyed)
+	}
+	maxLevel := int(binary.BigEndian.Uint16(body))
+	if maxLevel == 0xFFFF {
+		maxLevel = -1
+	}
+	obj := core.AllObjects
+	if len(body) == getBodyKeyed {
+		obj = core.ObjectID(binary.BigEndian.Uint64(body[2:]))
+	}
+	return obj, maxLevel, nil
+}
+
 // Stats is a server inventory snapshot.
 type Stats struct {
 	// Blocks is the total number of stored coded blocks.
@@ -238,8 +283,12 @@ type Stats struct {
 	// payloads included) — the repair daemon's bandwidth accounting unit.
 	Bytes int64
 	// PerLevel counts blocks and bytes per priority level, ascending by
-	// level.
+	// level, aggregated over every object.
 	PerLevel []LevelCount
+	// PerObject breaks the inventory down by object, ascending by object
+	// ID. Empty when the daemon predates the object namespace (stats v1/v2
+	// bodies) — callers must treat absence as "unknown", not "no objects".
+	PerObject []ObjectStats
 }
 
 // LevelCount is one per-level entry of a Stats snapshot.
@@ -249,7 +298,17 @@ type LevelCount struct {
 	Bytes int64
 }
 
-// The stat body has two generations. v1 (PR 3) carried counts only:
+// ObjectStats is one object's slice of a Stats snapshot.
+type ObjectStats struct {
+	Object core.ObjectID
+	// Blocks and Bytes total the object's PerLevel entries.
+	Blocks int
+	Bytes  int64
+	// PerLevel counts the object's blocks per priority level, ascending.
+	PerLevel []LevelCount
+}
+
+// The stat body has three generations. v1 (PR 3) carried counts only:
 //
 //	uint32 blocks | uint16 n | n x (uint16 level, uint32 count)
 //
@@ -260,30 +319,29 @@ type LevelCount struct {
 //
 //	uint32 blocks | uint16 0xFFFF | byte 2 | uint64 bytes | uint16 n |
 //	n x (uint16 level, uint32 count, uint64 bytes)
+//
+// v3 (the object namespace) appends a per-object section after the v2
+// layout, under version byte 3:
+//
+//	... v2 layout with version byte 3 ... | uint16 nObj |
+//	nObj x (uint64 object | uint16 m | m x (uint16 level, uint32 count, uint64 bytes))
+//
+// A v3 decoder accepts all three generations; per-object data is simply
+// absent from older bodies. Encoders emit v2 when the snapshot has no
+// per-object section (a pre-namespace engine), v3 otherwise.
 const (
 	statsV2Marker  = 0xFFFF
 	statsV2Version = 2
+	statsV3Version = 3
 	statsV2Header  = 4 + 2 + 1 + 8 + 2
 	statsV2Entry   = 2 + 4 + 8
+	statsV3ObjHead = 8 + 2
 )
 
-func encodeStats(st Stats) ([]byte, error) {
-	// Every field that narrows on the wire is bounds-checked: a silent
-	// uint16/uint32 truncation would hand clients a plausible-looking but
-	// wrong inventory, which the repair daemon would then act on.
-	if st.Blocks < 0 || uint64(st.Blocks) > 0xFFFFFFFF {
-		return nil, fmt.Errorf("%w: block count %d does not fit the stat frame", ErrBadRequest, st.Blocks)
-	}
-	if len(st.PerLevel) > 0xFFFF {
-		return nil, fmt.Errorf("%w: %d levels do not fit the stat frame", ErrBadRequest, len(st.PerLevel))
-	}
-	body := make([]byte, 0, statsV2Header+statsV2Entry*len(st.PerLevel))
-	body = binary.BigEndian.AppendUint32(body, uint32(st.Blocks))
-	body = binary.BigEndian.AppendUint16(body, statsV2Marker)
-	body = append(body, statsV2Version)
-	body = binary.BigEndian.AppendUint64(body, uint64(st.Bytes))
-	body = binary.BigEndian.AppendUint16(body, uint16(len(st.PerLevel)))
-	for _, lc := range st.PerLevel {
+// appendLevelCounts bounds-checks and appends one (level, count, bytes)
+// entry list; shared by the aggregate and per-object stat sections.
+func appendLevelCounts(body []byte, perLevel []LevelCount) ([]byte, error) {
+	for _, lc := range perLevel {
 		if lc.Level < 0 || lc.Level > 0xFFFF {
 			return nil, fmt.Errorf("%w: level %d does not fit the stat frame", ErrBadRequest, lc.Level)
 		}
@@ -297,18 +355,63 @@ func encodeStats(st Stats) ([]byte, error) {
 	return body, nil
 }
 
+func encodeStats(st Stats) ([]byte, error) {
+	// Every field that narrows on the wire is bounds-checked: a silent
+	// uint16/uint32 truncation would hand clients a plausible-looking but
+	// wrong inventory, which the repair daemon would then act on.
+	if st.Blocks < 0 || uint64(st.Blocks) > 0xFFFFFFFF {
+		return nil, fmt.Errorf("%w: block count %d does not fit the stat frame", ErrBadRequest, st.Blocks)
+	}
+	if len(st.PerLevel) > 0xFFFF {
+		return nil, fmt.Errorf("%w: %d levels do not fit the stat frame", ErrBadRequest, len(st.PerLevel))
+	}
+	if len(st.PerObject) > 0xFFFF {
+		return nil, fmt.Errorf("%w: %d objects do not fit the stat frame", ErrBadRequest, len(st.PerObject))
+	}
+	version := byte(statsV2Version)
+	if len(st.PerObject) > 0 {
+		version = statsV3Version
+	}
+	body := make([]byte, 0, statsV2Header+statsV2Entry*len(st.PerLevel))
+	body = binary.BigEndian.AppendUint32(body, uint32(st.Blocks))
+	body = binary.BigEndian.AppendUint16(body, statsV2Marker)
+	body = append(body, version)
+	body = binary.BigEndian.AppendUint64(body, uint64(st.Bytes))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(st.PerLevel)))
+	body, err := appendLevelCounts(body, st.PerLevel)
+	if err != nil {
+		return nil, err
+	}
+	if version == statsV3Version {
+		body = binary.BigEndian.AppendUint16(body, uint16(len(st.PerObject)))
+		for _, os := range st.PerObject {
+			if len(os.PerLevel) > 0xFFFF {
+				return nil, fmt.Errorf("%w: object %s: %d levels do not fit the stat frame",
+					ErrBadRequest, os.Object, len(os.PerLevel))
+			}
+			body = binary.BigEndian.AppendUint64(body, uint64(os.Object))
+			body = binary.BigEndian.AppendUint16(body, uint16(len(os.PerLevel)))
+			if body, err = appendLevelCounts(body, os.PerLevel); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return body, nil
+}
+
 func decodeStats(body []byte) (Stats, error) {
 	if len(body) < 6 {
 		return Stats{}, fmt.Errorf("%w: stats frame truncated", ErrCorruptFrame)
 	}
 	st := Stats{Blocks: int(binary.BigEndian.Uint32(body))}
-	if len(body) >= statsV2Header &&
-		binary.BigEndian.Uint16(body[4:]) == statsV2Marker && body[6] == statsV2Version {
+	if len(body) >= statsV2Header && binary.BigEndian.Uint16(body[4:]) == statsV2Marker &&
+		(body[6] == statsV2Version || body[6] == statsV3Version) {
+		version := body[6]
 		st.Bytes = int64(binary.BigEndian.Uint64(body[7:]))
 		n := int(binary.BigEndian.Uint16(body[15:]))
-		if len(body) != statsV2Header+statsV2Entry*n {
-			return Stats{}, fmt.Errorf("%w: stats v2 frame length %d, want %d",
-				ErrCorruptFrame, len(body), statsV2Header+statsV2Entry*n)
+		if len(body) < statsV2Header+statsV2Entry*n {
+			return Stats{}, fmt.Errorf("%w: stats v%d frame length %d, want >= %d",
+				ErrCorruptFrame, version, len(body), statsV2Header+statsV2Entry*n)
 		}
 		off := statsV2Header
 		for i := 0; i < n; i++ {
@@ -318,6 +421,56 @@ func decodeStats(body []byte) (Stats, error) {
 				Bytes: int64(binary.BigEndian.Uint64(body[off+6:])),
 			})
 			off += statsV2Entry
+		}
+		switch {
+		case version == statsV2Version:
+			if off != len(body) {
+				return Stats{}, fmt.Errorf("%w: %d trailing bytes after stats v2 body", ErrCorruptFrame, len(body)-off)
+			}
+		default: // v3: per-object section
+			if len(body)-off < 2 {
+				return Stats{}, fmt.Errorf("%w: stats v3 object section truncated", ErrCorruptFrame)
+			}
+			nObj := int(binary.BigEndian.Uint16(body[off:]))
+			off += 2
+			// Bound the claimed object count by the bytes present before
+			// sizing anything, decodeBlockList-style.
+			if nObj > (len(body)-off)/statsV3ObjHead {
+				return Stats{}, fmt.Errorf("%w: stats v3 claims %d objects in %d bytes",
+					ErrCorruptFrame, nObj, len(body)-off)
+			}
+			for i := 0; i < nObj; i++ {
+				if len(body)-off < statsV3ObjHead {
+					return Stats{}, fmt.Errorf("%w: stats v3 object %d truncated", ErrCorruptFrame, i)
+				}
+				os := ObjectStats{Object: core.ObjectID(binary.BigEndian.Uint64(body[off:]))}
+				m := int(binary.BigEndian.Uint16(body[off+8:]))
+				off += statsV3ObjHead
+				if m > (len(body)-off)/statsV2Entry {
+					return Stats{}, fmt.Errorf("%w: stats v3 object %s claims %d levels in %d bytes",
+						ErrCorruptFrame, os.Object, m, len(body)-off)
+				}
+				for j := 0; j < m; j++ {
+					lc := LevelCount{
+						Level: int(binary.BigEndian.Uint16(body[off:])),
+						Count: int(binary.BigEndian.Uint32(body[off+2:])),
+						Bytes: int64(binary.BigEndian.Uint64(body[off+6:])),
+					}
+					os.PerLevel = append(os.PerLevel, lc)
+					os.Blocks += lc.Count
+					os.Bytes += lc.Bytes
+					off += statsV2Entry
+				}
+				st.PerObject = append(st.PerObject, os)
+			}
+			if off != len(body) {
+				return Stats{}, fmt.Errorf("%w: %d trailing bytes after stats v3 body", ErrCorruptFrame, len(body)-off)
+			}
+			sort.Slice(st.PerObject, func(i, j int) bool { return st.PerObject[i].Object < st.PerObject[j].Object })
+			for k := range st.PerObject {
+				lvls := st.PerObject[k].PerLevel
+				sort.Slice(lvls, func(i, j int) bool { return lvls[i].Level < lvls[j].Level })
+			}
 		}
 	} else {
 		// v1 body from an older daemon: counts only, bytes stay zero.

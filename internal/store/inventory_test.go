@@ -100,6 +100,64 @@ func TestStatsWireBackwardCompatible(t *testing.T) {
 	}
 }
 
+// TestStatsV3PerObjectRoundTrip pins the keyed generation: per-object
+// sections survive the wire, and a v2 body (no objects) still decodes.
+func TestStatsV3PerObjectRoundTrip(t *testing.T) {
+	v3 := Stats{
+		Blocks: 9,
+		Bytes:  1200,
+		PerLevel: []LevelCount{
+			{Level: 0, Count: 5, Bytes: 700},
+			{Level: 1, Count: 4, Bytes: 500},
+		},
+		PerObject: []ObjectStats{
+			{Object: core.ZeroObject, Blocks: 3, Bytes: 400,
+				PerLevel: []LevelCount{{Level: 0, Count: 3, Bytes: 400}}},
+			{Object: core.NamedObject("alpha"), Blocks: 6, Bytes: 800,
+				PerLevel: []LevelCount{
+					{Level: 0, Count: 2, Bytes: 300},
+					{Level: 1, Count: 4, Bytes: 500},
+				}},
+		},
+	}
+	body, err := encodeStats(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeStats(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, v3) {
+		t.Fatalf("v3 round trip drifted:\n got %+v\nwant %+v", back, v3)
+	}
+
+	// No per-object data → the encoder stays on v2, old decoders keep
+	// working, and the round trip is unchanged.
+	v2 := Stats{Blocks: 1, Bytes: 10, PerLevel: []LevelCount{{Level: 0, Count: 1, Bytes: 10}}}
+	v2body, err := encodeStats(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2body) >= len(body) {
+		t.Fatal("object-free stats did not use the shorter v2 encoding")
+	}
+	back, err = decodeStats(v2body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, v2) {
+		t.Fatalf("v2 round trip drifted: %+v", back)
+	}
+
+	// Truncating inside the per-object section is corruption.
+	for _, cut := range []int{len(body) - 1, len(body) - 5, len(v2body) + 1} {
+		if _, err := decodeStats(body[:cut]); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("truncated v3 at %d: err = %v, want ErrCorruptFrame", cut, err)
+		}
+	}
+}
+
 // TestCollectKeepsRecombinedBlocks pins the dedup boundary the repair
 // daemon relies on: Collect dedups byte-identical replica copies, so a
 // *fresh-coefficient* recombination is a new block (kept), while

@@ -127,7 +127,10 @@ type replicatedMetrics struct {
 	perReplica    []replicaMetrics
 }
 
-func newReplicatedMetrics(r *metrics.Registry, replicas int) replicatedMetrics {
+// newReplicatedMetrics labels per-replica series positionally
+// ({replica="i"}) by default, or {node="addr"} when labels are given —
+// the placement layer's per-shard form, stable across membership churn.
+func newReplicatedMetrics(r *metrics.Registry, replicas int, labels []string) replicatedMetrics {
 	m := replicatedMetrics{
 		puts:          r.Counter("store_replicated_puts_total"),
 		putErrors:     r.Counter("store_replicated_put_errors_total"),
@@ -139,6 +142,9 @@ func newReplicatedMetrics(r *metrics.Registry, replicas int) replicatedMetrics {
 	}
 	for i := range m.perReplica {
 		l := fmt.Sprintf(`{replica="%d"}`, i)
+		if labels != nil {
+			l = fmt.Sprintf(`{node=%q}`, labels[i])
+		}
 		m.perReplica[i] = replicaMetrics{
 			putOK:   r.Counter("store_replica_put_ok_total" + l),
 			putErr:  r.Counter("store_replica_put_errors_total" + l),
@@ -149,6 +155,24 @@ func newReplicatedMetrics(r *metrics.Registry, replicas int) replicatedMetrics {
 		}
 	}
 	return m
+}
+
+// placedMetrics instruments the placement front end. Per-shard outcome
+// series come from each shard's replicatedMetrics with node labels.
+type placedMetrics struct {
+	puts             *metrics.Counter
+	collects         *metrics.Counter
+	membershipEvents *metrics.Counter
+	nodes            *metrics.Gauge
+}
+
+func newPlacedMetrics(r *metrics.Registry) placedMetrics {
+	return placedMetrics{
+		puts:             r.Counter("store_placed_puts_total"),
+		collects:         r.Counter("store_placed_collects_total"),
+		membershipEvents: r.Counter("store_placed_membership_events_total"),
+		nodes:            r.Gauge("store_placed_nodes"),
+	}
 }
 
 // outcome picks the ok or err counter; a nil pick is still a no-op.

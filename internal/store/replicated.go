@@ -25,6 +25,12 @@ type ReplicatedConfig struct {
 	// Metrics, when non-nil, receives fan-out and per-replica outcome
 	// counters (see DESIGN.md §10).
 	Metrics *metrics.Registry
+	// ReplicaLabels, when set (length must match the client count), labels
+	// each replica's metric series {node="<label>"} instead of the default
+	// positional {replica="<i>"}. The placement layer passes node
+	// addresses here so per-shard series stay meaningful as membership
+	// shifts replicas between shards.
+	ReplicaLabels []string
 }
 
 // Replicated fans one logical store out over several servers with a
@@ -58,16 +64,23 @@ func NewReplicated(clients []*Client, levels int, cfg ReplicatedConfig) (*Replic
 	if cfg.MinWrites > len(clients) {
 		return nil, fmt.Errorf("store: MinWrites %d exceeds %d replicas", cfg.MinWrites, len(clients))
 	}
+	if cfg.ReplicaLabels != nil && len(cfg.ReplicaLabels) != len(clients) {
+		return nil, fmt.Errorf("store: %d replica labels for %d clients", len(cfg.ReplicaLabels), len(clients))
+	}
 	return &Replicated{
-		clients: clients,
+		clients: append([]*Client(nil), clients...),
 		levels:  levels,
 		cfg:     cfg,
-		met:     newReplicatedMetrics(cfg.Metrics, len(clients)),
+		met:     newReplicatedMetrics(cfg.Metrics, len(clients), cfg.ReplicaLabels),
 	}, nil
 }
 
-// Clients exposes the underlying per-replica clients.
-func (r *Replicated) Clients() []*Client { return r.clients }
+// Clients returns the per-replica clients as a fresh slice — mutating it
+// cannot reorder or swap the store's own replica set (the elements still
+// point at the live clients; replica membership itself is immutable here).
+func (r *Replicated) Clients() []*Client {
+	return append([]*Client(nil), r.clients...)
+}
 
 // Levels returns the number of priority levels the store was built for.
 func (r *Replicated) Levels() int { return r.levels }
@@ -197,6 +210,12 @@ func (r *Replicated) StatAll(ctx context.Context) ([]Stats, []error) {
 // from every replica concurrently, deduplicates the replicated copies,
 // and returns the union. It fails only when every replica fails.
 func (r *Replicated) Collect(ctx context.Context, maxLevel int) ([]*core.CodedBlock, error) {
+	return r.CollectObject(ctx, core.AllObjects, maxLevel)
+}
+
+// CollectObject is Collect restricted to one object (core.AllObjects for
+// every object — the wire-compatible legacy request).
+func (r *Replicated) CollectObject(ctx context.Context, obj core.ObjectID, maxLevel int) ([]*core.CodedBlock, error) {
 	perReplica := make([][]*core.CodedBlock, len(r.clients))
 	errs := make([]error, len(r.clients))
 	var wg sync.WaitGroup
@@ -204,7 +223,7 @@ func (r *Replicated) Collect(ctx context.Context, maxLevel int) ([]*core.CodedBl
 		wg.Add(1)
 		go func(i int, cl *Client) {
 			defer wg.Done()
-			perReplica[i], errs[i] = cl.Get(ctx, maxLevel)
+			perReplica[i], errs[i] = cl.GetObject(ctx, obj, maxLevel)
 			r.met.perReplica[i].get(errs[i])
 		}(i, cl)
 	}

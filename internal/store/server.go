@@ -2,7 +2,6 @@ package store
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -62,6 +61,7 @@ func (c *ServerConfig) fillDefaults() {
 }
 
 type storedBlock struct {
+	obj   core.ObjectID
 	level int
 	data  []byte // core wire format, exactly as received
 }
@@ -280,7 +280,7 @@ func (s *Server) handlePut(conn net.Conn, body []byte) error {
 		writeErrFrame(conn, errCodeBad, fmt.Sprintf("bad block: %v", err))
 		return nil
 	}
-	stored, err := s.blocks.Put(b.Level, body)
+	stored, err := s.blocks.Put(b.Object, b.Level, body)
 	switch {
 	case errors.Is(err, ErrStoreFull):
 		s.met.putsRejected.Inc()
@@ -304,15 +304,12 @@ func (s *Server) handlePut(conn net.Conn, body []byte) error {
 }
 
 func (s *Server) handleGet(conn net.Conn, body []byte) error {
-	if len(body) != 2 {
-		writeErrFrame(conn, errCodeBad, fmt.Sprintf("get body %d bytes, want 2", len(body)))
+	obj, maxLevel, err := decodeGetBody(body)
+	if err != nil {
+		writeErrFrame(conn, errCodeBad, err.Error())
 		return nil
 	}
-	maxLevel := int(binary.BigEndian.Uint16(body))
-	if maxLevel == 0xFFFF {
-		maxLevel = -1 // wire sentinel: all levels
-	}
-	out, err := s.blocks.Get(maxLevel)
+	out, err := s.blocks.Get(obj, maxLevel)
 	if err != nil {
 		writeErrFrame(conn, errCodeUnavailable, err.Error())
 		return nil

@@ -27,6 +27,10 @@
 //   - Store: StoreServer, StoreClient and ReplicatedStore — a real-
 //     sockets block store where the replication factor decreases with
 //     priority level, so the critical prefix survives more node losses.
+//   - Placement: ObjectID, PlacedStore and GossipMonitor — an
+//     object-keyed namespace whose per-object replica sets are resolved
+//     by consistent hashing over a ring, with membership driven by a
+//     failure detector, so many objects share one dynamic fleet.
 //   - Repair: Recombine, AuditStore and RepairDaemon — decode-free
 //     regeneration of redundancy lost to churn, by randomly recombining
 //     surviving coded blocks, most critical level first.
@@ -49,6 +53,7 @@ import (
 	"repro/internal/exper"
 	"repro/internal/feasibility"
 	"repro/internal/geom"
+	"repro/internal/gossip"
 	"repro/internal/gpsr"
 	"repro/internal/metrics"
 	"repro/internal/predist"
@@ -444,6 +449,74 @@ func NewFaultDialer(base StoreDialer, cfg FaultConfig) *FaultDialer {
 	return store.NewFaultDialer(base, cfg)
 }
 
+// Placement layer: the object-keyed namespace over the store fleet.
+// Every coded block belongs to an ObjectID (the zero object is the
+// key-less legacy namespace v1/v3 wire frames decode into), and a
+// PlacedStore resolves each object's replica set by consistent hashing
+// — the ID's successor list of R alive nodes on a chord ring — instead
+// of one static replica list for everything. A GossipMonitor probes the
+// fleet and reports liveness transitions; feeding them to SetAlive
+// keeps placement tracking membership, deterministically: the same
+// address list and membership sequence yields the same assignment in
+// every run.
+type (
+	// ObjectID names one logical data object — the unit differentiated
+	// persistence is defined over and the unit placement hashes.
+	ObjectID = core.ObjectID
+	// ObjectStats is one object's slice of a StoreStats snapshot.
+	ObjectStats = store.ObjectStats
+	// PlacedStore is the consistent-hashing front end: per-object shards
+	// over a dynamic fleet, each shard a ReplicatedStore.
+	PlacedStore = store.Placed
+	// PlacedStoreConfig parameterizes a PlacedStore.
+	PlacedStoreConfig = store.PlacedConfig
+	// RingMember is one node's placement-ring entry (address, ring ID,
+	// liveness).
+	RingMember = store.RingMember
+	// GossipMonitor is the seeded round-robin failure detector
+	// (Alive → Suspect → Dead on consecutive probe misses).
+	GossipMonitor = gossip.Monitor
+	// GossipMonitorConfig parameterizes a GossipMonitor.
+	GossipMonitorConfig = gossip.MonitorConfig
+	// GossipEvent is one liveness transition.
+	GossipEvent = gossip.Event
+	// GossipProber abstracts the probe a GossipMonitor sends; a
+	// PlacedStore satisfies it over the store wire path.
+	GossipProber = gossip.Prober
+)
+
+// The reserved object values: the key-less legacy object every v1/v3
+// wire frame belongs to, and the read-side wildcard selecting every
+// object (never a valid block object).
+const (
+	ZeroObject = core.ZeroObject
+	AllObjects = core.AllObjects
+)
+
+// NamedObject derives an ObjectID from a human-chosen name (FNV-64a,
+// remapped away from the reserved values).
+func NamedObject(name string) ObjectID { return core.NamedObject(name) }
+
+// ParseObjectID resolves an object spec: canonical "obj-<16 hex>" parses
+// exactly, anything else hashes as a name, empty is ZeroObject.
+func ParseObjectID(s string) (ObjectID, error) { return core.ParseObjectID(s) }
+
+// StoreNodeID maps a node address onto the placement ring (FNV-64a) —
+// exported so tools can predict ownership without a live fleet.
+func StoreNodeID(addr string) uint64 { return store.NodeID(addr) }
+
+// NewPlacedStore builds the placement layer over per-node clients for a
+// code with the given number of levels.
+func NewPlacedStore(clients []*StoreClient, levels int, cfg PlacedStoreConfig) (*PlacedStore, error) {
+	return store.NewPlaced(clients, levels, cfg)
+}
+
+// NewGossipMonitor builds a failure detector over the fleet's addresses;
+// Tick probes the next node round-robin, Run loops it.
+func NewGossipMonitor(addrs []string, p GossipProber, cfg GossipMonitorConfig) (*GossipMonitor, error) {
+	return gossip.NewMonitor(addrs, p, cfg)
+}
+
 // Repair layer: decode-free maintenance of a replicated deployment.
 // Redundancy lost to churn is regenerated by randomly recombining
 // surviving coded blocks (the regeneration primitive of Dimakis et al.,
@@ -494,6 +567,14 @@ func AuditStore(ctx context.Context, r *ReplicatedStore, cfg StoreAuditConfig) (
 // loop, RunOnce drives a single audit+repair round synchronously.
 func NewRepairDaemon(r *ReplicatedStore, cfg RepairConfig) (*RepairDaemon, error) {
 	return repair.New(r, cfg)
+}
+
+// NewObjectRepairDaemon scopes a repair daemon to one object on a
+// placed fleet: each round re-resolves the object's shard, so repair
+// follows the ring through churn and regenerated blocks land on the
+// current owners.
+func NewObjectRepairDaemon(p *PlacedStore, obj ObjectID, cfg RepairConfig) (*RepairDaemon, error) {
+	return repair.NewObject(p, obj, cfg)
 }
 
 // Observability layer: a dependency-free metrics registry threaded
