@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair bench-metrics bench-sparse bench-disk check fuzz-smoke daemon-demo repair-demo figures examples clean
+.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair bench-metrics bench-sparse bench-disk check fuzz-smoke loadtest loadtest-smoke daemon-demo repair-demo figures examples clean
 
 all: build vet test
 
@@ -88,10 +88,30 @@ bench-disk:
 # concurrent hot paths (the word-parallel kernels, the row arenas, the
 # parallel encoder, the networked store, the placement ring and its
 # failure detector, the disk engine's group-commit writer, the repair
-# daemon and the shared metrics registry they all write to).
+# daemon, the shared metrics registry they all write to, and the
+# load-and-chaos harness that exercises all of them at once).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/chord ./internal/gossip ./internal/store ./internal/diskstore ./internal/repair ./internal/metrics
+	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/chord ./internal/gossip ./internal/store ./internal/diskstore ./internal/repair ./internal/metrics ./internal/loadgen
+
+# The full SLO scenario matrix against real prlcd daemons: steady-state,
+# flash-crowd, churn-storm and repair-under-load, each an open-loop run
+# with live chaos (kill -9 + re-exec, partitions, corruption) and an SLO
+# report (per-level put/get p50/p99, error rates, goodput, bit-exact
+# level-0 decode, metrics cross-check), captured as BENCH_load.json.
+# -check makes SLO violations fail the target.
+loadtest: build
+	@$(GO) build -o /tmp/prlcd ./cmd/prlcd
+	$(GO) run ./cmd/prlcload matrix -nodes 3 -prlcd /tmp/prlcd -out BENCH_load.json -check
+
+# CI-sized slice of the matrix: steady-state and churn-storm at 5s each
+# against 3 real daemons. Churn-storm's SLO includes zero client-visible
+# errors and a bit-exact level-0 decode, so this smoke run still proves
+# the fleet survives kill/restart and partition/heal under load.
+loadtest-smoke: build
+	@$(GO) build -o /tmp/prlcd ./cmd/prlcd
+	$(GO) run ./cmd/prlcload run -scenario steady-state,churn-storm -duration 5s \
+	    -nodes 3 -prlcd /tmp/prlcd -out BENCH_load.json -check
 
 # Short fuzz pass over every fuzz target: the block-file parser, the wire
 # format, the decoder equivalence oracle and the GF(2^8) kernels. ~20s per

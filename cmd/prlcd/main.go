@@ -13,6 +13,7 @@
 //	      -in report.pdf -blocks 100 -levels 0.1,0.2,0.7 -scheme plc
 //	prlcd store get -addrs ... -out recovered.pdf -scheme plc -sizes ... -size ...
 //	prlcd store stat -addr 127.0.0.1:7071
+//	prlcd store segments -addr 127.0.0.1:7071     # disk segment inventory
 //	prlcd store shutdown -addr 127.0.0.1:7071
 //	prlcd repair -addrs ... -scheme plc -sizes ... -total 160        # one round
 //	prlcd repair -addrs ... -sizes ... -total 160 -watch             # loop
@@ -99,6 +100,7 @@ func serve(args []string, out io.Writer) error {
 		fsyncStr     string
 		retention    time.Duration
 		segmentBytes int64
+		pidFile      string
 		rOpts        repairOpts
 	)
 	fs.StringVar(&addr, "addr", "127.0.0.1:7071", "listen address")
@@ -111,9 +113,18 @@ func serve(args []string, out io.Writer) error {
 	fs.StringVar(&fsyncStr, "fsync", "batch", "disk durability: batch (group commit), always (per put) or none")
 	fs.DurationVar(&retention, "retention", 0, "delete disk segments older than this rolling window (0 = keep forever)")
 	fs.Int64Var(&segmentBytes, "segment-bytes", 0, "disk segment rotation threshold in bytes (0 = 64 MiB default)")
+	fs.StringVar(&pidFile, "pid-file", "", "write the daemon PID here once serving (for process supervisors and chaos controllers)")
 	rOpts.register(fs, "peers", 10*time.Second)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if pidFile != "" {
+		// Written before the listen so a supervisor that saw the file can
+		// immediately signal the process; removed on every exit path.
+		if err := os.WriteFile(pidFile, []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+			return fmt.Errorf("serve: -pid-file: %w", err)
+		}
+		defer os.Remove(pidFile)
 	}
 	var reg *metrics.Registry
 	if metricsAddr != "" {
@@ -210,7 +221,7 @@ func serve(args []string, out io.Writer) error {
 
 func storeCmd(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: prlcd store ping|stat|put|get|shutdown [flags]")
+		return fmt.Errorf("usage: prlcd store ping|stat|segments|put|get|shutdown [flags]")
 	}
 	switch args[0] {
 	case "ping":
@@ -221,11 +232,44 @@ func storeCmd(args []string, out io.Writer) error {
 		return putCmd(args[1:], out)
 	case "get":
 		return getCmd(args[1:], out)
+	case "segments":
+		return segmentsCmd(args[1:], out)
 	case "shutdown":
 		return shutdownCmd(args[1:], out)
 	default:
 		return fmt.Errorf("unknown store subcommand %q", args[0])
 	}
+}
+
+// segmentsCmd renders a disk-backed daemon's segment inventory: one line
+// per on-disk segment with its id, record count, byte size, age, and
+// whether it is still the active (write) segment.
+func segmentsCmd(args []string, out io.Writer) error {
+	return singleAddrCmd("segments", args, func(ctx context.Context, cl *store.Client) error {
+		segs, err := cl.Segments(ctx)
+		if err != nil {
+			return err
+		}
+		var blocks int
+		var bytes int64
+		for _, sg := range segs {
+			blocks += sg.Records
+			bytes += sg.Bytes
+		}
+		fmt.Fprintf(out, "%s: %d segments, %d records, %d bytes\n", cl.Addr(), len(segs), blocks, bytes)
+		fmt.Fprintf(out, "  %-10s %8s %12s %12s  %s\n", "segment", "records", "bytes", "age", "state")
+		now := time.Now()
+		for _, sg := range segs {
+			state := "sealed"
+			if sg.Active {
+				state = "active"
+			}
+			fmt.Fprintf(out, "  %-10s %8d %12d %12s  %s\n",
+				fmt.Sprintf("%08d", sg.ID), sg.Records, sg.Bytes,
+				now.Sub(sg.Created).Round(time.Second), state)
+		}
+		return nil
+	})
 }
 
 func newClient(addr string, timeout time.Duration) (*store.Client, error) {

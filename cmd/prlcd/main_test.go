@@ -313,3 +313,47 @@ func TestKeyedPutGetAndRing(t *testing.T) {
 		t.Fatalf("stat -object printed %d sections, want 1: %q", c, out.String())
 	}
 }
+
+// TestStoreSegmentsCLI drives `prlcd store segments` against a
+// disk-backed daemon (table with records and an active segment) and a
+// memory daemon (a clear "no disk engine" rejection).
+func TestStoreSegmentsCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	data := make([]byte, 2048)
+	rand.New(rand.NewSource(11)).Read(data)
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, done := serveDisk(t, filepath.Join(dir, "data"))
+	var out bytes.Buffer
+	err := run([]string{
+		"store", "put", "-addrs", addr, "-in", in,
+		"-blocks", "10", "-coded", "20", "-levels", "0.3,0.7", "-scheme", "plc", "-f", "0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"store", "segments", "-addr", addr}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "20 records") || !strings.Contains(s, "active") {
+		t.Fatalf("segments output missing inventory or active marker: %q", s)
+	}
+	if err := run([]string{"store", "shutdown", "-addr", addr}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve exit: %v", err)
+	}
+
+	// A memory-engine daemon rejects the op with a pointer to -data-dir.
+	memAddr := startDaemons(t, 1)[0]
+	out.Reset()
+	err = run([]string{"store", "segments", "-addr", memAddr}, &out)
+	if err == nil || !strings.Contains(err.Error(), "data-dir") {
+		t.Fatalf("segments on memory engine: err %v, want a -data-dir hint", err)
+	}
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProcFleet runs real prlcd daemon processes — the production-shaped
+// target for the load harness. Each node gets its own data directory,
+// block-store port, and metrics port; Kill sends SIGKILL and Restart
+// re-execs the daemon against the same directory and addresses, so a
+// restarted node recovers its segments exactly like a crashed daemon in
+// the field.
+type ProcFleet struct {
+	bin  string
+	base string
+	logw io.Writer // daemon stdout/stderr when non-nil
+
+	mu    sync.Mutex
+	nodes []*procNode
+}
+
+type procNode struct {
+	addr    string
+	maddr   string
+	dataDir string
+	cmd     *exec.Cmd // nil while down
+}
+
+// StartProcFleet boots n daemons from the prlcd binary at bin, with
+// data directories under base.
+func StartProcFleet(bin string, n int, base string, logw io.Writer) (*ProcFleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("prlcload: fleet needs at least one node")
+	}
+	abs, err := exec.LookPath(bin)
+	if err != nil {
+		return nil, fmt.Errorf("prlcload: prlcd binary: %w", err)
+	}
+	f := &ProcFleet{bin: abs, base: base, logw: logw, nodes: make([]*procNode, n)}
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(base, fmt.Sprintf("node%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.nodes[i] = &procNode{dataDir: dir}
+		if err := f.startNode(i); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// startNode execs the daemon. First boot uses :0 and learns the bound
+// addresses from the startup banners; restarts pin the learned ones.
+func (f *ProcFleet) startNode(i int) error {
+	n := f.nodes[i]
+	addr, maddr := n.addr, n.maddr
+	if addr == "" {
+		addr, maddr = "127.0.0.1:0", "127.0.0.1:0"
+	}
+	cmd := exec.Command(f.bin, "serve",
+		"-addr", addr,
+		"-metrics", maddr,
+		"-data-dir", n.dataDir,
+		"-pid-file", filepath.Join(n.dataDir, "prlcd.pid"),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("prlcload: start node %d: %w", i, err)
+	}
+
+	// The daemon announces "metrics on http://ADDR/metrics" then
+	// "serving on ADDR"; wait for both, then keep draining the pipe so
+	// the daemon never blocks on a full stdout buffer.
+	sc := bufio.NewScanner(stdout)
+	deadline := time.Now().Add(10 * time.Second)
+	gotAddr, gotMetrics := n.addr, n.maddr
+	for (gotAddr == "" || gotMetrics == "") && time.Now().Before(deadline) && sc.Scan() {
+		line := sc.Text()
+		if f.logw != nil {
+			fmt.Fprintf(f.logw, "node%d: %s\n", i, line)
+		}
+		if _, rest, ok := strings.Cut(line, "serving on "); ok {
+			gotAddr = strings.TrimSpace(rest)
+		}
+		if _, rest, ok := strings.Cut(line, "metrics on http://"); ok {
+			gotMetrics = strings.TrimSuffix(strings.TrimSpace(rest), "/metrics")
+		}
+	}
+	if gotAddr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("prlcload: node %d never announced its address", i)
+	}
+	go func() {
+		for sc.Scan() {
+			if f.logw != nil {
+				fmt.Fprintf(f.logw, "node%d: %s\n", i, sc.Text())
+			}
+		}
+	}()
+	n.addr, n.maddr, n.cmd = gotAddr, gotMetrics, cmd
+	return nil
+}
+
+func (f *ProcFleet) Addrs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.nodes))
+	for i, n := range f.nodes {
+		out[i] = n.addr
+	}
+	return out
+}
+
+func (f *ProcFleet) MetricsAddrs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.nodes))
+	for i, n := range f.nodes {
+		out[i] = n.maddr
+	}
+	return out
+}
+
+// Kill hard-kills the daemon (SIGKILL — a crash, not a drain) and reaps
+// it.
+func (f *ProcFleet) Kill(node int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if node < 0 || node >= len(f.nodes) {
+		return fmt.Errorf("prlcload: kill node %d of %d", node, len(f.nodes))
+	}
+	n := f.nodes[node]
+	if n.cmd == nil {
+		return fmt.Errorf("prlcload: node %d already down", node)
+	}
+	n.cmd.Process.Kill()
+	n.cmd.Wait()
+	n.cmd = nil
+	return nil
+}
+
+// Restart re-execs a killed daemon on its original addresses and data
+// directory.
+func (f *ProcFleet) Restart(node int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if node < 0 || node >= len(f.nodes) {
+		return fmt.Errorf("prlcload: restart node %d of %d", node, len(f.nodes))
+	}
+	if f.nodes[node].cmd != nil {
+		return fmt.Errorf("prlcload: node %d already up", node)
+	}
+	return f.startNode(node)
+}
+
+// Revive restarts every down node (between matrix scenarios).
+func (f *ProcFleet) Revive() error {
+	f.mu.Lock()
+	down := []int{}
+	for i, n := range f.nodes {
+		if n.cmd == nil {
+			down = append(down, i)
+		}
+	}
+	f.mu.Unlock()
+	for _, i := range down {
+		if err := f.Restart(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close kills and reaps every live daemon.
+func (f *ProcFleet) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range f.nodes {
+		if n != nil && n.cmd != nil {
+			n.cmd.Process.Kill()
+			n.cmd.Wait()
+			n.cmd = nil
+		}
+	}
+}

@@ -456,6 +456,26 @@ func (s *Store) Segments() int {
 	return len(s.segs)
 }
 
+// SegmentInfos snapshots per-segment metadata, ascending by id. The last
+// segment is the active one (still receiving writes); all earlier
+// segments are sealed. It implements store.SegmentLister, behind the
+// `prlcd store segments` inspection subcommand.
+func (s *Store) SegmentInfos() []store.SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]store.SegmentInfo, 0, len(s.segs))
+	for i, seg := range s.segs {
+		out = append(out, store.SegmentInfo{
+			ID:      seg.id,
+			Records: len(seg.recs),
+			Bytes:   seg.size,
+			Created: seg.createdAt,
+			Active:  i == len(s.segs)-1,
+		})
+	}
+	return out
+}
+
 // Sync flushes every queued put to disk and fsyncs the active segment,
 // regardless of fsync mode. Close calls it; tests and checkpoints can
 // call it directly.

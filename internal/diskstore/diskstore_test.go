@@ -757,3 +757,38 @@ func TestKeyedRestartReplay(t *testing.T) {
 		t.Fatalf("wildcard put err = %v, want ErrBadRequest", err)
 	}
 }
+
+func TestSegmentInfos(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 1 << 10}) // force rotations
+	_, _, wires, lvls := testBlocks(t, 24)
+	putAll(t, s, wires, lvls)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	var lister store.SegmentLister = s // compile-time facet check
+	infos := lister.SegmentInfos()
+	if len(infos) < 2 {
+		t.Fatalf("got %d segments, want >= 2 after rotation (SegmentBytes=1KiB, 24 blocks)", len(infos))
+	}
+	if len(infos) != s.Segments() {
+		t.Fatalf("SegmentInfos has %d entries, Segments() says %d", len(infos), s.Segments())
+	}
+	records := 0
+	for i, in := range infos {
+		records += in.Records
+		if i > 0 && infos[i-1].ID >= in.ID {
+			t.Fatalf("segment ids not ascending: %d then %d", infos[i-1].ID, in.ID)
+		}
+		if wantActive := i == len(infos)-1; in.Active != wantActive {
+			t.Errorf("segment %d active = %v, want %v", in.ID, in.Active, wantActive)
+		}
+		if in.Bytes <= 0 || in.Created.IsZero() {
+			t.Errorf("segment %d: bytes %d, created %v — metadata missing", in.ID, in.Bytes, in.Created)
+		}
+	}
+	if records != s.Len() {
+		t.Fatalf("segment records sum to %d, store holds %d blocks", records, s.Len())
+	}
+}

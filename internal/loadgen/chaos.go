@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Injector is what the chaos controller drives. Kill and Restart act on
+// real daemons (a process or an in-process server); the rest act on the
+// generator's own transport via store.FaultDialer, which is where
+// partitions, corruption, and delay live from a client's point of view.
+type Injector interface {
+	Kill(node int) error
+	Restart(node int) error
+	Partition(node int)
+	Heal(node int)
+	SetCorrupt(prob float64)
+	SetDelay(prob float64)
+}
+
+// FaultRecord is one executed fault in the report: what the schedule
+// said, when it actually fired and reverted on the wall clock, and any
+// execution error (a kill finding the process already dead, etc.).
+type FaultRecord struct {
+	ScheduledFault
+	FiredAt    time.Duration `json:"fired_at"`
+	RevertedAt time.Duration `json:"reverted_at,omitempty"`
+	Err        string        `json:"err,omitempty"`
+	RevertErr  string        `json:"revert_err,omitempty"`
+}
+
+// Controller executes a built schedule against an Injector on the wall
+// clock. Run blocks until every fault has fired AND every revert has
+// completed (or the context is cancelled), so callers get the
+// no-leaked-goroutines guarantee for free: when Run returns, nothing the
+// controller started is still running.
+type Controller struct {
+	sched []ScheduledFault
+	inj   Injector
+
+	mu   sync.Mutex
+	recs []FaultRecord
+}
+
+func NewController(sched []ScheduledFault, inj Injector) *Controller {
+	return &Controller{sched: sched, inj: inj}
+}
+
+// Run executes the schedule relative to start. Faults whose At has
+// already passed fire immediately (in order). Cancelling ctx stops
+// waiting but still executes pending reverts immediately — a cancelled
+// chaos run must not strand a node dead or partitioned, since the same
+// fleet is then used for the decode spot-check.
+func (c *Controller) Run(ctx context.Context, start time.Time) []FaultRecord {
+	var reverts sync.WaitGroup
+	for _, f := range c.sched {
+		if !sleepUntil(ctx, start.Add(f.At)) {
+			// Context gone before this fault fired: skip it entirely.
+			continue
+		}
+		rec := FaultRecord{ScheduledFault: f, FiredAt: time.Since(start)}
+		if err := c.apply(f); err != nil {
+			rec.Err = err.Error()
+		}
+		if f.RevertAt < 0 {
+			c.record(rec)
+			continue
+		}
+		reverts.Add(1)
+		go func(f ScheduledFault, rec FaultRecord) {
+			defer reverts.Done()
+			sleepUntil(ctx, start.Add(f.RevertAt)) // on cancel: revert now
+			if err := c.revert(f); err != nil {
+				rec.RevertErr = err.Error()
+			}
+			rec.RevertedAt = time.Since(start)
+			c.record(rec)
+		}(f, rec)
+	}
+	reverts.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sortRecords(c.recs)
+	out := make([]FaultRecord, len(c.recs))
+	copy(out, c.recs)
+	return out
+}
+
+func (c *Controller) apply(f ScheduledFault) error {
+	switch f.Kind {
+	case "kill":
+		return c.inj.Kill(f.Node)
+	case "partition":
+		c.inj.Partition(f.Node)
+	case "corrupt":
+		c.inj.SetCorrupt(f.Prob)
+	case "delay":
+		c.inj.SetDelay(f.Prob)
+	}
+	return nil
+}
+
+func (c *Controller) revert(f ScheduledFault) error {
+	switch f.Kind {
+	case "kill":
+		return c.inj.Restart(f.Node)
+	case "partition":
+		c.inj.Heal(f.Node)
+	case "corrupt":
+		c.inj.SetCorrupt(0)
+	case "delay":
+		c.inj.SetDelay(0)
+	}
+	return nil
+}
+
+func (c *Controller) record(r FaultRecord) {
+	c.mu.Lock()
+	c.recs = append(c.recs, r)
+	c.mu.Unlock()
+}
+
+func sortRecords(recs []FaultRecord) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].At < recs[j-1].At; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// sleepUntil sleeps until the deadline or ctx cancellation; it reports
+// whether the deadline was actually reached.
+func sleepUntil(ctx context.Context, deadline time.Time) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingInjector logs every injector call with a timestamp, and can
+// simulate a node that is already down.
+type recordingInjector struct {
+	mu    sync.Mutex
+	calls []string
+	when  map[string]time.Duration
+	start time.Time
+}
+
+func newRecordingInjector() *recordingInjector {
+	return &recordingInjector{when: make(map[string]time.Duration), start: time.Now()}
+}
+
+func (r *recordingInjector) log(s string) {
+	r.mu.Lock()
+	r.calls = append(r.calls, s)
+	if _, ok := r.when[s]; !ok {
+		r.when[s] = time.Since(r.start)
+	}
+	r.mu.Unlock()
+}
+
+func (r *recordingInjector) Kill(n int) error    { r.log(call("kill", n)); return nil }
+func (r *recordingInjector) Restart(n int) error { r.log(call("restart", n)); return nil }
+func (r *recordingInjector) Partition(n int)     { r.log(call("partition", n)) }
+func (r *recordingInjector) Heal(n int)          { r.log(call("heal", n)) }
+func (r *recordingInjector) SetCorrupt(p float64) {
+	if p > 0 {
+		r.log("corrupt-on")
+	} else {
+		r.log("corrupt-off")
+	}
+}
+func (r *recordingInjector) SetDelay(p float64) {
+	if p > 0 {
+		r.log("delay-on")
+	} else {
+		r.log("delay-off")
+	}
+}
+
+func (r *recordingInjector) seen(s string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.calls {
+		if c == s {
+			return true
+		}
+	}
+	return false
+}
+
+func call(kind string, n int) string {
+	return kind + string(rune('0'+n))
+}
+
+// Overlapping kill, partition, and corrupt windows must all fire, all
+// revert, and leave no goroutine behind once Run returns. Run under
+// -race, this is the satellite "overlapping faults compose" check.
+func TestControllerOverlappingFaultsRevertAndDontLeak(t *testing.T) {
+	specs := []FaultSpec{
+		{At: 0, Kind: "kill", Node: 0, For: Duration(120 * time.Millisecond)},
+		{At: Duration(20 * time.Millisecond), Kind: "partition", Node: 1, For: Duration(60 * time.Millisecond)},
+		{At: Duration(40 * time.Millisecond), Kind: "corrupt", Node: 0, For: Duration(100 * time.Millisecond), Prob: 0.3},
+		{At: Duration(50 * time.Millisecond), Kind: "delay", Node: 1, For: Duration(30 * time.Millisecond), Prob: 0.5},
+	}
+	sched, err := BuildSchedule(specs, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	inj := newRecordingInjector()
+	recs := NewController(sched, inj).Run(context.Background(), time.Now())
+
+	if len(recs) != len(specs) {
+		t.Fatalf("%d fault records for %d faults", len(recs), len(specs))
+	}
+	for _, want := range []string{
+		call("kill", 0), call("restart", 0),
+		call("partition", 1), call("heal", 1),
+		"corrupt-on", "corrupt-off", "delay-on", "delay-off",
+	} {
+		if !inj.seen(want) {
+			t.Errorf("injector never saw %s (calls: %v)", want, inj.calls)
+		}
+	}
+	for _, rec := range recs {
+		if rec.Err != "" || rec.RevertErr != "" {
+			t.Errorf("fault %v: err=%q revert=%q", rec.ScheduledFault, rec.Err, rec.RevertErr)
+		}
+		if rec.RevertedAt < rec.FiredAt {
+			t.Errorf("fault %v reverted at %v before firing at %v", rec.ScheduledFault, rec.RevertedAt, rec.FiredAt)
+		}
+	}
+	// Run's return is the barrier: nothing it started may survive it.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("%d goroutines after Run, %d before", n, before)
+	}
+}
+
+// Cancelling the chaos context mid-window must execute pending reverts
+// immediately instead of stranding faults — the fleet is reused for the
+// decode spot-check after the generator stops.
+func TestControllerCancelRevertsImmediately(t *testing.T) {
+	sched, err := BuildSchedule([]FaultSpec{
+		{At: 0, Kind: "kill", Node: 0, For: Duration(time.Hour)},
+		{At: 0, Kind: "partition", Node: 1, For: Duration(time.Hour)},
+	}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newRecordingInjector()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []FaultRecord, 1)
+	go func() { done <- NewController(sched, inj).Run(ctx, time.Now()) }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for !(inj.seen(call("kill", 0)) && inj.seen(call("partition", 1))) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case recs := <-done:
+		for _, want := range []string{call("restart", 0), call("heal", 1)} {
+			if !inj.seen(want) {
+				t.Errorf("cancelled run never executed %s", want)
+			}
+		}
+		for _, rec := range recs {
+			if rec.RevertedAt > time.Hour {
+				t.Errorf("revert waited out the full window: %+v", rec)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+// A permanent kill (no revert window) must not be restarted and must
+// not block Run.
+func TestControllerPermanentKill(t *testing.T) {
+	sched, err := BuildSchedule([]FaultSpec{{At: 0, Kind: "kill", Node: 0}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newRecordingInjector()
+	recs := NewController(sched, inj).Run(context.Background(), time.Now())
+	if !inj.seen(call("kill", 0)) || inj.seen(call("restart", 0)) {
+		t.Errorf("permanent kill executed wrong calls: %v", inj.calls)
+	}
+	if len(recs) != 1 || recs[0].RevertedAt != 0 {
+		t.Errorf("records = %+v", recs)
+	}
+}

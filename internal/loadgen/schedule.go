@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ScheduledFault is a FaultSpec resolved against a concrete fleet: the
+// target is a real node index, "any" picks have been made, and the
+// revert time is explicit. Building the schedule is pure — no wall
+// clock, no live randomness — so the same (specs, nodes, seed) triple
+// always yields the same schedule; only execution touches the clock.
+type ScheduledFault struct {
+	At   time.Duration `json:"at"`
+	Kind string        `json:"kind"`
+	Node int           `json:"node"`
+	// RevertAt is when the fault is undone (restart, heal, prob reset);
+	// <0 means never (a permanent kill).
+	RevertAt time.Duration `json:"revert_at"`
+	Prob     float64       `json:"prob,omitempty"`
+}
+
+func (f ScheduledFault) String() string {
+	if f.RevertAt < 0 {
+		return fmt.Sprintf("%v %s node%d (permanent)", f.At, f.Kind, f.Node)
+	}
+	return fmt.Sprintf("%v %s node%d until %v", f.At, f.Kind, f.Node, f.RevertAt)
+}
+
+// BuildSchedule resolves fault specs against a fleet of n nodes. Specs
+// with Node == -1 get a seed-deterministic target; targets cycle away
+// from the immediately previous pick so back-to-back "any" faults tend
+// to hit different nodes (more interesting overlap, still
+// deterministic). The result is sorted by At, ties broken by spec
+// order.
+func BuildSchedule(specs []FaultSpec, nodes int, seed int64) ([]ScheduledFault, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("loadgen: schedule needs at least one node")
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5c3a9d1e))
+	out := make([]ScheduledFault, 0, len(specs))
+	last := -1
+	for i, sp := range specs {
+		node := sp.Node
+		if node == -1 {
+			node = rng.Intn(nodes)
+			if node == last && nodes > 1 {
+				node = (node + 1 + rng.Intn(nodes-1)) % nodes
+			}
+		}
+		if node < 0 || node >= nodes {
+			return nil, fmt.Errorf("loadgen: fault %d targets node %d of a %d-node fleet", i, sp.Node, nodes)
+		}
+		last = node
+		sf := ScheduledFault{At: sp.At.D(), Kind: sp.Kind, Node: node, Prob: sp.Prob}
+		if sp.For > 0 {
+			sf.RevertAt = sp.At.D() + sp.For.D()
+		} else if sp.Kind == "kill" {
+			sf.RevertAt = -1
+		} else {
+			// corrupt/delay with no window default to a 1s pulse so a
+			// forgotten "for" cannot poison the rest of the run.
+			sf.RevertAt = sp.At.D() + time.Second
+		}
+		out = append(out, sf)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+// ScheduleHash fingerprints a schedule. Two runs with the same scenario
+// produce the same hash — the determinism acceptance check — and the
+// hash lands in the report so drift is visible across machines.
+func ScheduleHash(sched []ScheduledFault) string {
+	h := fnv.New64a()
+	for _, f := range sched {
+		fmt.Fprintf(h, "%d|%s|%d|%d|%g\n", f.At.Nanoseconds(), f.Kind, f.Node, f.RevertAt.Nanoseconds(), f.Prob)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	names := map[string]bool{}
+	for _, sc := range Builtins() {
+		sc := sc
+		if err := sc.Validate(); err != nil {
+			t.Errorf("builtin %s: %v", sc.Name, err)
+		}
+		names[sc.Name] = true
+	}
+	for _, want := range []string{"steady-state", "flash-crowd", "churn-storm", "repair-under-load"} {
+		if !names[want] {
+			t.Errorf("missing builtin scenario %s", want)
+		}
+		if _, err := Builtin(want); err != nil {
+			t.Errorf("Builtin(%s): %v", want, err)
+		}
+	}
+	if _, err := Builtin("nope"); err == nil {
+		t.Error("Builtin(nope) succeeded")
+	}
+}
+
+func TestScenarioValidationRejectsBadFields(t *testing.T) {
+	good, _ := Builtin("churn-storm")
+	for name, mut := range map[string]func(*Scenario){
+		"no name":          func(s *Scenario) { s.Name = "" },
+		"zero duration":    func(s *Scenario) { s.Duration = 0 },
+		"zero clients":     func(s *Scenario) { s.Clients = 0 },
+		"zero rate":        func(s *Scenario) { s.Rate = 0 },
+		"put fraction > 1": func(s *Scenario) { s.PutFraction = 1.5 },
+		"no levels":        func(s *Scenario) { s.LevelFractions = nil },
+		"weight mismatch":  func(s *Scenario) { s.LevelWeights = []float64{1} },
+		"bad fault kind":   func(s *Scenario) { s.Faults[0].Kind = "meteor" },
+		"corrupt no prob": func(s *Scenario) {
+			s.Faults[0] = FaultSpec{At: 0, Kind: "corrupt", Node: 0}
+		},
+		"partition no heal": func(s *Scenario) {
+			s.Faults[0] = FaultSpec{At: 0, Kind: "partition", Node: 0}
+		},
+	} {
+		sc := good
+		sc.Faults = append([]FaultSpec(nil), good.Faults...)
+		mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the scenario", name)
+		}
+	}
+}
+
+// Same specs, fleet size, and seed must yield byte-identical schedules —
+// the reproducible-chaos acceptance criterion.
+func TestBuildScheduleDeterministic(t *testing.T) {
+	sc, _ := Builtin("churn-storm")
+	a, err := BuildSchedule(sc.Faults, 3, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(sc.Faults, 3, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs, different schedules:\n%v\n%v", a, b)
+	}
+	if ScheduleHash(a) != ScheduleHash(b) {
+		t.Fatal("same schedule, different hashes")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not sorted: %v", a)
+		}
+	}
+	for _, f := range a {
+		if f.Node < 0 || f.Node >= 3 {
+			t.Fatalf("fault targets node %d of a 3-node fleet", f.Node)
+		}
+	}
+	// A different seed must be able to pick different targets (the "any"
+	// node resolution actually uses the seed).
+	differs := false
+	for seed := int64(100); seed < 120 && !differs; seed++ {
+		c, err := BuildSchedule(sc.Faults, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		differs = ScheduleHash(c) != ScheduleHash(a)
+	}
+	if !differs {
+		t.Error("20 different seeds all produced the same schedule")
+	}
+}
+
+func TestBuildScheduleDefaultsAndErrors(t *testing.T) {
+	if _, err := BuildSchedule(nil, 0, 1); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := BuildSchedule([]FaultSpec{{Kind: "kill", Node: 7}}, 3, 1); err == nil {
+		t.Error("out-of-range explicit node accepted")
+	}
+	// A kill with no window is permanent; corrupt with no window pulses.
+	sched, err := BuildSchedule([]FaultSpec{
+		{At: Duration(time.Second), Kind: "kill", Node: 0},
+		{At: Duration(time.Second), Kind: "corrupt", Node: 0, Prob: 0.5},
+	}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[0].RevertAt >= 0 {
+		t.Errorf("windowless kill got revert %v, want permanent", sched[0].RevertAt)
+	}
+	if sched[1].RevertAt != 2*time.Second {
+		t.Errorf("windowless corrupt reverts at %v, want 2s pulse", sched[1].RevertAt)
+	}
+}
+
+func TestBuildOpsDeterministic(t *testing.T) {
+	sc, _ := Builtin("steady-state")
+	sc.Duration = Duration(2 * time.Second)
+	a, err := BuildOps(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildOps(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same scenario, different op schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("no ops generated")
+	}
+	// Sanity: arrivals are ordered, in range, and roughly at the target
+	// rate (Poisson with n~600, so +/-50% is a generous band).
+	want := sc.Rate * time.Duration(sc.Duration).Seconds()
+	if float64(len(a)) < want/2 || float64(len(a)) > want*2 {
+		t.Errorf("%d ops for target %.0f", len(a), want)
+	}
+	puts := 0
+	for i, op := range a {
+		if i > 0 && op.At < a[i-1].At {
+			t.Fatal("ops not time-ordered")
+		}
+		if op.At >= sc.Duration.D() || op.Obj >= sc.Objects || op.Level >= len(sc.LevelFractions) {
+			t.Fatalf("op out of range: %+v", op)
+		}
+		if op.Put {
+			puts++
+		}
+	}
+	frac := float64(puts) / float64(len(a))
+	if frac < sc.PutFraction/2 || frac > sc.PutFraction*2 {
+		t.Errorf("put fraction %.2f, want near %.2f", frac, sc.PutFraction)
+	}
+}
+
+func TestRatePhasesShiftArrivals(t *testing.T) {
+	sc, _ := Builtin("flash-crowd")
+	sc.Duration = Duration(9 * time.Second)
+	ops, err := BuildOps(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The middle third runs at 10x: it should hold the large majority of
+	// arrivals.
+	var before, during, after int
+	for _, op := range ops {
+		switch {
+		case op.At < 3*time.Second:
+			before++
+		case op.At < 6*time.Second:
+			during++
+		default:
+			after++
+		}
+	}
+	if during < 4*before || during < 4*after {
+		t.Errorf("flash crowd not visible: %d/%d/%d arrivals per third", before, during, after)
+	}
+}

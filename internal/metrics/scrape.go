@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series sample from a Prometheus text document.
+// Name is the full series identifier — base name plus a normalized label
+// set, `foo{a="b",q="0.5"}` — so two samples differing only in labels
+// stay distinct.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Samples is a parsed scrape: full series name -> value. Later samples of
+// a duplicated series overwrite earlier ones (last-wins, matching how a
+// scraper would ingest the document).
+type Samples map[string]float64
+
+// Value returns the sample under the exact series name (labels included),
+// or 0 when absent — counters that never fired simply do not appear in
+// the exposition, so absence reads naturally as zero.
+func (s Samples) Value(name string) float64 { return s[name] }
+
+// SumPrefix sums every sample whose series name starts with prefix —
+// `store_server_requests_total` sums the per-op labeled variants. A base
+// name matches itself, its labeled variants `base{...}`, and nothing else
+// (`store_server_requests_total_foo` does not ride along).
+func (s Samples) SumPrefix(prefix string) float64 {
+	total := 0.0
+	for name, v := range s {
+		if name == prefix || strings.HasPrefix(name, prefix+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Names returns the series names sorted, for reports and tests.
+func (s Samples) Names() []string {
+	out := make([]string, 0, len(s))
+	for name := range s {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParsePromText parses a Prometheus 0.0.4 text document into samples.
+// It applies the same structural validation as ValidatePromText — the
+// first malformed line fails the whole parse, because a load harness
+// cross-checking SLOs against a daemon must not silently drop series —
+// and normalizes each sample's label set so lookups are stable across
+// emitters (labels sorted, `base{b="2",a="1"}` -> `base{a="1",b="2"}`).
+func ParsePromText(r io.Reader) (Samples, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	out := make(Samples)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateCommentLine(line); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		out[s.Name] = s.Value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no samples in document")
+	}
+	return out, nil
+}
+
+// parseSampleLine parses `name[{labels}] value [timestamp]` into a
+// Sample, reusing the validator's structural checks.
+func parseSampleLine(line string) (Sample, error) {
+	if err := validateSampleLine(line); err != nil {
+		return Sample{}, err
+	}
+	rest := line
+	i := strings.IndexAny(rest, " \t{")
+	name := rest[:i]
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.IndexByte(rest, '}')
+		if inner := rest[1:end]; inner != "" {
+			name = name + "{" + normalizeLabels(inner) + "}"
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sample %q: bad value %q", line, fields[0])
+	}
+	return Sample{Name: name, Value: v}, nil
+}
+
+// normalizeLabels sorts `k="v"` pairs so the same label set always
+// produces the same series name regardless of emitter order.
+func normalizeLabels(inner string) string {
+	pairs := strings.Split(inner, ",")
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+// Scrape fetches and parses one daemon's Prometheus endpoint. addr is
+// the observability address (`prlcd serve -metrics`); the path defaults
+// to /metrics when addr carries none. It is the SLO harness's view into
+// a live daemon: the generator's own clocks measure client-side latency,
+// the scrape says what the server believes happened.
+func Scrape(ctx context.Context, addr string) (Samples, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/metrics") && !strings.Contains(url, "/metrics") {
+		url = strings.TrimSuffix(url, "/") + "/metrics"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: scrape %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: scrape %s: %s", addr, resp.Status)
+	}
+	samples, err := ParsePromText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: scrape %s: %w", addr, err)
+	}
+	return samples, nil
+}

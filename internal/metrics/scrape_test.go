@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePromTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("loadtest_ops_total").Add(42)
+	reg.Counter(`loadtest_errs_total{kind="put"}`).Add(3)
+	reg.Counter(`loadtest_errs_total{kind="get"}`).Add(4)
+	reg.Gauge("loadtest_active").Set(7)
+	h := reg.Histogram("loadtest_lat_ns")
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePromText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParsePromText on our own exposition: %v", err)
+	}
+	if got := samples.Value("loadtest_ops_total"); got != 42 {
+		t.Errorf("ops_total = %v, want 42", got)
+	}
+	if got := samples.Value(`loadtest_errs_total{kind="put"}`); got != 3 {
+		t.Errorf("errs{put} = %v, want 3", got)
+	}
+	if got := samples.SumPrefix("loadtest_errs_total"); got != 7 {
+		t.Errorf("SumPrefix(errs) = %v, want 7", got)
+	}
+	if got := samples.Value("loadtest_active"); got != 7 {
+		t.Errorf("active = %v, want 7", got)
+	}
+	if got := samples.Value("loadtest_lat_ns_count"); got != 100 {
+		t.Errorf("lat_count = %v, want 100", got)
+	}
+	if got := samples.Value(`loadtest_lat_ns{quantile="0.99"}`); got <= 0 {
+		t.Errorf("p99 sample missing, got %v", got)
+	}
+}
+
+func TestParsePromTextNormalizesLabelOrder(t *testing.T) {
+	doc := "m{b=\"2\",a=\"1\"} 5\n"
+	samples, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples.Value(`m{a="1",b="2"}`); got != 5 {
+		t.Errorf("normalized lookup = %v, want 5 (names: %v)", got, samples.Names())
+	}
+}
+
+func TestParsePromTextRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{
+		"",
+		"not a metric line at all!!!\n",
+		"name{unterminated 3\n",
+		"name twelve\n",
+	} {
+		if _, err := ParsePromText(strings.NewReader(doc)); err == nil {
+			t.Errorf("ParsePromText(%q) accepted garbage", doc)
+		}
+	}
+}
+
+func TestSumPrefixDoesNotMatchLongerNames(t *testing.T) {
+	doc := "foo_total 1\nfoo_total_extra 10\nfoo_total{op=\"x\"} 2\n"
+	samples, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples.SumPrefix("foo_total"); got != 3 {
+		t.Errorf("SumPrefix = %v, want 3 (base + labeled only)", got)
+	}
+}
+
+func TestScrapeLiveHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("scrape_me_total").Add(9)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	samples, err := Scrape(ctx, strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples.Value("scrape_me_total"); got != 9 {
+		t.Errorf("scraped value = %v, want 9", got)
+	}
+}

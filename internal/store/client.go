@@ -208,21 +208,44 @@ func (c *Client) get(ctx context.Context, obj core.ObjectID, maxLevel int) ([]*c
 	return decodeBlockList(resp)
 }
 
+// getRaw is one get attempt chain WITHOUT op-outcome accounting. The
+// hedged path races two of these and records a single op outcome for the
+// user-visible Get; routing racers through c.get would double-count ops
+// and surface every cancelled loser as a phantom client error.
+func (c *Client) getRaw(ctx context.Context, obj core.ObjectID, maxLevel int) ([]*core.CodedBlock, error) {
+	resp, err := c.doAttempts(ctx, "get", frameGet, encodeGetBody(obj, maxLevel), frameBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBlockList(resp)
+}
+
+// hedgedGet races a primary get against a delayed duplicate. It records
+// exactly one op outcome (ok/err + latency) no matter how many racers
+// ran: callers see one Get, the metrics see one Get. Per-attempt series
+// (attempts, retries, dials) still count each racer's real work.
 func (c *Client) hedgedGet(ctx context.Context, obj core.ObjectID, maxLevel int) ([]*core.CodedBlock, error) {
+	t0 := time.Now()
+	blocks, err := c.raceHedged(ctx, obj, maxLevel)
+	c.met.opNs.ObserveSince(t0)
+	pick(err, c.met.opOK, c.met.opErrors).Inc()
+	return blocks, err
+}
+
+func (c *Client) raceHedged(ctx context.Context, obj core.ObjectID, maxLevel int) ([]*core.CodedBlock, error) {
 	type result struct {
 		blocks []*core.CodedBlock
 		err    error
 		hedge  bool
 	}
 	hctx, cancel := context.WithCancel(ctx)
-	defer cancel()
 	ch := make(chan result, 2)
 	launch := func(isHedge bool) {
 		if isHedge {
 			c.met.hedgesFired.Inc()
 		}
 		go func() {
-			blocks, err := c.get(hctx, obj, maxLevel)
+			blocks, err := c.getRaw(hctx, obj, maxLevel)
 			ch <- result{blocks, err, isHedge}
 		}()
 	}
@@ -230,20 +253,42 @@ func (c *Client) hedgedGet(ctx context.Context, obj core.ObjectID, maxLevel int)
 	inflight, hedged := 1, false
 	timer := time.NewTimer(c.cfg.HedgeDelay)
 	defer timer.Stop()
+	// finish cancels any still-racing attempt promptly — the loser must
+	// not ride out its full OpTimeout holding a connection — and, when
+	// count is set, reaps its result off the caller's path so the loss
+	// shows up as store_client_hedges_cancelled_total, never as a client
+	// op error. The reaper drains the buffered channel, so no goroutine
+	// or channel is leaked even when the loser finishes much later.
+	finish := func(count bool) {
+		cancel()
+		if inflight == 0 {
+			return
+		}
+		n := inflight
+		go func() {
+			for i := 0; i < n; i++ {
+				<-ch
+				if count {
+					c.met.hedgesCancelled.Inc()
+				}
+			}
+		}()
+	}
 	var firstErr error
 	for {
 		select {
 		case r := <-ch:
+			inflight--
 			if r.err == nil {
 				if r.hedge {
 					c.met.hedgesWon.Inc()
 				}
+				finish(true)
 				return r.blocks, nil
 			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
-			inflight--
 			if !hedged {
 				// The primary failed outright; the hedge becomes a
 				// last-chance duplicate rather than waiting for the timer.
@@ -253,6 +298,7 @@ func (c *Client) hedgedGet(ctx context.Context, obj core.ObjectID, maxLevel int)
 				continue
 			}
 			if inflight == 0 {
+				finish(false)
 				return nil, firstErr
 			}
 		case <-timer.C:
@@ -262,6 +308,7 @@ func (c *Client) hedgedGet(ctx context.Context, obj core.ObjectID, maxLevel int)
 				inflight++
 			}
 		case <-ctx.Done():
+			finish(false)
 			return nil, ctx.Err()
 		}
 	}
@@ -280,6 +327,16 @@ func (c *Client) Stat(ctx context.Context) (Stats, error) {
 		return Stats{}, err
 	}
 	return decodeStats(resp)
+}
+
+// Segments fetches the server's on-disk segment listing. Daemons running
+// the in-memory engine reject the request with ErrBadRequest.
+func (c *Client) Segments(ctx context.Context) ([]SegmentInfo, error) {
+	resp, err := c.do(ctx, "segments", frameSegments, nil, frameSegList)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSegmentList(resp)
 }
 
 // Shutdown asks the server to drain and exit. The single attempt is not

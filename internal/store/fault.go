@@ -75,6 +75,39 @@ func (f *FaultDialer) Heal(addr string) {
 	delete(f.parts, addr)
 }
 
+// SetCorruptProb changes the per-frame corruption probability live. The
+// chaos controller uses these setters to turn the seeded fault patterns
+// into wall-clock fault windows: a corruption window is SetCorruptProb(p)
+// at open and SetCorruptProb(0) at close, against the same dialer the
+// load generator's clients dial through.
+func (f *FaultDialer) SetCorruptProb(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.CorruptProb = p
+}
+
+// SetDialFailProb changes the dial-failure probability live.
+func (f *FaultDialer) SetDialFailProb(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.DialFailProb = p
+}
+
+// SetDelayProb changes the write-delay probability live.
+func (f *FaultDialer) SetDelayProb(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.DelayProb = p
+}
+
+// Partitioned reports whether addr is currently partitioned.
+func (f *FaultDialer) Partitioned(addr string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, cut := f.parts[addr]
+	return cut
+}
+
 // Injected returns how many dials were failed and frames corrupted.
 func (f *FaultDialer) Injected() (dialsFailed, framesCorrupted int) {
 	f.mu.Lock()

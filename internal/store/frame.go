@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -40,11 +41,13 @@ const (
 	frameStat     = 'S' // body: empty
 	framePing     = 'i' // body: empty
 	frameShutdown = 'Q' // body: empty; server acks, drains, and exits
+	frameSegments = 'E' // body: empty; lists the disk engine's segments
 
-	frameOK     = '+' // body: empty
-	frameErr    = '!' // body: code byte + UTF-8 message
-	frameBlocks = 'B' // body: uint32 n, then n x (uint32 len, block bytes)
-	frameStats  = 's' // body: uint32 total, uint16 n, n x (uint16 level, uint32 count)
+	frameOK      = '+' // body: empty
+	frameErr     = '!' // body: code byte + UTF-8 message
+	frameBlocks  = 'B' // body: uint32 n, then n x (uint32 len, block bytes)
+	frameStats   = 's' // body: uint32 total, uint16 n, n x (uint16 level, uint32 count)
+	frameSegList = 'e' // body: uint16 n, n x segListEntry bytes (see encodeSegmentList)
 )
 
 // Error codes carried in frameErr bodies. The code tells the client
@@ -273,6 +276,90 @@ func decodeGetBody(body []byte) (core.ObjectID, int, error) {
 		obj = core.ObjectID(binary.BigEndian.Uint64(body[2:]))
 	}
 	return obj, maxLevel, nil
+}
+
+// SegmentInfo describes one on-disk segment of a disk-backed engine —
+// the unit of group commit, replay, and retention. The active segment is
+// the one still receiving writes; all others are sealed.
+type SegmentInfo struct {
+	// ID is the segment's monotonically increasing sequence number
+	// (the NNNNNNNN in seg-NNNNNNNN.plcseg).
+	ID uint64
+	// Records is how many block records the segment holds.
+	Records int
+	// Bytes is the segment file size, record headers included.
+	Bytes int64
+	// Created is when the segment was opened for writing; age follows as
+	// now - Created.
+	Created time.Time
+	// Active marks the segment currently receiving writes.
+	Active bool
+}
+
+// SegmentLister is the optional BlockStore facet behind the segments
+// inspection op. The in-memory engine has no segments and deliberately
+// does not implement it, so the server can answer "no disk engine"
+// instead of inventing an empty listing.
+type SegmentLister interface {
+	SegmentInfos() []SegmentInfo
+}
+
+// segListEntry is the wire size of one segment entry:
+// uint64 id + uint32 records + uint64 bytes + int64 created unix-nanos +
+// 1 active flag.
+const segListEntry = 8 + 4 + 8 + 8 + 1
+
+// encodeSegmentList packs segment metadata into a frameSegList body:
+// uint16 n, then n fixed-size entries.
+func encodeSegmentList(segs []SegmentInfo) ([]byte, error) {
+	if len(segs) > 0xFFFF {
+		return nil, fmt.Errorf("%w: %d segments do not fit the wire count field", ErrBadRequest, len(segs))
+	}
+	body := make([]byte, 0, 2+segListEntry*len(segs))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(segs)))
+	for _, sg := range segs {
+		if sg.Records < 0 || uint64(sg.Records) > 0xFFFFFFFF {
+			return nil, fmt.Errorf("%w: segment %d record count %d does not fit the wire field",
+				ErrBadRequest, sg.ID, sg.Records)
+		}
+		body = binary.BigEndian.AppendUint64(body, sg.ID)
+		body = binary.BigEndian.AppendUint32(body, uint32(sg.Records))
+		body = binary.BigEndian.AppendUint64(body, uint64(sg.Bytes))
+		body = binary.BigEndian.AppendUint64(body, uint64(sg.Created.UnixNano()))
+		flag := byte(0)
+		if sg.Active {
+			flag = 1
+		}
+		body = append(body, flag)
+	}
+	return body, nil
+}
+
+// decodeSegmentList unpacks a frameSegList body. Entries are fixed-size,
+// so the claimed count is checked against the exact body length before
+// any allocation.
+func decodeSegmentList(body []byte) ([]SegmentInfo, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: segment list truncated", ErrCorruptFrame)
+	}
+	n := int(binary.BigEndian.Uint16(body))
+	if len(body) != 2+segListEntry*n {
+		return nil, fmt.Errorf("%w: segment list claims %d entries in %d bytes, want %d",
+			ErrCorruptFrame, n, len(body), 2+segListEntry*n)
+	}
+	out := make([]SegmentInfo, 0, n)
+	off := 2
+	for i := 0; i < n; i++ {
+		out = append(out, SegmentInfo{
+			ID:      binary.BigEndian.Uint64(body[off:]),
+			Records: int(binary.BigEndian.Uint32(body[off+8:])),
+			Bytes:   int64(binary.BigEndian.Uint64(body[off+12:])),
+			Created: time.Unix(0, int64(binary.BigEndian.Uint64(body[off+20:]))),
+			Active:  body[off+28] != 0,
+		})
+		off += segListEntry
+	}
+	return out, nil
 }
 
 // Stats is a server inventory snapshot.

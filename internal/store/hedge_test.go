@@ -1,0 +1,199 @@
+package store
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// blackHole returns a listener that accepts connections and never
+// responds; accepted conns are closed when the listener closes.
+func blackHole(t *testing.T) net.Listener {
+	t.Helper()
+	hole, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hole.Close() })
+	var conns []net.Conn
+	var mu sync.Mutex
+	go func() {
+		for {
+			c, err := hole.Accept()
+			if err != nil {
+				mu.Lock()
+				for _, c := range conns {
+					c.Close()
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+	}()
+	return hole
+}
+
+// slowThenStallDialer sends the first dial to the real server behind a
+// write delay (a slow-but-healthy primary) and every later dial to a
+// black hole (a hedge that can never win).
+type slowThenStallDialer struct {
+	stallAddr string
+	delay     time.Duration
+	dials     atomic.Int32
+	base      net.Dialer
+}
+
+func (d *slowThenStallDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	if d.dials.Add(1) == 1 {
+		c, err := d.base.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return &slowWriteConn{Conn: c, delay: d.delay}, nil
+	}
+	return d.base.DialContext(ctx, network, d.stallAddr)
+}
+
+type slowWriteConn struct {
+	net.Conn
+	delay time.Duration
+	once  sync.Once
+}
+
+func (c *slowWriteConn) Write(p []byte) (int, error) {
+	c.once.Do(func() { time.Sleep(c.delay) })
+	return c.Conn.Write(p)
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestHedgedGetLoserCountedOnce is the regression test for the hedge
+// accounting fix: a hedge fires, the slow primary still wins, and the
+// losing hedge must be cancelled promptly and land in
+// store_client_hedges_cancelled_total — not in the op counters. Before
+// the fix the op series counted every racer (two ops for one Get) and
+// the cancelled loser surfaced as a phantom store_client_op_errors_total
+// increment, which would fail any zero-client-visible-errors SLO.
+func TestHedgedGetLoserCountedOnce(t *testing.T) {
+	srv := newTestServer(t, ServerConfig{})
+	_, _, blocks := testCode(t, 6)
+	seed := newTestClient(t, srv.Addr(), nil)
+	if _, err := seed.PutAll(context.Background(), blocks); err != nil {
+		t.Fatal(err)
+	}
+
+	hole := blackHole(t)
+	reg := metrics.NewRegistry()
+	cfg := fastClientCfg(srv.Addr(), &slowThenStallDialer{
+		stallAddr: hole.Addr().String(),
+		delay:     120 * time.Millisecond,
+	})
+	cfg.HedgeDelay = 15 * time.Millisecond
+	cfg.Metrics = reg
+	cl, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	got, err := cl.Get(context.Background(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(blocks))
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("get took %v; the loser should not delay the winner", elapsed)
+	}
+
+	counter := func(name string) uint64 { return reg.Counter(name).Value() }
+	if got := counter("store_client_ops_ok_total"); got != 1 {
+		t.Errorf("ops_ok_total = %d, want exactly 1 for one user-visible Get", got)
+	}
+	if got := counter("store_client_op_errors_total"); got != 0 {
+		t.Errorf("op_errors_total = %d, want 0 (cancelled loser must not count as an error)", got)
+	}
+	if got := counter("store_client_hedges_fired_total"); got != 1 {
+		t.Errorf("hedges_fired_total = %d, want 1", got)
+	}
+	if got := counter("store_client_hedges_won_total"); got != 0 {
+		t.Errorf("hedges_won_total = %d, want 0 (primary won)", got)
+	}
+	// The loser is reaped off the caller's path; give the reaper a beat.
+	eventually(t, 2*time.Second, func() bool {
+		return counter("store_client_hedges_cancelled_total") == 1
+	}, "hedges_cancelled_total never reached 1: losing hedge was not reaped")
+	if got := reg.Histogram("store_client_op_ns").Snapshot().Count; got != 1 {
+		t.Errorf("op_ns count = %d, want 1 latency sample per user-visible Get", got)
+	}
+}
+
+// TestHedgedGetWinnerReapsStalledPrimary is the mirror case: the primary
+// stalls, the hedge wins, and the stalled primary is cancelled promptly
+// (well before its OpTimeout) and counted as a cancellation, with the op
+// series still seeing exactly one successful Get.
+func TestHedgedGetWinnerReapsStalledPrimary(t *testing.T) {
+	srv := newTestServer(t, ServerConfig{})
+	_, _, blocks := testCode(t, 6)
+	seed := newTestClient(t, srv.Addr(), nil)
+	if _, err := seed.PutAll(context.Background(), blocks); err != nil {
+		t.Fatal(err)
+	}
+
+	hole := blackHole(t)
+	reg := metrics.NewRegistry()
+	cfg := fastClientCfg(srv.Addr(), &stallThenRealDialer{stallAddr: hole.Addr().String()})
+	cfg.HedgeDelay = 15 * time.Millisecond
+	cfg.OpTimeout = 30 * time.Second // the reap must come from cancellation, not this
+	cfg.Metrics = reg
+	cl, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	got, err := cl.Get(context.Background(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(blocks))
+	}
+
+	counter := func(name string) uint64 { return reg.Counter(name).Value() }
+	if got := counter("store_client_hedges_won_total"); got != 1 {
+		t.Errorf("hedges_won_total = %d, want 1", got)
+	}
+	if got := counter("store_client_ops_ok_total"); got != 1 {
+		t.Errorf("ops_ok_total = %d, want exactly 1", got)
+	}
+	if got := counter("store_client_op_errors_total"); got != 0 {
+		t.Errorf("op_errors_total = %d, want 0", got)
+	}
+	// The stalled primary must be reaped by cancellation long before its
+	// 30s op timeout could fire.
+	eventually(t, 2*time.Second, func() bool {
+		return counter("store_client_hedges_cancelled_total") == 1
+	}, "stalled primary was not cancelled promptly after the hedge won")
+}

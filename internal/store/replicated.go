@@ -122,6 +122,10 @@ func (r *Replicated) ReplicasFor(level int) int {
 // rotating window so load spreads evenly. Writes are sequential and the
 // call succeeds once MinWrites copies landed; per-replica failures
 // beyond that are absorbed (retries already ran inside each client).
+// When the window itself cannot supply MinWrites copies, Put fails over
+// to the remaining replicas rather than failing the write — an outage
+// only surfaces to the caller once fewer than MinWrites replicas in the
+// whole fleet accept the block.
 func (r *Replicated) Put(ctx context.Context, b *core.CodedBlock) error {
 	return r.PutPreferring(ctx, b, nil)
 }
@@ -154,7 +158,15 @@ func (r *Replicated) PutPreferring(ctx context.Context, b *core.CodedBlock, pref
 	r.met.puts.Inc()
 	stored := 0
 	var errs []error
-	for _, idx := range order[:targets] {
+	for n, idx := range order {
+		// The first `targets` replicas are the level's provisioned
+		// window; the rest are failover-only, tried while the durability
+		// floor is unmet — so a put survives any outage that leaves
+		// MinWrites replicas reachable, and the repair daemon later
+		// migrates the copies back onto the window.
+		if n >= targets && stored >= r.cfg.MinWrites {
+			break
+		}
 		err := r.clients[idx].Put(ctx, b)
 		r.met.perReplica[idx].put(err)
 		if err != nil {

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// listingMemStore is a MemStore that also answers the segments op with a
+// canned listing — the store package cannot import diskstore (it imports
+// us), so this stands in for a disk engine at the wire layer.
+type listingMemStore struct {
+	*MemStore
+	segs []SegmentInfo
+}
+
+func (l *listingMemStore) SegmentInfos() []SegmentInfo { return l.segs }
+
+func TestSegmentListRoundTrip(t *testing.T) {
+	now := time.Unix(1723100000, 123456789)
+	in := []SegmentInfo{
+		{ID: 0, Records: 17, Bytes: 4096, Created: now.Add(-time.Hour), Active: false},
+		{ID: 1, Records: 0, Bytes: 16, Created: now, Active: true},
+	}
+	body, err := encodeSegmentList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeSegmentList(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d segments, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Records != in[i].Records ||
+			out[i].Bytes != in[i].Bytes || !out[i].Created.Equal(in[i].Created) ||
+			out[i].Active != in[i].Active {
+			t.Errorf("segment %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestSegmentListDecodeRejectsHostileBodies(t *testing.T) {
+	for name, body := range map[string][]byte{
+		"empty":          {},
+		"truncated":      {0x00},
+		"count overrun":  {0xFF, 0xFF, 1, 2, 3}, // claims 65535 entries in 3 bytes
+		"trailing bytes": append([]byte{0x00, 0x00}, 1, 2, 3),
+	} {
+		if _, err := decodeSegmentList(body); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("%s: decodeSegmentList = %v, want ErrCorruptFrame", name, err)
+		}
+	}
+}
+
+func TestSegmentsOpEndToEnd(t *testing.T) {
+	now := time.Now().Truncate(time.Second)
+	engine := &listingMemStore{
+		MemStore: NewMemStore(0),
+		segs: []SegmentInfo{
+			{ID: 3, Records: 9, Bytes: 1234, Created: now.Add(-time.Minute)},
+			{ID: 4, Records: 1, Bytes: 99, Created: now, Active: true},
+		},
+	}
+	srv := newTestServer(t, ServerConfig{Blocks: engine})
+	cl := newTestClient(t, srv.Addr(), nil)
+	segs, err := cl.Segments(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0].ID != 3 || segs[1].ID != 4 || !segs[1].Active || segs[0].Active {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if segs[0].Records != 9 || segs[0].Bytes != 1234 || !segs[0].Created.Equal(now.Add(-time.Minute)) {
+		t.Fatalf("segment 0 = %+v", segs[0])
+	}
+}
+
+func TestSegmentsOpRejectedByMemoryEngine(t *testing.T) {
+	srv := newTestServer(t, ServerConfig{})
+	cl := newTestClient(t, srv.Addr(), nil)
+	_, err := cl.Segments(context.Background())
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Segments on a memory engine = %v, want ErrBadRequest", err)
+	}
+}

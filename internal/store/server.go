@@ -246,6 +246,9 @@ func (s *Server) handleConn(raw net.Conn) {
 		case frameStat:
 			s.met.stats.Inc()
 			err = s.handleStat(conn)
+		case frameSegments:
+			s.met.segments.Inc()
+			err = s.handleSegments(conn)
 		case framePing:
 			s.met.pings.Inc()
 			err = writeFrame(conn, frameOK, nil)
@@ -320,6 +323,23 @@ func (s *Server) handleGet(conn net.Conn, body []byte) error {
 		return nil
 	}
 	return writeFrame(conn, frameBlocks, resp)
+}
+
+// handleSegments answers the segment inspection op. An engine without
+// segments (the in-memory store) is a semantic rejection, not an empty
+// list: the operator asked a question this daemon cannot answer.
+func (s *Server) handleSegments(conn net.Conn) error {
+	lister, ok := s.blocks.(SegmentLister)
+	if !ok {
+		writeErrFrame(conn, errCodeBad, "storage engine has no segments (in-memory store; run with -data-dir)")
+		return nil
+	}
+	body, err := encodeSegmentList(lister.SegmentInfos())
+	if err != nil {
+		writeErrFrame(conn, errCodeBad, err.Error())
+		return nil
+	}
+	return writeFrame(conn, frameSegList, body)
 }
 
 func (s *Server) handleStat(conn net.Conn) error {

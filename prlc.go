@@ -34,6 +34,10 @@
 //   - Repair: Recombine, AuditStore and RepairDaemon — decode-free
 //     regeneration of redundancy lost to churn, by randomly recombining
 //     surviving coded blocks, most critical level first.
+//   - Load: LoadScenario, ChaosController and RunLoadScenario — an
+//     open-loop load generator plus a wall-clock fault scheduler that
+//     pushes a live fleet through named chaos scenarios and reports
+//     per-level latency SLOs, goodput and a bit-exact decode check.
 //
 // Everything is deterministic given explicit *rand.Rand seeds.
 package prlc
@@ -55,6 +59,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gossip"
 	"repro/internal/gpsr"
+	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/predist"
 	"repro/internal/repair"
@@ -575,6 +580,93 @@ func NewRepairDaemon(r *ReplicatedStore, cfg RepairConfig) (*RepairDaemon, error
 // current owners.
 func NewObjectRepairDaemon(p *PlacedStore, obj ObjectID, cfg RepairConfig) (*RepairDaemon, error) {
 	return repair.NewObject(p, obj, cfg)
+}
+
+// Load & chaos layer: an open-loop arrival generator and a wall-clock
+// fault scheduler for pushing a live fleet (in-process servers or real
+// prlcd daemons) through named scenarios — the engine behind
+// `prlcload`. Arrivals follow the scenario clock, never completions, so
+// overload shows up as queue drops and latency rather than silently
+// throttled demand; fault schedules are pure functions of (specs,
+// nodes, seed), so a chaos run replays exactly.
+type (
+	// LoadScenario is one named load-and-chaos scenario: arrival rate
+	// (with optional flash-crowd phases), put/get mix, object and level
+	// shape, fault schedule, and SLO expectations.
+	LoadScenario = loadgen.Scenario
+	// LoadRatePhase is one piecewise-constant arrival-rate change.
+	LoadRatePhase = loadgen.RatePhase
+	// LoadFaultSpec is one scenario fault (kill, partition, corrupt or
+	// delay) before seeding resolves its target node.
+	LoadFaultSpec = loadgen.FaultSpec
+	// LoadOp is one scheduled operation of a generated open-loop plan.
+	LoadOp = loadgen.Op
+	// LoadReport is a finished run's SLO report: per-level put/get
+	// latency percentiles, error rates, goodput, the executed fault
+	// records, the decode spot-check and the metrics cross-check.
+	LoadReport = loadgen.Report
+	// LoadRunConfig tunes a scenario run (logging, op timeout, scrape).
+	LoadRunConfig = loadgen.RunConfig
+	// LoadFleet abstracts the fleet under test: addresses plus
+	// kill/restart hooks (ServerFleet in-process, prlcload's ProcFleet
+	// for real daemons).
+	LoadFleet = loadgen.Fleet
+	// LoadServerFleet is the in-process fleet: one StoreServer plus
+	// metrics registry per node, kill/restart preserving each node's
+	// engine so restarts are durable.
+	LoadServerFleet = loadgen.ServerFleet
+	// ScheduledFault is one resolved fault instance on the wall-clock
+	// timeline (target node and revert time fixed by the seed).
+	ScheduledFault = loadgen.ScheduledFault
+	// FaultRecord is one executed fault with its observed fire/revert
+	// times and errors.
+	FaultRecord = loadgen.FaultRecord
+	// ChaosInjector is the fault surface a ChaosController drives.
+	ChaosInjector = loadgen.Injector
+	// ChaosController executes a fault schedule against an injector,
+	// reverting every windowed fault even on cancellation.
+	ChaosController = loadgen.Controller
+)
+
+// BuiltinScenarios returns the named scenario matrix: steady-state,
+// flash-crowd, churn-storm and repair-under-load.
+func BuiltinScenarios() []LoadScenario { return loadgen.Builtins() }
+
+// BuiltinScenario returns one builtin scenario by name.
+func BuiltinScenario(name string) (LoadScenario, error) { return loadgen.Builtin(name) }
+
+// LoadScenarioFile parses a scenario file (one JSON object or an array).
+func LoadScenarioFile(path string) ([]LoadScenario, error) { return loadgen.LoadScenarios(path) }
+
+// NewLoadServerFleet starts n in-process store servers (each with its
+// own metrics endpoint when withMetrics is set).
+func NewLoadServerFleet(n int, withMetrics bool) (*LoadServerFleet, error) {
+	return loadgen.NewServerFleet(n, withMetrics)
+}
+
+// BuildFaultSchedule resolves scenario fault specs into a deterministic
+// wall-clock schedule: seeded target picks for Node < 0, sorted by fire
+// time. Same (specs, nodes, seed) always yields the same schedule.
+func BuildFaultSchedule(specs []LoadFaultSpec, nodes int, seed int64) ([]ScheduledFault, error) {
+	return loadgen.BuildSchedule(specs, nodes, seed)
+}
+
+// FaultScheduleHash fingerprints a schedule (FNV-64a) so reports and
+// tests can assert determinism across runs.
+func FaultScheduleHash(sched []ScheduledFault) string { return loadgen.ScheduleHash(sched) }
+
+// NewChaosController builds a controller that executes the schedule
+// against the injector when Run is called.
+func NewChaosController(sched []ScheduledFault, inj ChaosInjector) *ChaosController {
+	return loadgen.NewController(sched, inj)
+}
+
+// RunLoadScenario drives one scenario against the fleet — seeds the
+// objects, runs the open-loop generator and the chaos controller
+// concurrently, then computes the SLO report with its decode spot-check
+// and metrics cross-check.
+func RunLoadScenario(ctx context.Context, fleet LoadFleet, sc LoadScenario, rc LoadRunConfig) (*LoadReport, error) {
+	return loadgen.Run(ctx, fleet, sc, rc)
 }
 
 // Observability layer: a dependency-free metrics registry threaded
