@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair bench-metrics bench-sparse bench-disk check fuzz-smoke loadtest loadtest-smoke daemon-demo repair-demo figures examples clean
+.PHONY: all build vet test race bench bench-kernels bench-decode bench-repair bench-metrics bench-sparse bench-disk bench-migrate check fuzz-smoke loadtest loadtest-smoke daemon-demo repair-demo migrate-demo figures examples clean
 
 all: build vet test
 
@@ -84,15 +84,28 @@ bench-disk:
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_disk.json -by "make bench-disk" \
 	    -note "DiskPutGroupCommit vs Ref is one fsync per coalesced batch vs one per put, same 32 concurrent putters; DiskPutBeyondRAM ingests 10x a 1024-block RAM cap per iteration (capacity-x = stored blocks / cap, heap-MB = heap growth vs stored-MB on disk); FrameWrite/Read vs Ref are the pooled build buffer and caller-owned read scratch vs fresh allocations per frame"
 
+# Migration economics under live traffic: the grow-fleet scenario (a
+# node joins mid-run, the mover re-homes blocks most-critical-first)
+# next to the steady-state baseline on the same fleet, captured as
+# BENCH_migrate.json. Compare per-level put/get p99 across the two
+# reports — the acceptance budget is 2x the no-migration baseline —
+# and the migration section for re-homing throughput; -check fails the
+# target on any client-visible error or a non-bit-exact level-0 decode.
+bench-migrate: build
+	@$(GO) build -o /tmp/prlcd ./cmd/prlcd
+	$(GO) run ./cmd/prlcload run -scenario steady-state,grow-fleet -duration 10s \
+	    -nodes 4 -prlcd /tmp/prlcd -out BENCH_migrate.json -check
+
 # Fast correctness gate: vet everything, race-test the packages with
 # concurrent hot paths (the word-parallel kernels, the row arenas, the
 # parallel encoder, the networked store, the placement ring and its
 # failure detector, the disk engine's group-commit writer, the repair
-# daemon, the shared metrics registry they all write to, and the
-# load-and-chaos harness that exercises all of them at once).
+# daemon, the ring rebalancer, the shared metrics registry they all
+# write to, and the load-and-chaos harness that exercises all of them
+# at once).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/chord ./internal/gossip ./internal/store ./internal/diskstore ./internal/repair ./internal/metrics ./internal/loadgen
+	$(GO) test -race ./internal/gf256 ./internal/gfmat ./internal/core ./internal/chord ./internal/gossip ./internal/store ./internal/diskstore ./internal/repair ./internal/mover ./internal/metrics ./internal/loadgen
 
 # The full SLO scenario matrix against real prlcd daemons: steady-state,
 # flash-crowd, churn-storm and repair-under-load, each an open-loop run
@@ -104,14 +117,16 @@ loadtest: build
 	@$(GO) build -o /tmp/prlcd ./cmd/prlcd
 	$(GO) run ./cmd/prlcload matrix -nodes 3 -prlcd /tmp/prlcd -out BENCH_load.json -check
 
-# CI-sized slice of the matrix: steady-state and churn-storm at 5s each
-# against 3 real daemons. Churn-storm's SLO includes zero client-visible
-# errors and a bit-exact level-0 decode, so this smoke run still proves
-# the fleet survives kill/restart and partition/heal under load.
+# CI-sized slice of the matrix: steady-state, churn-storm and
+# grow-fleet at 5s each against 4 real daemons. Churn-storm and
+# grow-fleet both promise zero client-visible errors and a bit-exact
+# level-0 decode, so this smoke run proves the fleet survives
+# kill/restart, partition/heal and a mid-run ring join with live
+# migration under load.
 loadtest-smoke: build
 	@$(GO) build -o /tmp/prlcd ./cmd/prlcd
-	$(GO) run ./cmd/prlcload run -scenario steady-state,churn-storm -duration 5s \
-	    -nodes 3 -prlcd /tmp/prlcd -out BENCH_load.json -check
+	$(GO) run ./cmd/prlcload run -scenario steady-state,churn-storm,grow-fleet -duration 5s \
+	    -nodes 4 -prlcd /tmp/prlcd -out BENCH_load.json -check
 
 # Short fuzz pass over every fuzz target: the block-file parser, the wire
 # format, the decoder equivalence oracle and the GF(2^8) kernels. ~20s per
@@ -170,6 +185,37 @@ repair-demo: build
 	@for f in /tmp/prlcd_r1.pid /tmp/prlcd_r2.pid /tmp/prlcd_r3.pid; do \
 		kill `cat $$f` 2>/dev/null || true; rm -f $$f; done
 	@rm -f /tmp/repair_demo.bin /tmp/repair_demo_out.bin
+
+# The fleet-growth story end to end: a file is provisioned across a
+# two-daemon ring, two fresh daemons widen the ring, and `prlcd
+# migrate` re-homes every displaced object (regenerating blocks on the
+# new owners, wiping the stale holders). A second round proves the
+# placement is settled, then an *original* daemon goes away and the
+# file still recovers bit-exactly from the grown fleet — the migrated
+# copies carry the data now, not the wiped originals.
+migrate-demo: build
+	@$(GO) build -o /tmp/prlcd ./cmd/prlcd
+	@head -c 16384 /dev/urandom > /tmp/migrate_demo.bin
+	@/tmp/prlcd serve -addr 127.0.0.1:7191 & echo $$! > /tmp/prlcd_m1.pid
+	@/tmp/prlcd serve -addr 127.0.0.1:7192 & echo $$! > /tmp/prlcd_m2.pid
+	@/tmp/prlcd serve -addr 127.0.0.1:7193 & echo $$! > /tmp/prlcd_m3.pid
+	@/tmp/prlcd serve -addr 127.0.0.1:7194 & echo $$! > /tmp/prlcd_m4.pid
+	@sleep 1
+	/tmp/prlcd store put -addrs 127.0.0.1:7191,127.0.0.1:7192 \
+	    -in /tmp/migrate_demo.bin -object demo-grow -blocks 100 -coded 160 \
+	    -levels 0.1,0.9 -dist 0.2,0.8 -scheme plc -replicas 2
+	/tmp/prlcd migrate -addrs 127.0.0.1:7191,127.0.0.1:7192,127.0.0.1:7193,127.0.0.1:7194 \
+	    -replicas 2 -scheme plc -sizes 10,90 -dist 0.2,0.8 -total 160
+	/tmp/prlcd migrate -addrs 127.0.0.1:7191,127.0.0.1:7192,127.0.0.1:7193,127.0.0.1:7194 \
+	    -replicas 2 -scheme plc -sizes 10,90 -dist 0.2,0.8 -total 160
+	/tmp/prlcd store shutdown -addr 127.0.0.1:7191
+	/tmp/prlcd store get -addrs 127.0.0.1:7191,127.0.0.1:7192,127.0.0.1:7193,127.0.0.1:7194 \
+	    -object demo-grow -replicas 2 -scheme plc -sizes 10,90 -size 16384 \
+	    -out /tmp/migrate_demo_out.bin
+	cmp /tmp/migrate_demo.bin /tmp/migrate_demo_out.bin && echo "migrate-demo: file survived fleet growth bit-exact"
+	@for f in /tmp/prlcd_m1.pid /tmp/prlcd_m2.pid /tmp/prlcd_m3.pid /tmp/prlcd_m4.pid; do \
+		kill `cat $$f` 2>/dev/null || true; rm -f $$f; done
+	@rm -f /tmp/migrate_demo.bin /tmp/migrate_demo_out.bin
 
 # Regenerate every figure and table of the paper at full scale
 # (N = 1000, 100 trials; several minutes on one core). CSVs land in

@@ -18,6 +18,9 @@
 //	prlcd repair -addrs ... -scheme plc -sizes ... -total 160        # one round
 //	prlcd repair -addrs ... -sizes ... -total 160 -watch             # loop
 //	prlcd serve -addr ... -repair -peers ... -sizes ... -total 160   # serve + repair
+//	prlcd migrate -addrs ... -sizes ... -total 160                   # one migration round
+//	prlcd migrate -addrs ... -sizes ... -total 160 -watch            # migration loop
+//	prlcd serve -addr ... -migrate -peers ... -sizes ... -total 160  # serve + migrate
 //	prlcd serve -addr ... -metrics 127.0.0.1:7091                    # + observability
 //	prlcd serve -addr ... -data-dir /var/lib/prlcd -retention 24h    # + persistence
 //	prlcd metrics 127.0.0.1:7091                                     # metrics table
@@ -56,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskstore"
 	"repro/internal/metrics"
+	"repro/internal/mover"
 	"repro/internal/repair"
 	"repro/internal/store"
 )
@@ -69,7 +73,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: prlcd serve|store|repair|ring|metrics [flags]")
+		return fmt.Errorf("usage: prlcd serve|store|repair|migrate|ring|metrics [flags]")
 	}
 	switch args[0] {
 	case "serve":
@@ -78,12 +82,14 @@ func run(args []string, out io.Writer) error {
 		return storeCmd(args[1:], out)
 	case "repair":
 		return repairCmd(args[1:], out)
+	case "migrate":
+		return migrateCmd(args[1:], out)
 	case "ring":
 		return ringCmd(args[1:], out)
 	case "metrics":
 		return metricsCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve, store, repair, ring or metrics)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, store, repair, migrate, ring or metrics)", args[0])
 	}
 }
 
@@ -102,6 +108,8 @@ func serve(args []string, out io.Writer) error {
 		segmentBytes int64
 		pidFile      string
 		rOpts        repairOpts
+		mOpts        migrateOpts
+		withMigrate  bool
 	)
 	fs.StringVar(&addr, "addr", "127.0.0.1:7071", "listen address")
 	fs.IntVar(&maxConns, "max-conns", 64, "maximum concurrent connections")
@@ -109,12 +117,14 @@ func serve(args []string, out io.Writer) error {
 	fs.IntVar(&maxFrame, "max-frame", store.DefaultMaxFrame, "maximum frame size in bytes")
 	fs.StringVar(&metricsAddr, "metrics", "", "observability listen address (Prometheus /metrics, /metrics.json, /debug/pprof)")
 	fs.BoolVar(&withRepair, "repair", false, "run a repair daemon client loop over -peers alongside serving")
+	fs.BoolVar(&withMigrate, "migrate", false, "run a migration mover loop over -peers alongside serving (shares the repair flags)")
 	fs.StringVar(&dataDir, "data-dir", "", "persist blocks to segment files under this directory (empty = in-memory)")
 	fs.StringVar(&fsyncStr, "fsync", "batch", "disk durability: batch (group commit), always (per put) or none")
 	fs.DurationVar(&retention, "retention", 0, "delete disk segments older than this rolling window (0 = keep forever)")
 	fs.Int64Var(&segmentBytes, "segment-bytes", 0, "disk segment rotation threshold in bytes (0 = 64 MiB default)")
 	fs.StringVar(&pidFile, "pid-file", "", "write the daemon PID here once serving (for process supervisors and chaos controllers)")
 	rOpts.register(fs, "peers", 10*time.Second)
+	mOpts.registerMoverFlags(fs) // code/fleet flags are shared with -repair
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -201,6 +211,33 @@ func serve(args []string, out io.Writer) error {
 				return
 			}
 			fmt.Fprintf(out, "prlcd: repair daemon stopped after %d rounds\n", d.Rounds())
+		}()
+	}
+	if withMigrate {
+		// The serve-side migration loop: this daemon re-homes displaced
+		// objects across -peers (itself included) whenever ring ownership
+		// and data placement disagree. Safe to run on every daemon — the
+		// mover verifies before reclaiming and deletes are idempotent.
+		mOpts.repairOpts = rOpts
+		placed, m, err := mOpts.build("serve -migrate")
+		if err != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+			return err
+		}
+		defer placed.Close()
+		m.Start()
+		fmt.Fprintf(out, "prlcd: migrating across %d peers every %v\n",
+			len(cliutil.SplitAddrs(rOpts.addrsStr)), rOpts.interval)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := m.Stop(sctx); err != nil {
+				fmt.Fprintf(out, "prlcd: mover stop: %v\n", err)
+				return
+			}
+			fmt.Fprintf(out, "prlcd: mover stopped after %d rounds\n", m.Rounds())
 		}()
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -382,10 +419,10 @@ func openReplicated(addrs []string, levels, tolerance, minWrites int, timeout ti
 
 // openPlaced builds per-node clients and the consistent-hashing front
 // end that routes keyed objects to their ring successors.
-func openPlaced(addrs []string, levels, replicas, tolerance, minWrites int, timeout time.Duration) (*store.Placed, error) {
+func openPlaced(addrs []string, levels, replicas, tolerance, minWrites int, timeout time.Duration, reg *metrics.Registry) (*store.Placed, error) {
 	clients := make([]*store.Client, 0, len(addrs))
 	for _, a := range addrs {
-		cl, err := store.NewClient(store.ClientConfig{Addr: a, OpTimeout: timeout})
+		cl, err := store.NewClient(store.ClientConfig{Addr: a, OpTimeout: timeout, Metrics: reg})
 		if err != nil {
 			for _, c := range clients {
 				c.Close()
@@ -398,6 +435,7 @@ func openPlaced(addrs []string, levels, replicas, tolerance, minWrites int, time
 		Replication: replicas,
 		Tolerance:   tolerance,
 		MinWrites:   minWrites,
+		Metrics:     reg,
 	})
 	if err != nil {
 		for _, c := range clients {
@@ -434,7 +472,7 @@ func ringCmd(args []string, out io.Writer) error {
 	if replicas > len(addrs) {
 		replicas = len(addrs)
 	}
-	placed, err := openPlaced(addrs, 1, replicas, 0, 1, timeout)
+	placed, err := openPlaced(addrs, 1, replicas, 0, 1, timeout, nil)
 	if err != nil {
 		return err
 	}
@@ -642,7 +680,7 @@ func putCmd(args []string, out io.Writer) error {
 			replicas = len(addrs)
 		}
 		objArgs = fmt.Sprintf(" -object %s -replicas %d", objectStr, replicas)
-		placed, err := openPlaced(addrs, replLevels, replicas, tolerance, minWrites, timeout)
+		placed, err := openPlaced(addrs, replLevels, replicas, tolerance, minWrites, timeout, nil)
 		if err != nil {
 			return err
 		}
@@ -752,7 +790,7 @@ func getCmd(args []string, out io.Writer) error {
 		if replicas > len(addrs) {
 			replicas = len(addrs)
 		}
-		placed, err := openPlaced(addrs, levels.Count(), replicas, 1, 1, timeout)
+		placed, err := openPlaced(addrs, levels.Count(), replicas, 1, 1, timeout, nil)
 		if err != nil {
 			return err
 		}
@@ -878,51 +916,65 @@ func (o *repairOpts) register(fs *flag.FlagSet, addrsFlag string, interval time.
 	fs.DurationVar(&o.interval, "interval", interval, "pause between repair rounds")
 }
 
+// code parses the shared code-description flags: scheme, levels, and
+// the provisioning targets (explicit, or a distribution over -total).
+func (o *repairOpts) code(name string) (core.Scheme, *core.Levels, core.PriorityDistribution, []int, error) {
+	scheme, err := core.ParseScheme(o.schemeStr)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	sizes, err := cliutil.ParseInts(o.sizesStr)
+	if err != nil {
+		return 0, nil, nil, nil, fmt.Errorf("%s: -sizes: %w", name, err)
+	}
+	levels, err := core.NewLevels(sizes...)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	var dist core.PriorityDistribution
+	var targets []int
+	if o.targetsStr != "" {
+		if targets, err = cliutil.ParseInts(o.targetsStr); err != nil {
+			return 0, nil, nil, nil, fmt.Errorf("%s: -targets: %w", name, err)
+		}
+	} else {
+		if o.total <= 0 {
+			return 0, nil, nil, nil, fmt.Errorf("%s: -total (or -targets) is required", name)
+		}
+		if o.distStr == "" {
+			dist = core.NewUniformDistribution(levels.Count())
+		} else {
+			vals, err := cliutil.ParseFloats(o.distStr)
+			if err != nil {
+				return 0, nil, nil, nil, fmt.Errorf("%s: -dist: %w", name, err)
+			}
+			dist = core.PriorityDistribution(vals)
+		}
+	}
+	return scheme, levels, dist, targets, nil
+}
+
 // build opens the replicated client fleet and constructs the daemon.
 func (o *repairOpts) build(name string) (*store.Replicated, *repair.Daemon, error) {
 	addrs := cliutil.SplitAddrs(o.addrsStr)
 	if len(addrs) == 0 || o.sizesStr == "" {
 		return nil, nil, fmt.Errorf("%s: fleet addresses and -sizes are required", name)
 	}
-	scheme, err := core.ParseScheme(o.schemeStr)
-	if err != nil {
-		return nil, nil, err
-	}
-	sizes, err := cliutil.ParseInts(o.sizesStr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s: -sizes: %w", name, err)
-	}
-	levels, err := core.NewLevels(sizes...)
+	scheme, levels, dist, targets, err := o.code(name)
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg := repair.Config{
 		Scheme:      scheme,
 		Levels:      levels,
+		Dist:        dist,
 		TotalBlocks: o.total,
+		Targets:     targets,
 		Interval:    o.interval,
 		BlockBudget: o.budget,
 		SampleSize:  o.sample,
 		Seed:        o.seed,
 		Metrics:     o.metrics,
-	}
-	if o.targetsStr != "" {
-		if cfg.Targets, err = cliutil.ParseInts(o.targetsStr); err != nil {
-			return nil, nil, fmt.Errorf("%s: -targets: %w", name, err)
-		}
-	} else {
-		if o.total <= 0 {
-			return nil, nil, fmt.Errorf("%s: -total (or -targets) is required", name)
-		}
-		if o.distStr == "" {
-			cfg.Dist = core.NewUniformDistribution(levels.Count())
-		} else {
-			vals, err := cliutil.ParseFloats(o.distStr)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s: -dist: %w", name, err)
-			}
-			cfg.Dist = core.PriorityDistribution(vals)
-		}
 	}
 	repl, err := openReplicated(addrs, levels.Count(), o.tolerance, o.minWrites, o.timeout, o.metrics)
 	if err != nil {
@@ -934,6 +986,136 @@ func (o *repairOpts) build(name string) (*store.Replicated, *repair.Daemon, erro
 		return nil, nil, err
 	}
 	return repl, d, nil
+}
+
+// migrateOpts extends the repair flag set with the migration-specific
+// knobs shared by `prlcd migrate` and `prlcd serve -migrate`.
+type migrateOpts struct {
+	repairOpts
+	replicas int
+	rate     int64
+	workers  int
+}
+
+func (o *migrateOpts) register(fs *flag.FlagSet, addrsFlag string, interval time.Duration) {
+	o.repairOpts.register(fs, addrsFlag, interval)
+	o.registerMoverFlags(fs)
+}
+
+// registerMoverFlags adds only the mover-specific flags — `serve` has
+// already registered the shared repairOpts set and reuses its values.
+func (o *migrateOpts) registerMoverFlags(fs *flag.FlagSet) {
+	fs.IntVar(&o.replicas, "replicas", 3, "ring successors each object is placed on")
+	fs.Int64Var(&o.rate, "rate", 8<<20, "migration byte-rate cap in bytes/second (0 = unlimited)")
+	fs.IntVar(&o.workers, "workers", 2, "objects migrated concurrently")
+}
+
+// build opens the placement fleet and constructs the mover, wired to
+// the membership hook so ring changes kick immediate rounds.
+func (o *migrateOpts) build(name string) (*store.Placed, *mover.Mover, error) {
+	addrs := cliutil.SplitAddrs(o.addrsStr)
+	if len(addrs) == 0 || o.sizesStr == "" {
+		return nil, nil, fmt.Errorf("%s: fleet addresses and -sizes are required", name)
+	}
+	scheme, levels, dist, targets, err := o.code(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	replicas := o.replicas
+	if replicas > len(addrs) {
+		replicas = len(addrs)
+	}
+	placed, err := openPlaced(addrs, levels.Count(), replicas, o.tolerance, o.minWrites, o.timeout, o.metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := mover.New(placed, mover.Config{
+		Scheme:      scheme,
+		Levels:      levels,
+		Dist:        dist,
+		TotalBlocks: o.total,
+		Targets:     targets,
+		Interval:    o.interval,
+		Workers:     o.workers,
+		RateLimit:   o.rate,
+		SampleSize:  o.sample,
+		Seed:        o.seed,
+		Metrics:     o.metrics,
+	})
+	if err != nil {
+		placed.Close()
+		return nil, nil, err
+	}
+	placed.SetMembershipHook(func(store.MembershipChange) { m.Kick() })
+	return placed, m, nil
+}
+
+// migrateCmd diffs data placement against ring ownership and re-homes
+// displaced objects — one round by default, a background loop with
+// -watch. Old copies are reclaimed only after the new owners verify
+// against the provisioning targets.
+func migrateCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("prlcd migrate", flag.ContinueOnError)
+	var opts migrateOpts
+	opts.register(fs, "addrs", 5*time.Second)
+	watch := fs.Bool("watch", false, "keep migrating until interrupted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	placed, m, err := opts.build("migrate")
+	if err != nil {
+		return err
+	}
+	defer placed.Close()
+	addrs := cliutil.SplitAddrs(opts.addrsStr)
+
+	if *watch {
+		m.Start()
+		fmt.Fprintf(out, "migrate: watching %d daemons every %v (interrupt to stop)\n", len(addrs), opts.interval)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m.Stop(sctx); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "migrate: stopped after %d rounds\n", m.Rounds())
+		printMigrateReport(out, m.LastReport())
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 8*opts.timeout)
+	defer cancel()
+	rep, err := m.RunOnce(ctx)
+	if err != nil {
+		return err
+	}
+	printMigrateReport(out, rep)
+	return nil
+}
+
+func printMigrateReport(out io.Writer, rep mover.Report) {
+	if rep.Plan == nil {
+		fmt.Fprintln(out, "migrate: no round completed yet")
+		return
+	}
+	fmt.Fprintf(out, "migrate: %d objects displaced, %d migrated, %d failed\n",
+		len(rep.Plan.Objects), rep.Migrated, rep.Failed)
+	for _, op := range rep.Plan.Objects {
+		fmt.Fprintf(out, "  %s: %d stale holders (%s), critical level %d\n",
+			op.Object, len(op.Stale), strings.Join(op.Stale, ", "), op.Critical)
+	}
+	fmt.Fprintf(out, "migrate: regenerated %d + copied %d blocks (%d copies), collected %d bytes, placed %d bytes\n",
+		rep.Regenerated, rep.Copied, rep.Copies, rep.BytesCollected, rep.BytesPlaced)
+	fmt.Fprintf(out, "migrate: %d reclaim deletes removed %d stale blocks\n",
+		rep.DeletesIssued, rep.BlocksReclaimed)
+	if rep.SkippedLevels > 0 {
+		fmt.Fprintf(out, "migrate: %d level transfers skipped — no surviving blocks\n", rep.SkippedLevels)
+	}
+	if len(rep.Plan.Unreachable) > 0 {
+		fmt.Fprintf(out, "migrate: unreachable during planning: %s\n", strings.Join(rep.Plan.Unreachable, ", "))
+	}
 }
 
 // repairCmd audits a replica fleet against its provisioning targets and

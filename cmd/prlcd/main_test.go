@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/store"
 )
 
@@ -311,6 +312,150 @@ func TestKeyedPutGetAndRing(t *testing.T) {
 	}
 	if c := strings.Count(out.String(), "object obj-"); c != 1 {
 		t.Fatalf("stat -object printed %d sections, want 1: %q", c, out.String())
+	}
+}
+
+// TestMigrateCLI grows a fleet under keyed data: objects are stored
+// while only two daemons exist, two more join the ring, and `prlcd
+// migrate` re-homes whatever the wider ring placed elsewhere. Old
+// holders are wiped, a follow-up round finds nothing displaced, and
+// every file still recovers bit-exactly through the full fleet.
+// growNames returns n object names of which at least one changes
+// owners when the ring grows from the first narrow daemons to all of
+// them. Placement is pure ring math over the fleet's random ports, so
+// two scratch rings predict it without storing anything.
+func growNames(t *testing.T, addrs []string, narrow, n int) []string {
+	t.Helper()
+	ring := func(addrs []string) *store.Placed {
+		clients := make([]*store.Client, len(addrs))
+		for i, addr := range addrs {
+			cl, err := store.NewClient(store.ClientConfig{Addr: addr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients[i] = cl
+		}
+		p, err := store.NewPlaced(clients, 2, store.PlacedConfig{Replication: 2, Tolerance: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	before, after := ring(addrs[:narrow]), ring(addrs)
+	defer before.Close()
+	defer after.Close()
+
+	var movers, stayers []string
+	for i := 0; len(movers)+len(stayers) < 4*n && len(movers) < n; i++ {
+		name := "grow-" + string(rune('a'+i%26)) + strings.Repeat("z", i/26)
+		obj := core.NamedObject(name)
+		pre, err := before.ReplicasForObject(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		post, err := after.ReplicasForObject(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		postSet := map[string]bool{}
+		for _, a := range post {
+			postSet[a] = true
+		}
+		moves := false
+		for _, a := range pre {
+			if !postSet[a] {
+				moves = true
+				break
+			}
+		}
+		if moves {
+			movers = append(movers, name)
+		} else {
+			stayers = append(stayers, name)
+		}
+	}
+	if len(movers) == 0 {
+		t.Fatal("no candidate name changes owners across the grown ring")
+	}
+	names := append(movers, stayers...)
+	return names[:n]
+}
+
+func TestMigrateCLI(t *testing.T) {
+	addrs := startDaemons(t, 4)
+	oldList := strings.Join(addrs[:2], ",")
+	fullList := strings.Join(addrs, ",")
+
+	dir := t.TempDir()
+	files := map[string][]byte{}
+	for i, name := range growNames(t, addrs, 2, 5) {
+		data := make([]byte, 2048)
+		rand.New(rand.NewSource(int64(40 + i))).Read(data)
+		files[name] = data
+		in := filepath.Join(dir, name+".bin")
+		if err := os.WriteFile(in, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err := run([]string{
+			"store", "put", "-addrs", oldList, "-in", in, "-object", name,
+			"-blocks", "20", "-coded", "40", "-levels", "0.3,0.7", "-scheme", "plc",
+			"-replicas", "2",
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out bytes.Buffer
+	err := run([]string{
+		"migrate", "-addrs", fullList, "-replicas", "2",
+		"-scheme", "plc", "-sizes", "6,14", "-total", "40",
+	}, &out)
+	if err != nil {
+		t.Fatalf("migrate: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "objects displaced") || strings.Contains(s, "failed\n") && !strings.Contains(s, "0 failed") {
+		t.Fatalf("migrate report: %q", s)
+	}
+	// At least one name was picked to change owners, so a report of
+	// zero displacement means the ring diff is broken.
+	if strings.Contains(s, "0 objects displaced") {
+		t.Fatalf("no object displaced across the grown ring: %q", s)
+	}
+
+	// A second round finds placement and data in agreement.
+	out.Reset()
+	err = run([]string{
+		"migrate", "-addrs", fullList, "-replicas", "2",
+		"-scheme", "plc", "-sizes", "6,14", "-total", "40",
+	}, &out)
+	if err != nil {
+		t.Fatalf("idempotent migrate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 objects displaced") {
+		t.Fatalf("second migrate round still found work: %q", out.String())
+	}
+
+	// Every file recovers bit-exactly through the full fleet.
+	for name, data := range files {
+		rec := filepath.Join(dir, name+".rec")
+		out.Reset()
+		err := run([]string{
+			"store", "get", "-addrs", fullList, "-out", rec, "-object", name,
+			"-scheme", "plc", "-sizes", "6,14", "-size", "2048", "-replicas", "2",
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("object %s: recovered bytes differ after migration", name)
+		}
 	}
 }
 

@@ -257,6 +257,9 @@ func applyOverrides(sc *loadgen.Scenario, duration time.Duration, rate float64, 
 		if sc.RepairInterval > 0 {
 			sc.RepairInterval = loadgen.Duration(float64(sc.RepairInterval.D()) * scale)
 		}
+		if sc.MigrateInterval > 0 {
+			sc.MigrateInterval = loadgen.Duration(float64(sc.MigrateInterval.D()) * scale)
+		}
 	}
 	if rate > 0 {
 		scale := rate / sc.Rate

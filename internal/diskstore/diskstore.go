@@ -351,7 +351,7 @@ func (s *Store) Get(obj core.ObjectID, maxLevel int) ([][]byte, error) {
 	want := make([]lookup, 0, s.blocks)
 	for _, seg := range s.segs {
 		for _, r := range seg.recs {
-			if obj != core.AllObjects && r.obj != obj {
+			if r.dead || (obj != core.AllObjects && r.obj != obj) {
 				continue
 			}
 			if maxLevel < 0 || int(r.level) <= maxLevel {
@@ -388,6 +388,31 @@ func (s *Store) readBlock(seg *segment, r rec) ([]byte, error) {
 	s.met.cacheEvictions.Add(uint64(evicted))
 	s.met.cacheBytes.Set(size)
 	return data, nil
+}
+
+// Delete removes every stored block of obj by appending a durable
+// tombstone record through the writer queue — serialized against puts,
+// so a put flushed before the tombstone dies and one after it survives.
+// The object's records are dropped from the index immediately; their
+// file bytes are reclaimed when their segments compact (every record
+// dead) or expire under retention. Idempotent: deleting an absent
+// object appends nothing and answers 0.
+func (s *Store) Delete(obj core.ObjectID) (int, error) {
+	if obj == core.AllObjects {
+		return 0, fmt.Errorf("%w: delete needs a concrete object", store.ErrBadRequest)
+	}
+	req := &writeReq{kind: reqDelete, obj: obj, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: engine closed", store.ErrStoreUnavailable)
+	}
+	s.putters.Add(1)
+	s.mu.Unlock()
+	s.reqCh <- req
+	s.putters.Done()
+	<-req.done
+	return req.removed, req.err
 }
 
 // Stats returns an inventory snapshot: aggregate PerLevel ascending by
@@ -467,7 +492,7 @@ func (s *Store) SegmentInfos() []store.SegmentInfo {
 	for i, seg := range s.segs {
 		out = append(out, store.SegmentInfo{
 			ID:      seg.id,
-			Records: len(seg.recs),
+			Records: seg.live,
 			Bytes:   seg.size,
 			Created: seg.createdAt,
 			Active:  i == len(s.segs)-1,

@@ -22,10 +22,13 @@ type diskMetrics struct {
 	blockBytes *metrics.Gauge
 	segments   *metrics.Gauge
 
-	segmentsCreated *metrics.Counter
-	segmentsDeleted *metrics.Counter
-	blocksExpired   *metrics.Counter
-	bytesExpired    *metrics.Counter
+	segmentsCreated   *metrics.Counter
+	segmentsDeleted   *metrics.Counter
+	segmentsCompacted *metrics.Counter
+	blocksExpired     *metrics.Counter
+	bytesExpired      *metrics.Counter
+	deletes           *metrics.Counter
+	blocksDeleted     *metrics.Counter
 
 	tornTails       *metrics.Counter
 	tornBytes       *metrics.Counter
@@ -52,10 +55,13 @@ func newDiskMetrics(r *metrics.Registry) diskMetrics {
 		blocks:          r.Gauge("diskstore_blocks"),
 		blockBytes:      r.Gauge("diskstore_block_bytes"),
 		segments:        r.Gauge("diskstore_segments"),
-		segmentsCreated: r.Counter("diskstore_segments_created_total"),
-		segmentsDeleted: r.Counter("diskstore_segments_deleted_total"),
-		blocksExpired:   r.Counter("diskstore_blocks_expired_total"),
-		bytesExpired:    r.Counter("diskstore_bytes_expired_total"),
+		segmentsCreated:   r.Counter("diskstore_segments_created_total"),
+		segmentsDeleted:   r.Counter("diskstore_segments_deleted_total"),
+		segmentsCompacted: r.Counter("diskstore_segments_compacted_total"),
+		blocksExpired:     r.Counter("diskstore_blocks_expired_total"),
+		bytesExpired:      r.Counter("diskstore_bytes_expired_total"),
+		deletes:           r.Counter("diskstore_deletes_total"),
+		blocksDeleted:     r.Counter("diskstore_blocks_deleted_total"),
 		tornTails:       r.Counter("diskstore_torn_tails_truncated_total"),
 		tornBytes:       r.Counter("diskstore_torn_bytes_truncated_total"),
 		recoveredBlocks: r.Counter("diskstore_recovered_blocks_total"),

@@ -50,6 +50,9 @@ func (s *Store) enforceRetention(now time.Time) {
 	}
 	for _, seg := range expired {
 		for _, r := range seg.recs {
+			if r.dead {
+				continue // a delete already dropped it from the index
+			}
 			s.dropRefLocked(seg, r)
 		}
 	}

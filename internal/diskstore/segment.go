@@ -50,6 +50,7 @@ type rec struct {
 	obj   core.ObjectID // object namespace, parsed from the wire frame
 	level uint16        // priority level, parsed from the wire frame
 	hash  uint64        // dedup hash of the wire bytes
+	dead  bool          // object deleted after this record landed; skip on read
 }
 
 // segment is one on-disk log file plus its index slice. recs is
@@ -60,7 +61,11 @@ type segment struct {
 	path      string
 	createdAt time.Time
 	size      int64
-	recs      []rec
+	recs      []rec // every physical block record, dead ones included —
+	// positions are load-bearing (blockRef.idx), so deletes mark
+	// rather than remove
+	live  int             // recs not marked dead
+	tombs []core.ObjectID // objects tombstoned in this segment, log order
 
 	fmu     sync.RWMutex
 	rf      *os.File // lazily-opened read handle
@@ -138,6 +143,33 @@ func appendRecord(buf, wire []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(wire)))
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(wire))
 	return append(buf, wire...)
+}
+
+// Tombstones ride the same record framing as blocks (length + CRC +
+// payload) but carry a payload that can never be a block frame: the
+// magic differs from "PB" in its second byte. A tombstone logs "object
+// X was deleted here" — replay kills every earlier record of X, while
+// records after the tombstone (a re-put) survive. Deletion is thereby
+// as durable and crash-consistent as the puts it revokes.
+const (
+	tombMagic = "PLCDEL1\x00"
+	tombLen   = 8 + 8 // magic + uint64 object ID
+)
+
+// tombstoneWire serializes a tombstone payload.
+func tombstoneWire(obj core.ObjectID) []byte {
+	buf := make([]byte, 0, tombLen)
+	buf = append(buf, tombMagic...)
+	return binary.BigEndian.AppendUint64(buf, uint64(obj))
+}
+
+// tombstoneObj parses a tombstone payload, reporting ok=false for
+// anything else (including block frames).
+func tombstoneObj(wire []byte) (core.ObjectID, bool) {
+	if len(wire) != tombLen || string(wire[:8]) != tombMagic {
+		return 0, false
+	}
+	return core.ObjectID(binary.BigEndian.Uint64(wire[8:])), true
 }
 
 // Block wire frame geometry mirrored from the core marshal layer: the
@@ -237,7 +269,21 @@ func loadSegment(path string, id uint64, maxRecord int) (scanResult, error) {
 		}
 		obj, level, ok := wireMeta(wire)
 		if !ok {
-			break // CRC matched garbage that is not a block frame
+			if tobj, isTomb := tombstoneObj(wire); isTomb {
+				// A delete committed here: every record of the object
+				// earlier in the log dies; later records (a re-put)
+				// survive. Same-segment predecessors are killed in-stream;
+				// recover() applies the tombstone to earlier segments.
+				for i := range seg.recs {
+					if seg.recs[i].obj == tobj {
+						seg.recs[i].dead = true
+					}
+				}
+				seg.tombs = append(seg.tombs, tobj)
+				off += recHeaderLen + n
+				continue
+			}
+			break // CRC matched garbage that is neither block nor tombstone
 		}
 		seg.recs = append(seg.recs, rec{
 			off:   off,

@@ -17,6 +17,7 @@ const (
 	reqPut    reqKind = iota // append one block record
 	reqSync                  // flush + fsync the active segment
 	reqRotate                // seal the active segment, open the next
+	reqDelete                // append a tombstone, drop the object's records
 )
 
 // writeReq is one unit of work for the writer goroutine. done is closed
@@ -24,13 +25,14 @@ const (
 // the batch holding the record reached the disk under the configured
 // fsync mode.
 type writeReq struct {
-	kind  reqKind
-	obj   core.ObjectID
-	level int
-	hash  uint64
-	wire  []byte
-	err   error
-	done  chan struct{}
+	kind    reqKind
+	obj     core.ObjectID
+	level   int
+	hash    uint64
+	wire    []byte
+	removed int // reqDelete: how many records the tombstone killed
+	err     error
+	done    chan struct{}
 }
 
 // writerLoop is the group-commit core: the single goroutine that owns
@@ -141,6 +143,7 @@ func (s *Store) flush(batch []*writeReq, bytes int) {
 			level: uint16(r.level),
 			hash:  r.hash,
 		})
+		seg.live++
 		s.byHash[r.hash] = append(s.byHash[r.hash], blockRef{seg: seg, idx: len(seg.recs) - 1})
 		s.removePendingLocked(r)
 		k := objLevel{r.obj, r.level}
@@ -201,7 +204,10 @@ func (s *Store) removePendingLocked(r *writeReq) {
 	s.pendBlocks--
 }
 
-// handleCtrl serves sync and rotate requests on the writer goroutine.
+// handleCtrl serves sync, rotate and delete requests on the writer
+// goroutine. Deletes riding the same single-writer queue as puts gives
+// them a total order against every put: a put flushed before the
+// tombstone dies with the object, a put after it survives.
 func (s *Store) handleCtrl(r *writeReq) {
 	switch r.kind {
 	case reqSync:
@@ -215,8 +221,130 @@ func (s *Store) handleCtrl(r *writeReq) {
 		if s.activeHasData() {
 			r.err = s.rotate()
 		}
+	case reqDelete:
+		r.removed, r.err = s.applyDelete(r.obj)
 	}
 	close(r.done)
+}
+
+// applyDelete commits one object deletion: a tombstone record is
+// appended and made as durable as a put (fsync per mode), then every
+// live record of the object — in any segment — is marked dead and
+// dropped from the index. Runs on the writer goroutine only.
+func (s *Store) applyDelete(obj core.ObjectID) (int, error) {
+	s.mu.Lock()
+	live := 0
+	for _, seg := range s.segs {
+		for _, r := range seg.recs {
+			if !r.dead && r.obj == obj {
+				live++
+			}
+		}
+	}
+	s.mu.Unlock()
+	if live == 0 {
+		return 0, nil // nothing to revoke: no tombstone, stays idempotent
+	}
+
+	wire := tombstoneWire(obj)
+	seg, err := s.activeForAppend(int64(recHeaderLen + len(wire)))
+	if err != nil {
+		return 0, err
+	}
+	base := seg.size
+	if _, werr := s.wf.Write(appendRecord(s.scratch[:0], wire)); werr != nil {
+		s.met.writeErrors.Inc()
+		os.Truncate(seg.path, base)
+		return 0, fmt.Errorf("%w: disk write: %v", store.ErrStoreUnavailable, werr)
+	}
+	if s.opts.Fsync != FsyncNone {
+		t0 := time.Now()
+		if werr := s.wf.Sync(); werr != nil {
+			s.met.writeErrors.Inc()
+			os.Truncate(seg.path, base)
+			return 0, fmt.Errorf("%w: disk sync: %v", store.ErrStoreUnavailable, werr)
+		}
+		s.met.fsyncs.Inc()
+		s.met.fsyncNs.ObserveSince(t0)
+	}
+	s.met.writeBytes.Add(uint64(recHeaderLen + len(wire)))
+
+	s.mu.Lock()
+	seg.size = base + recHeaderLen + int64(len(wire))
+	seg.tombs = append(seg.tombs, obj)
+	removed := 0
+	for _, g := range s.segs {
+		for i := range g.recs {
+			r := &g.recs[i]
+			if r.dead || r.obj != obj {
+				continue
+			}
+			r.dead = true
+			g.live--
+			s.dropRefLocked(g, *r)
+			removed++
+		}
+	}
+	s.met.setInventory(s.blocks, s.bytes, len(s.segs))
+	s.mu.Unlock()
+	s.met.deletes.Inc()
+	s.met.blocksDeleted.Add(uint64(removed))
+	s.compactDeadSegments()
+	return removed, nil
+}
+
+// compactDeadSegments removes sealed segments with no live records —
+// the tombstone honored at compaction time. A segment carrying
+// tombstones is only droppable once no earlier segment still holds
+// physical records (dead ones included) of a tombstoned object: those
+// bytes are still on disk, and without the tombstone a replay would
+// resurrect them. Segments free up oldest-first as a consequence.
+func (s *Store) compactDeadSegments() {
+	s.mu.Lock()
+	var drop []*segment
+	keep := s.segs[:0]
+	for i, seg := range s.segs {
+		sealed := i < len(s.segs)-1
+		droppable := sealed && seg.live == 0 && (len(seg.recs) > 0 || len(seg.tombs) > 0)
+		if droppable {
+			for _, obj := range seg.tombs {
+				for _, prev := range keep { // earlier segments still present
+					for _, r := range prev.recs {
+						if r.obj == obj {
+							droppable = false
+						}
+					}
+				}
+			}
+		}
+		if droppable {
+			drop = append(drop, seg)
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	s.segs = keep
+	if len(drop) > 0 {
+		s.met.setInventory(s.blocks, s.bytes, len(s.segs))
+	}
+	s.mu.Unlock()
+
+	for _, seg := range drop {
+		purged, size := s.cache.purgeSeg(seg.id)
+		s.met.cacheEvictions.Add(uint64(purged))
+		s.met.cacheBytes.Set(size)
+		if err := seg.remove(); err != nil {
+			s.opts.Logf("diskstore: compact dead segment %d: %v", seg.id, err)
+		}
+		s.met.segmentsDeleted.Inc()
+		s.met.segmentsCompacted.Inc()
+		s.opts.Logf("diskstore: compacted segment %d (all %d records dead)", seg.id, len(seg.recs))
+	}
+	if len(drop) > 0 {
+		if err := syncDir(s.dir); err != nil {
+			s.opts.Logf("diskstore: fsync data dir: %v", err)
+		}
+	}
 }
 
 // activeForAppend returns the active segment, rotating first when the
@@ -316,8 +444,31 @@ func (s *Store) recover() error {
 			s.opts.Logf("diskstore: %s: truncated %d-byte torn tail, %d records recovered",
 				filepath.Base(name), res.tornBytes, len(res.seg.recs))
 		}
-		seg := res.seg
+		s.segs = append(s.segs, res.seg)
+	}
+	// Apply each segment's tombstones to every EARLIER segment: all of a
+	// prior segment's records precede the tombstone in log order, so they
+	// die; records after it (same segment, handled in-stream by
+	// loadSegment, or any later segment — a re-put) survive.
+	for i, seg := range s.segs {
+		for _, obj := range seg.tombs {
+			for j := 0; j < i; j++ {
+				prev := s.segs[j]
+				for k := range prev.recs {
+					if prev.recs[k].obj == obj {
+						prev.recs[k].dead = true
+					}
+				}
+			}
+		}
+	}
+	// Index the survivors.
+	for _, seg := range s.segs {
 		for idx, r := range seg.recs {
+			if r.dead {
+				continue
+			}
+			seg.live++
 			s.byHash[r.hash] = append(s.byHash[r.hash], blockRef{seg: seg, idx: idx})
 			k := objLevel{r.obj, int(r.level)}
 			tally := s.tallies[k]
@@ -327,7 +478,6 @@ func (s *Store) recover() error {
 			s.blocks++
 			s.bytes += int64(r.n)
 		}
-		s.segs = append(s.segs, seg)
 	}
 	// Reopen the last segment for append if it still has room; a full
 	// (or absent) one is left sealed and the first flush rotates.

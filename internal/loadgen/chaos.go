@@ -7,12 +7,15 @@ import (
 )
 
 // Injector is what the chaos controller drives. Kill and Restart act on
-// real daemons (a process or an in-process server); the rest act on the
-// generator's own transport via store.FaultDialer, which is where
-// partitions, corruption, and delay live from a client's point of view.
+// real daemons (a process or an in-process server); Join acts on the
+// placement ring (node -1 = the injector's next unjoined spare); the
+// rest act on the generator's own transport via store.FaultDialer,
+// which is where partitions, corruption, and delay live from a client's
+// point of view.
 type Injector interface {
 	Kill(node int) error
 	Restart(node int) error
+	Join(node int) error
 	Partition(node int)
 	Heal(node int)
 	SetCorrupt(prob float64)
@@ -91,6 +94,8 @@ func (c *Controller) apply(f ScheduledFault) error {
 	switch f.Kind {
 	case "kill":
 		return c.inj.Kill(f.Node)
+	case "join":
+		return c.inj.Join(f.Node)
 	case "partition":
 		c.inj.Partition(f.Node)
 	case "corrupt":

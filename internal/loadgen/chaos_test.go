@@ -32,6 +32,7 @@ func (r *recordingInjector) log(s string) {
 
 func (r *recordingInjector) Kill(n int) error    { r.log(call("kill", n)); return nil }
 func (r *recordingInjector) Restart(n int) error { r.log(call("restart", n)); return nil }
+func (r *recordingInjector) Join(n int) error    { r.log(call("join", n)); return nil }
 func (r *recordingInjector) Partition(n int)     { r.log(call("partition", n)) }
 func (r *recordingInjector) Heal(n int)          { r.log(call("heal", n)) }
 func (r *recordingInjector) SetCorrupt(p float64) {

@@ -54,25 +54,43 @@ type ScrapeCheck struct {
 	Detail       string  `json:"detail,omitempty"`
 }
 
+// MigrationCheck summarizes the mover's work during a run with a
+// placement ring: how often it woke, what it re-homed, and what it
+// reclaimed from stale holders. Counts come from the mover's own
+// metrics, so they cover every round of the run.
+type MigrationCheck struct {
+	Rounds            int     `json:"rounds"`
+	RoundErrors       float64 `json:"round_errors"`
+	Kicks             float64 `json:"kicks"`
+	ObjectsPlanned    float64 `json:"objects_planned"`
+	ObjectsMigrated   float64 `json:"objects_migrated"`
+	ObjectErrors      float64 `json:"object_errors"`
+	BlocksRegenerated float64 `json:"blocks_regenerated"`
+	BlocksCopied      float64 `json:"blocks_copied"`
+	DeletesIssued     float64 `json:"deletes_issued"`
+	BlocksReclaimed   float64 `json:"blocks_reclaimed"`
+}
+
 // Report is one scenario's SLO report — the unit of BENCH_load.json.
 type Report struct {
-	Scenario        string        `json:"scenario"`
-	Description     string        `json:"description,omitempty"`
-	Seed            int64         `json:"seed"`
-	Nodes           int           `json:"nodes"`
-	WallSeconds     float64       `json:"wall_seconds"`
-	OpsPlanned      int           `json:"ops_planned"`
-	OpsRun          int           `json:"ops_run"`
-	OpsOK           int           `json:"ops_ok"`
-	ClientErrors    int           `json:"client_errors"`
-	OverloadDropped int           `json:"overload_dropped"`
-	OpsPerSec       float64       `json:"ops_per_sec"`
-	GoodputMBps     float64       `json:"goodput_mbps"`
-	Levels          []LevelStats  `json:"levels"`
-	Decode          DecodeCheck   `json:"decode_check"`
-	ScheduleHash    string        `json:"schedule_hash"`
-	Faults          []FaultRecord `json:"faults,omitempty"`
-	Scrape          ScrapeCheck   `json:"scrape_check"`
+	Scenario        string          `json:"scenario"`
+	Description     string          `json:"description,omitempty"`
+	Seed            int64           `json:"seed"`
+	Nodes           int             `json:"nodes"`
+	WallSeconds     float64         `json:"wall_seconds"`
+	OpsPlanned      int             `json:"ops_planned"`
+	OpsRun          int             `json:"ops_run"`
+	OpsOK           int             `json:"ops_ok"`
+	ClientErrors    int             `json:"client_errors"`
+	OverloadDropped int             `json:"overload_dropped"`
+	OpsPerSec       float64         `json:"ops_per_sec"`
+	GoodputMBps     float64         `json:"goodput_mbps"`
+	Levels          []LevelStats    `json:"levels"`
+	Migration       *MigrationCheck `json:"migration,omitempty"`
+	Decode          DecodeCheck     `json:"decode_check"`
+	ScheduleHash    string          `json:"schedule_hash"`
+	Faults          []FaultRecord   `json:"faults,omitempty"`
+	Scrape          ScrapeCheck     `json:"scrape_check"`
 }
 
 // SLOViolations returns the human-readable list of hard-SLO failures:
@@ -129,6 +147,11 @@ func (r *Report) Text() string {
 			}
 			b.WriteString(line + "\n")
 		}
+	}
+	if m := r.Migration; m != nil {
+		fmt.Fprintf(&b, "  migration: %d rounds, %g kicks, %g/%g objects migrated (%g errors), %g regenerated + %g copied blocks, %g stale blocks reclaimed via %g deletes\n",
+			m.Rounds, m.Kicks, m.ObjectsMigrated, m.ObjectsPlanned, m.ObjectErrors,
+			m.BlocksRegenerated, m.BlocksCopied, m.BlocksReclaimed, m.DeletesIssued)
 	}
 	decode := "bit-exact"
 	if !r.Decode.BitExact {

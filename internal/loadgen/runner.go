@@ -11,6 +11,7 @@ import (
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/mover"
 	"repro/internal/repair"
 	"repro/internal/store"
 )
@@ -83,30 +84,69 @@ func Run(ctx context.Context, fleet Fleet, sc Scenario, rc RunConfig) (*Report, 
 	// transport hooks — and one client registry for the scrape check.
 	dialer := store.NewFaultDialer(nil, store.FaultConfig{Seed: sc.Seed})
 	clientReg := metrics.NewRegistry()
-	clients := make([]*store.Client, len(addrs))
-	for i, a := range addrs {
-		clients[i], err = store.NewClient(store.ClientConfig{
+	dial := func(a string, seedOff int64) (*store.Client, error) {
+		return store.NewClient(store.ClientConfig{
 			Addr:        a,
 			Dialer:      dialer,
 			DialTimeout: time.Second,
 			OpTimeout:   rc.OpTimeout,
 			Retry:       store.RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
-			Seed:        sc.Seed + int64(i),
+			Seed:        sc.Seed + seedOff,
 			Metrics:     clientReg,
+		})
+	}
+
+	// The placement regime under test: a flat replica set over the whole
+	// fleet, or (Placement) the consistent-hash ring over the fleet minus
+	// its spares, which join faults then grow mid-run.
+	var (
+		target Target
+		repl   *store.Replicated
+		placed *store.Placed
+	)
+	if sc.Placement {
+		ring := len(addrs) - sc.Spares
+		if ring <= sc.Tolerance {
+			return nil, fmt.Errorf("loadgen: %d spares leave a %d-node ring for tolerance %d", sc.Spares, ring, sc.Tolerance)
+		}
+		ringClients := make([]*store.Client, ring)
+		for i := 0; i < ring; i++ {
+			if ringClients[i], err = dial(addrs[i], int64(i)); err != nil {
+				return nil, err
+			}
+		}
+		placed, err = store.NewPlaced(ringClients, levels.Count(), store.PlacedConfig{
+			Replication: sc.Replication,
+			Tolerance:   sc.Tolerance,
+			MinWrites:   1,
+			// Joined spares dial through the same fault-injected transport
+			// and metrics registry as the founding members.
+			NewClient: func(addr string) (*store.Client, error) { return dial(addr, int64(len(addrs))) },
+			Metrics:   clientReg,
 		})
 		if err != nil {
 			return nil, err
 		}
+		defer placed.Close()
+		target = placedTarget{placed}
+	} else {
+		clients := make([]*store.Client, len(addrs))
+		for i, a := range addrs {
+			if clients[i], err = dial(a, int64(i)); err != nil {
+				return nil, err
+			}
+		}
+		repl, err = store.NewReplicated(clients, levels.Count(), store.ReplicatedConfig{
+			Tolerance: sc.Tolerance,
+			MinWrites: 1,
+			Metrics:   clientReg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer repl.Close()
+		target = repl
 	}
-	repl, err := store.NewReplicated(clients, levels.Count(), store.ReplicatedConfig{
-		Tolerance: sc.Tolerance,
-		MinWrites: 1,
-		Metrics:   clientReg,
-	})
-	if err != nil {
-		return nil, err
-	}
-	defer repl.Close()
 
 	// Baseline: every object gets a decodable block population before the
 	// clock starts, so gets work from op one and the spot-check has a
@@ -125,7 +165,7 @@ func Run(ctx context.Context, fleet Fleet, sc Scenario, rc RunConfig) (*Report, 
 		for _, b := range blocks {
 			b.Object = objs[i]
 		}
-		if _, err := repl.PutAll(ctx, blocks); err != nil {
+		if _, err := target.PutAll(ctx, blocks); err != nil {
 			return nil, fmt.Errorf("loadgen: seeding object %d: %w", i, err)
 		}
 	}
@@ -137,12 +177,15 @@ func Run(ctx context.Context, fleet Fleet, sc Scenario, rc RunConfig) (*Report, 
 	if err != nil {
 		return nil, err
 	}
-	controller := NewController(schedule, newFleetInjector(fleet, dialer))
+	injector := newFleetInjector(fleet, dialer)
+	if placed != nil {
+		injector.enableJoins(placed.Join, sc.Spares)
+	}
+	controller := NewController(schedule, injector)
 
 	var repairer *repair.Daemon
 	if sc.Repair {
-		repairer, err = repair.New(repl, repair.Config{
-			Object:      objs[0],
+		rcfg := repair.Config{
 			Scheme:      core.PLC,
 			Levels:      levels,
 			Dist:        seedDist,
@@ -150,11 +193,39 @@ func Run(ctx context.Context, fleet Fleet, sc Scenario, rc RunConfig) (*Report, 
 			Interval:    sc.RepairInterval.D(),
 			Seed:        sc.Seed,
 			Metrics:     clientReg,
-		})
+		}
+		if placed != nil {
+			repairer, err = repair.NewObject(placed, objs[0], rcfg)
+		} else {
+			rcfg.Object = objs[0]
+			repairer, err = repair.New(repl, rcfg)
+		}
 		if err != nil {
 			return nil, err
 		}
 		repairer.Start()
+	}
+
+	// Migration: the mover re-homes blocks whenever the ring grows,
+	// kicked synchronously by every membership change and throttled so
+	// it cannot starve the foreground traffic it shares clients with.
+	var mv *mover.Mover
+	if sc.Migrate {
+		mv, err = mover.New(placed, mover.Config{
+			Scheme:      core.PLC,
+			Levels:      levels,
+			Dist:        seedDist,
+			TotalBlocks: seedBlocks,
+			Interval:    sc.MigrateInterval.D(),
+			RateLimit:   sc.MigrateRateBytes,
+			Seed:        sc.Seed,
+			Metrics:     clientReg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		placed.SetMembershipHook(func(store.MembershipChange) { mv.Kick() })
+		mv.Start()
 	}
 
 	ops, err := BuildOps(&sc)
@@ -163,7 +234,7 @@ func Run(ctx context.Context, fleet Fleet, sc Scenario, rc RunConfig) (*Report, 
 	}
 	rc.logf("running %s: %d ops over %v, %d workers, %d faults", sc.Name, len(ops), sc.Duration.D(), sc.Clients, len(schedule))
 
-	gen := newGenerator(&sc, repl, encoders, objs)
+	gen := newGenerator(&sc, target, encoders, objs)
 	start := time.Now()
 	chaosCtx, stopChaos := context.WithCancel(ctx)
 	recsCh := make(chan []FaultRecord, 1)
@@ -180,6 +251,13 @@ func Run(ctx context.Context, fleet Fleet, sc Scenario, rc RunConfig) (*Report, 
 	if repairer != nil {
 		stopCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		repairer.Stop(stopCtx)
+		cancel()
+	}
+	if mv != nil {
+		stopCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := mv.Stop(stopCtx); err != nil {
+			rc.logf("mover stop: %v", err)
+		}
 		cancel()
 	}
 	// Belt and braces: leave the transport clean even if a revert failed.
@@ -199,7 +277,10 @@ func Run(ctx context.Context, fleet Fleet, sc Scenario, rc RunConfig) (*Report, 
 		ScheduleHash: ScheduleHash(schedule),
 	}
 	gen.snapshot(rep, wall)
-	rep.Decode = spotCheck(ctx, repl, objs[0], levels, spotSources, sc.Seed, sc.PayloadBytes)
+	if mv != nil {
+		rep.Migration = migrationCheck(mv.Rounds(), clientReg)
+	}
+	rep.Decode = spotCheck(ctx, target, objs[0], levels, spotSources, sc.Seed, sc.PayloadBytes)
 	rep.Scrape = scrapeCheck(ctx, fleet, clientReg, rep.OpsOK, schedule, rc)
 	rc.logf("%s done: %d/%d ops ok, decode bit-exact=%v", sc.Name, rep.OpsOK, rep.OpsRun, rep.Decode.BitExact)
 	return rep, nil
@@ -208,11 +289,11 @@ func Run(ctx context.Context, fleet Fleet, sc Scenario, rc RunConfig) (*Report, 
 // spotCheck collects the spot-check object from the surviving fleet and
 // verifies the level-0 sources decode byte-identical to what the
 // generator encoded from — the paper's core promise under churn.
-func spotCheck(ctx context.Context, repl *store.Replicated, obj core.ObjectID, levels *core.Levels, sources [][]byte, seed int64, payloadLen int) DecodeCheck {
+func spotCheck(ctx context.Context, target Target, obj core.ObjectID, levels *core.Levels, sources [][]byte, seed int64, payloadLen int) DecodeCheck {
 	dc := DecodeCheck{Object: obj.String(), Level0Blocks: levels.Size(0)}
 	cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	blocks, err := repl.CollectObject(cctx, obj, levels.Count()-1)
+	blocks, err := target.CollectObject(cctx, obj, levels.Count()-1)
 	if err != nil {
 		dc.Err = fmt.Sprintf("collect: %v", err)
 		return dc
@@ -241,6 +322,31 @@ func spotCheck(ctx context.Context, repl *store.Replicated, obj core.ObjectID, l
 	}
 	dc.BitExact = true
 	return dc
+}
+
+// migrationCheck folds the mover's cumulative counters out of the
+// shared client registry into the report — the registry is the only
+// place per-round reports accumulate across the whole run.
+func migrationCheck(rounds int, reg *metrics.Registry) *MigrationCheck {
+	mc := &MigrationCheck{Rounds: rounds}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return mc
+	}
+	samples, err := metrics.ParsePromText(&buf)
+	if err != nil {
+		return mc
+	}
+	mc.RoundErrors = samples.Value("mover_round_errors_total")
+	mc.Kicks = samples.Value("mover_kicks_total")
+	mc.ObjectsPlanned = samples.Value("mover_objects_planned_total")
+	mc.ObjectsMigrated = samples.Value("mover_objects_migrated_total")
+	mc.ObjectErrors = samples.Value("mover_object_errors_total")
+	mc.BlocksRegenerated = samples.Value("mover_blocks_regenerated_total")
+	mc.BlocksCopied = samples.Value("mover_blocks_copied_total")
+	mc.DeletesIssued = samples.Value("mover_deletes_issued_total")
+	mc.BlocksReclaimed = samples.Value("mover_blocks_reclaimed_total")
+	return mc
 }
 
 // scrapeCheck cross-validates the generator's own success count against

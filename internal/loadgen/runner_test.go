@@ -142,6 +142,73 @@ func TestRunPermanentKillStillDecodesLevel0(t *testing.T) {
 	}
 }
 
+// The grow-fleet shape: traffic rides the consistent-hash ring while a
+// spare node joins mid-run and the mover re-homes blocks — zero
+// client-visible errors, bit-exact level-0 decode, and visible
+// migration work in the report.
+func TestRunGrowFleetMigratesUnderLoad(t *testing.T) {
+	sc := miniScenario("mini-grow", 17)
+	sc.Duration = Duration(1500 * time.Millisecond)
+	// Enough objects that with near-certainty at least one lands on the
+	// joining node (ring positions depend on the fleet's random ports).
+	sc.Objects = 10
+	sc.ExpectZeroErrors = true
+	sc.Placement = true
+	sc.Spares = 1
+	sc.Replication = 2
+	sc.Migrate = true
+	sc.MigrateInterval = Duration(100 * time.Millisecond)
+	sc.Faults = []FaultSpec{{At: Duration(400 * time.Millisecond), Kind: "join", Node: -1}}
+
+	// Ring positions come from the fleet's random ports, so on rare
+	// geometries every object's replica set already contains both
+	// original nodes' successors and the join displaces nothing. A fresh
+	// fleet re-rolls the ring, so retry until the mover had work to do
+	// (~1.5% no-op probability per attempt).
+	var rep *Report
+	var m *MigrationCheck
+	for attempt := 0; attempt < 3; attempt++ {
+		fleet := testFleet(t, 3, true)
+		var err error
+		rep, err = Run(context.Background(), fleet, sc, RunConfig{Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ClientErrors != 0 {
+			t.Errorf("%d client-visible errors while the fleet grew", rep.ClientErrors)
+		}
+		if !rep.Decode.BitExact {
+			t.Errorf("decode spot-check failed: %s", rep.Decode.Err)
+		}
+		if len(rep.Faults) != 1 || rep.Faults[0].Err != "" {
+			t.Fatalf("join fault records = %+v", rep.Faults)
+		}
+		m = rep.Migration
+		if m == nil {
+			t.Fatal("no migration stats in the report")
+		}
+		if m.Rounds == 0 {
+			t.Error("mover never ran a round")
+		}
+		if m.Kicks == 0 {
+			t.Error("join never kicked the mover")
+		}
+		if m.ObjectsPlanned > 0 {
+			break
+		}
+		t.Logf("attempt %d: join displaced no objects, re-rolling the ring", attempt)
+	}
+	if m.ObjectsMigrated == 0 {
+		t.Error("nothing migrated after the join")
+	}
+	if m.BlocksReclaimed == 0 || m.DeletesIssued == 0 {
+		t.Errorf("stale copies not reclaimed: %+v", m)
+	}
+	if v := rep.SLOViolations(true); len(v) != 0 {
+		t.Errorf("SLO violations: %v", v)
+	}
+}
+
 func TestServerFleetKillRestart(t *testing.T) {
 	fleet := testFleet(t, 2, false)
 	addrs := fleet.Addrs()
@@ -196,8 +263,8 @@ func TestLoadScenariosFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 4 {
-		t.Fatalf("loaded %d scenarios, want 4", len(got))
+	if len(got) != 5 {
+		t.Fatalf("loaded %d scenarios, want 5", len(got))
 	}
 	if got[2].Name != "churn-storm" || got[2].Faults[0].Kind != "kill" {
 		t.Errorf("scenario 2 = %+v", got[2])

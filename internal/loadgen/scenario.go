@@ -68,6 +68,8 @@ type RatePhase struct {
 //	partition  cut the generator's transport to the node; For heals it
 //	corrupt    flip one byte per written frame with probability Prob; For reverts
 //	delay      delay writes with probability Prob; For reverts
+//	join       add the node to the placement ring (requires Placement);
+//	           -1 means the next spare not yet joined; never reverted
 //
 // For == 0 on kill means the node stays dead for the rest of the run —
 // the repair-under-load shape.
@@ -116,6 +118,23 @@ type Scenario struct {
 	// Tolerance is the replicated store's f: the last level is stored on
 	// f+1 daemons, level 0 on all.
 	Tolerance int `json:"tolerance"`
+	// Placement routes traffic through the object-keyed consistent-hash
+	// placement layer (store.Placed) instead of one flat replica set, so
+	// membership can change mid-run. Join faults and Migrate require it.
+	Placement bool `json:"placement,omitempty"`
+	// Spares holds the last Spares fleet nodes out of the initial ring;
+	// "join" faults grow the ring from this pool (Node -1 = next spare).
+	Spares int `json:"spares,omitempty"`
+	// Replication is the ring's successor-list size R. 0 = store default.
+	Replication int `json:"replication,omitempty"`
+	// Migrate runs the migration mover over the ring for the whole run,
+	// kicked by every membership change — the grow-fleet shape.
+	Migrate bool `json:"migrate,omitempty"`
+	// MigrateInterval overrides the mover's round interval.
+	MigrateInterval Duration `json:"migrate_interval,omitempty"`
+	// MigrateRateBytes caps the mover's transfer bandwidth in bytes/sec
+	// so migration cannot starve foreground traffic; 0 = unthrottled.
+	MigrateRateBytes int64 `json:"migrate_rate_bytes,omitempty"`
 	// QueueDepth bounds the arrival queue; arrivals finding it full are
 	// counted as overload-dropped, never silently blocked on. 0 = 4x
 	// Clients.
@@ -158,6 +177,14 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("loadgen: scenario %s: level_fractions is required", s.Name)
 	case s.Tolerance < 0:
 		return fmt.Errorf("loadgen: scenario %s: tolerance must be >= 0", s.Name)
+	case s.Spares < 0 || s.Replication < 0:
+		return fmt.Errorf("loadgen: scenario %s: spares and replication must be >= 0", s.Name)
+	case s.Spares > 0 && !s.Placement:
+		return fmt.Errorf("loadgen: scenario %s: spares require placement", s.Name)
+	case s.Migrate && !s.Placement:
+		return fmt.Errorf("loadgen: scenario %s: migrate requires placement", s.Name)
+	case s.MigrateRateBytes < 0:
+		return fmt.Errorf("loadgen: scenario %s: migrate_rate_bytes must be >= 0", s.Name)
 	}
 	if len(s.LevelWeights) > 0 && len(s.LevelWeights) != len(s.LevelFractions) {
 		return fmt.Errorf("loadgen: scenario %s: %d level_weights for %d levels",
@@ -170,7 +197,7 @@ func (s *Scenario) Validate() error {
 	}
 	for i, f := range s.Faults {
 		switch f.Kind {
-		case "kill", "partition", "corrupt", "delay":
+		case "kill", "partition", "corrupt", "delay", "join":
 		default:
 			return fmt.Errorf("loadgen: scenario %s: fault %d: unknown kind %q", s.Name, i, f.Kind)
 		}
@@ -182,6 +209,14 @@ func (s *Scenario) Validate() error {
 		}
 		if f.Kind == "partition" && f.For <= 0 {
 			return fmt.Errorf("loadgen: scenario %s: fault %d: partition needs a heal window (for)", s.Name, i)
+		}
+		if f.Kind == "join" {
+			if !s.Placement {
+				return fmt.Errorf("loadgen: scenario %s: fault %d: join requires placement", s.Name, i)
+			}
+			if f.For > 0 {
+				return fmt.Errorf("loadgen: scenario %s: fault %d: join is permanent, drop the revert window", s.Name, i)
+			}
 		}
 	}
 	return nil
@@ -210,7 +245,7 @@ func LoadScenarios(path string) ([]Scenario, error) {
 	return many, nil
 }
 
-// Builtins returns the four named scenarios of the `make loadtest`
+// Builtins returns the five named scenarios of the `make loadtest`
 // matrix, scaled for a small local fleet. Durations and rates are meant
 // to be overridden by the runner's flags for bigger machines.
 func Builtins() []Scenario {
@@ -262,7 +297,23 @@ func Builtins() []Scenario {
 		{At: Duration(2 * time.Second), Kind: "kill", Node: -1}, // never restarted
 		{At: Duration(4 * time.Second), Kind: "corrupt", Node: -1, For: Duration(2 * time.Second), Prob: 0.02},
 	}
-	return []Scenario{steady, flash, churn, repairUL}
+
+	grow := base
+	grow.Name = "grow-fleet"
+	grow.Seed = 5
+	grow.Description = "a spare node joins the ring mid-run and the mover re-homes blocks most-critical-first under live traffic; SLO includes zero client-visible errors and bit-exact level-0 decode"
+	grow.Objects = 10 // enough that some objects land on the new node with near-certainty
+	grow.Placement = true
+	grow.Spares = 1
+	grow.Replication = 2
+	grow.Migrate = true
+	grow.MigrateInterval = Duration(500 * time.Millisecond)
+	grow.MigrateRateBytes = 8 << 20
+	grow.ExpectZeroErrors = true
+	grow.Faults = []FaultSpec{
+		{At: Duration(3 * time.Second), Kind: "join", Node: -1},
+	}
+	return []Scenario{steady, flash, churn, repairUL, grow}
 }
 
 // Builtin returns one builtin scenario by name.
@@ -272,5 +323,5 @@ func Builtin(name string) (Scenario, error) {
 			return s, nil
 		}
 	}
-	return Scenario{}, fmt.Errorf("loadgen: no builtin scenario %q (want steady-state, flash-crowd, churn-storm or repair-under-load)", name)
+	return Scenario{}, fmt.Errorf("loadgen: no builtin scenario %q (want steady-state, flash-crowd, churn-storm, repair-under-load or grow-fleet)", name)
 }

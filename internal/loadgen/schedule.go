@@ -45,22 +45,35 @@ func BuildSchedule(specs []FaultSpec, nodes int, seed int64) ([]ScheduledFault, 
 	last := -1
 	for i, sp := range specs {
 		node := sp.Node
-		if node == -1 {
+		if node == -1 && sp.Kind != "join" {
 			node = rng.Intn(nodes)
 			if node == last && nodes > 1 {
 				node = (node + 1 + rng.Intn(nodes-1)) % nodes
 			}
 		}
-		if node < 0 || node >= nodes {
+		if sp.Kind == "join" {
+			// A join keeps Node == -1: "the next spare" is resolved by the
+			// injector at fire time, because only the runner knows which
+			// fleet nodes started outside the ring.
+			if node < -1 || node >= nodes {
+				return nil, fmt.Errorf("loadgen: fault %d targets node %d of a %d-node fleet", i, sp.Node, nodes)
+			}
+		} else if node < 0 || node >= nodes {
 			return nil, fmt.Errorf("loadgen: fault %d targets node %d of a %d-node fleet", i, sp.Node, nodes)
 		}
-		last = node
+		if node >= 0 {
+			last = node
+		}
 		sf := ScheduledFault{At: sp.At.D(), Kind: sp.Kind, Node: node, Prob: sp.Prob}
-		if sp.For > 0 {
-			sf.RevertAt = sp.At.D() + sp.For.D()
-		} else if sp.Kind == "kill" {
+		switch {
+		case sp.Kind == "join":
+			// A join is never reverted: the ring keeps its new member.
 			sf.RevertAt = -1
-		} else {
+		case sp.For > 0:
+			sf.RevertAt = sp.At.D() + sp.For.D()
+		case sp.Kind == "kill":
+			sf.RevertAt = -1
+		default:
 			// corrupt/delay with no window default to a 1s pulse so a
 			// forgotten "for" cannot poison the rest of the run.
 			sf.RevertAt = sp.At.D() + time.Second

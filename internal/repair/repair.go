@@ -171,6 +171,14 @@ func apportion(shares []float64, total int) ([]int, error) {
 	return out, nil
 }
 
+// DistinctTargets resolves the per-level distinct-block targets the
+// audit measures against — Targets verbatim when set, otherwise Dist
+// apportioned over TotalBlocks by largest remainder. Exported so the
+// migration mover verifies against exactly the targets repair enforces.
+func (cfg *AuditConfig) DistinctTargets(levels int) ([]int, error) {
+	return cfg.distinctTargets(levels)
+}
+
 // distinctTargets resolves the per-level distinct-block targets.
 func (cfg *AuditConfig) distinctTargets(levels int) ([]int, error) {
 	if cfg.Targets != nil {

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -30,6 +31,14 @@ type BlockStore interface {
 	// obj == core.AllObjects selects every object. The returned slices
 	// are read-only and must not be modified by the caller.
 	Get(obj core.ObjectID, maxLevel int) ([][]byte, error)
+
+	// Delete removes every stored block of obj, returning how many were
+	// dropped (0 with a nil error when the object is absent — deletes are
+	// idempotent). The all-objects wildcard is rejected with ErrBadRequest:
+	// reclamation is per object, wiping a node is Close-and-remove. The
+	// migration mover issues Delete against old owners once a re-homed
+	// object's new replica set verifies.
+	Delete(obj core.ObjectID) (removed int, err error)
 
 	// Stats returns an inventory snapshot: aggregate PerLevel sorted
 	// ascending by level, plus PerObject sorted ascending by object ID.
@@ -106,7 +115,19 @@ func (m *MemStore) Put(obj core.ObjectID, level int, wire []byte) (bool, error) 
 func (m *MemStore) Get(obj core.ObjectID, maxLevel int) ([][]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([][]byte, 0, len(m.blocks))
+	// Size the result from the object's own tallies, not the whole store:
+	// a node holding thousands of objects must not allocate a store-wide
+	// header slice for every single-object read.
+	want := 0
+	for k, tally := range m.tallies {
+		if obj != core.AllObjects && k.obj != obj {
+			continue
+		}
+		if maxLevel < 0 || k.level <= maxLevel {
+			want += tally.count
+		}
+	}
+	out := make([][]byte, 0, want)
 	for _, sb := range m.blocks {
 		if obj != core.AllObjects && sb.obj != obj {
 			continue
@@ -116,6 +137,40 @@ func (m *MemStore) Get(obj core.ObjectID, maxLevel int) ([][]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// Delete removes every stored block of obj along with its dedup keys
+// and tallies. Idempotent: deleting an absent object removes nothing.
+func (m *MemStore) Delete(obj core.ObjectID) (int, error) {
+	if obj == core.AllObjects {
+		return 0, fmt.Errorf("%w: delete needs a concrete object", ErrBadRequest)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, fmt.Errorf("%w: engine closed", ErrStoreUnavailable)
+	}
+	kept := m.blocks[:0]
+	removed := 0
+	for _, sb := range m.blocks {
+		if sb.obj != obj {
+			kept = append(kept, sb)
+			continue
+		}
+		removed++
+		m.bytes -= int64(len(sb.data))
+		delete(m.seen, string(sb.data))
+	}
+	for i := len(kept); i < len(m.blocks); i++ {
+		m.blocks[i] = storedBlock{} // release the dropped tails
+	}
+	m.blocks = kept
+	for k := range m.tallies {
+		if k.obj == obj {
+			delete(m.tallies, k)
+		}
+	}
+	return removed, nil
 }
 
 // Stats returns an inventory snapshot.
@@ -178,11 +233,9 @@ func statsFromTallies(blocks int, tallies map[objLevel]levelTally) Stats {
 		}
 		st.PerObject = append(st.PerObject, os)
 	}
-	for i := 1; i < len(st.PerObject); i++ {
-		for j := i; j > 0 && st.PerObject[j].Object < st.PerObject[j-1].Object; j-- {
-			st.PerObject[j], st.PerObject[j-1] = st.PerObject[j-1], st.PerObject[j]
-		}
-	}
+	sort.Slice(st.PerObject, func(i, j int) bool {
+		return st.PerObject[i].Object < st.PerObject[j].Object
+	})
 	return st
 }
 
@@ -192,10 +245,6 @@ func levelCounts(perLevel map[int]levelTally) []LevelCount {
 	for lvl, tally := range perLevel {
 		out = append(out, LevelCount{Level: lvl, Count: tally.count, Bytes: tally.bytes})
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Level < out[j-1].Level; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Level < out[j].Level })
 	return out
 }

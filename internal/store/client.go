@@ -329,6 +329,22 @@ func (c *Client) Stat(ctx context.Context) (Stats, error) {
 	return decodeStats(resp)
 }
 
+// Delete removes every stored block of one concrete object from the
+// server, returning how many blocks the engine dropped. Idempotent
+// (a retry after a lost ack answers 0 removed), so it retries like any
+// other op. The migration mover calls it to reclaim old owners once a
+// re-homed object's new replica set has verified.
+func (c *Client) Delete(ctx context.Context, obj core.ObjectID) (int, error) {
+	if obj == core.AllObjects {
+		return 0, fmt.Errorf("%w: delete needs a concrete object", ErrBadRequest)
+	}
+	resp, err := c.do(ctx, "delete", frameDelete, encodeDeleteBody(obj), frameDeleted)
+	if err != nil {
+		return 0, err
+	}
+	return decodeDeleted(resp)
+}
+
 // Segments fetches the server's on-disk segment listing. Daemons running
 // the in-memory engine reject the request with ErrBadRequest.
 func (c *Client) Segments(ctx context.Context) ([]SegmentInfo, error) {

@@ -42,12 +42,14 @@ const (
 	framePing     = 'i' // body: empty
 	frameShutdown = 'Q' // body: empty; server acks, drains, and exits
 	frameSegments = 'E' // body: empty; lists the disk engine's segments
+	frameDelete   = 'D' // body: uint64 object ID; removes every block of the object
 
 	frameOK      = '+' // body: empty
 	frameErr     = '!' // body: code byte + UTF-8 message
 	frameBlocks  = 'B' // body: uint32 n, then n x (uint32 len, block bytes)
 	frameStats   = 's' // body: uint32 total, uint16 n, n x (uint16 level, uint32 count)
 	frameSegList = 'e' // body: uint16 n, n x segListEntry bytes (see encodeSegmentList)
+	frameDeleted = 'd' // body: uint32 removed block count
 )
 
 // Error codes carried in frameErr bodies. The code tells the client
@@ -276,6 +278,45 @@ func decodeGetBody(body []byte) (core.ObjectID, int, error) {
 		obj = core.ObjectID(binary.BigEndian.Uint64(body[2:]))
 	}
 	return obj, maxLevel, nil
+}
+
+// deleteBodyLen is the frameDelete request body: one uint64 object ID.
+// There is no legacy form — deletes postdate the object namespace, and
+// the wildcard is rejected so a single frame can never wipe a node.
+const deleteBodyLen = 8
+
+// encodeDeleteBody builds a delete request body for one concrete object.
+func encodeDeleteBody(obj core.ObjectID) []byte {
+	return binary.BigEndian.AppendUint64(make([]byte, 0, deleteBodyLen), uint64(obj))
+}
+
+// decodeDeleteBody parses a delete request, rejecting the all-objects
+// wildcard: reclamation is per object by design.
+func decodeDeleteBody(body []byte) (core.ObjectID, error) {
+	if len(body) != deleteBodyLen {
+		return 0, fmt.Errorf("%w: delete body %d bytes, want %d", ErrBadRequest, len(body), deleteBodyLen)
+	}
+	obj := core.ObjectID(binary.BigEndian.Uint64(body))
+	if obj == core.AllObjects {
+		return 0, fmt.Errorf("%w: delete needs a concrete object", ErrBadRequest)
+	}
+	return obj, nil
+}
+
+// encodeDeleted builds a frameDeleted response body.
+func encodeDeleted(removed int) []byte {
+	if removed < 0 || uint64(removed) > 0xFFFFFFFF {
+		removed = 0xFFFFFFFF
+	}
+	return binary.BigEndian.AppendUint32(make([]byte, 0, 4), uint32(removed))
+}
+
+// decodeDeleted parses a frameDeleted response body.
+func decodeDeleted(body []byte) (int, error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("%w: deleted body %d bytes, want 4", ErrCorruptFrame, len(body))
+	}
+	return int(binary.BigEndian.Uint32(body)), nil
 }
 
 // SegmentInfo describes one on-disk segment of a disk-backed engine —

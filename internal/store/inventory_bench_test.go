@@ -1,0 +1,38 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkStatsManyObjects exercises the multi-object inventory path
+// that used to rebuild its sorted sections by insertion into the middle
+// of a slice — O(n²) in the object count, felt by every stat-driven
+// audit once a node carries hundreds of namespaces. The fix sorts once.
+func BenchmarkStatsManyObjects(b *testing.B) {
+	for _, objects := range []int{16, 256, 2048} {
+		b.Run(fmt.Sprintf("objects=%d", objects), func(b *testing.B) {
+			m := NewMemStore(0)
+			defer m.Close()
+			const levels = 4
+			for o := 0; o < objects; o++ {
+				obj := core.NamedObject(fmt.Sprintf("bench-%d", o))
+				for lvl := 0; lvl < levels; lvl++ {
+					wire := []byte(fmt.Sprintf("o%04d-l%d", o, lvl))
+					if _, err := m.Put(obj, lvl, wire); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := m.Stats()
+				if len(st.PerObject) != objects {
+					b.Fatalf("stats found %d objects, want %d", len(st.PerObject), objects)
+				}
+			}
+		})
+	}
+}

@@ -38,6 +38,9 @@ type serverMetrics struct {
 	unknown      *metrics.Counter
 	requestNs    *metrics.Histogram
 
+	deletes        *metrics.Counter
+	deletesRemoved *metrics.Counter
+
 	blocks     *metrics.Gauge
 	blockBytes *metrics.Gauge
 }
@@ -57,6 +60,8 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 		pings:         r.Counter(`store_server_requests_total{op="ping"}`),
 		shutdowns:     r.Counter(`store_server_requests_total{op="shutdown"}`),
 		unknown:       r.Counter(`store_server_requests_total{op="unknown"}`),
+		deletes:       r.Counter(`store_server_requests_total{op="delete"}`),
+		deletesRemoved: r.Counter("store_server_deletes_removed_total"),
 		putsStored:    r.Counter("store_server_puts_stored_total"),
 		putsDeduped:   r.Counter("store_server_puts_deduped_total"),
 		putsRejected:  r.Counter("store_server_puts_rejected_total"),

@@ -64,16 +64,65 @@ type PlacedConfig struct {
 	// Metrics, when non-nil, receives placement counters plus each
 	// shard's per-node outcome series {node="addr"}.
 	Metrics *metrics.Registry
+	// OnMembershipChange, when non-nil, is called synchronously after
+	// every membership event (join, leave, liveness flip), outside the
+	// placement lock, with the exact ownership diff of the cached
+	// objects: which objects moved, from whom, to whom. The migration
+	// mover hangs off this hook to re-home data the moment placement
+	// shifts. The callback may call back into Placed.
+	OnMembershipChange func(MembershipChange)
 }
 
-// NodeID maps a node address onto the ring — FNV-64a, the same
-// hash-of-address model NewRandom simulates. Exported so tools and tests
-// can predict ownership.
+// OwnershipChange records one object's replica-set move across a
+// membership event: the successor lists before and after, nearest
+// first. Old is nil for an object placed for the first time after the
+// event; New is nil when no alive successor remains.
+type OwnershipChange struct {
+	Object core.ObjectID
+	Old    []string
+	New    []string
+}
+
+// MembershipChange is the payload of the OnMembershipChange hook: the
+// placement generation after the event plus the ownership diff over the
+// objects with cached shards. Objects this Placed has never looked up
+// do not appear (nothing cached to diff); movers that must cover cold
+// objects enumerate them from each node's Stats().PerObject inventory.
+type MembershipChange struct {
+	Gen     uint64
+	Changed []OwnershipChange
+}
+
+// NodeID maps a node address onto the ring — FNV-64a through the ring
+// finalizer, the same hash-of-address model NewRandom simulates.
+// Exported so tools and tests can predict ownership.
 func NodeID(addr string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(addr))
-	return h.Sum64()
+	return ringMix(h.Sum64())
 }
+
+// ringMix finalizes a raw 64-bit identity into a ring position. FNV-64a
+// — behind both object IDs and node addresses — barely avalanches its
+// last input byte: names or addresses that differ only in a trailing
+// character ("load/3" vs "load/4", sequential ports) land within a
+// sliver of the ring, collapsing whole workloads onto one successor
+// list and starving every other arc. A splitmix64 finalizer spreads
+// them uniformly. Ring positions are recomputed from addresses and
+// object IDs on every boot, so remixing costs nothing in compatibility:
+// nothing on disk or on the wire stores a ring position.
+func ringMix(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// ringKey is an object's ring position: its ID through the same
+// finalizer the nodes use.
+func ringKey(obj core.ObjectID) uint64 { return ringMix(uint64(obj)) }
 
 // NewPlaced builds the placement layer over the given clients (one per
 // storage node, all initially alive) for a code with `levels` priority
@@ -146,12 +195,13 @@ func (p *Placed) Close() error {
 // Unknown addresses are an error (Join adds new ones).
 func (p *Placed) SetAlive(addr string, alive bool) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	idx, ok := p.byAddr[addr]
 	if !ok {
+		p.mu.Unlock()
 		return fmt.Errorf("store: unknown placement node %q", addr)
 	}
 	if p.ring.Alive(idx) == alive {
+		p.mu.Unlock()
 		return nil
 	}
 	if alive {
@@ -160,8 +210,10 @@ func (p *Placed) SetAlive(addr string, alive bool) error {
 		p.ring.Fail(idx)
 	}
 	p.ring.Stabilize()
-	p.bumpLocked()
+	ev := p.bumpLocked()
 	p.met.membershipEvents.Inc()
+	p.mu.Unlock()
+	p.notifyMembership(ev)
 	return nil
 }
 
@@ -170,14 +222,16 @@ func (p *Placed) SetAlive(addr string, alive bool) error {
 func (p *Placed) Join(addr string) error {
 	p.mu.Lock()
 	if idx, known := p.byAddr[addr]; known {
-		defer p.mu.Unlock()
 		if p.ring.Alive(idx) {
+			p.mu.Unlock()
 			return nil
 		}
 		p.ring.Recover(idx)
 		p.ring.Stabilize()
-		p.bumpLocked()
+		ev := p.bumpLocked()
 		p.met.membershipEvents.Inc()
+		p.mu.Unlock()
+		p.notifyMembership(ev)
 		return nil
 	}
 	if p.closed {
@@ -192,29 +246,34 @@ func (p *Placed) Join(addr string) error {
 		return fmt.Errorf("store: join %s: %w", addr, err)
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if _, raced := p.byAddr[addr]; raced || p.closed {
+		closed := p.closed
+		p.mu.Unlock()
 		cl.Close() // someone else joined it meanwhile, or we shut down
-		if p.closed {
+		if closed {
 			return ErrClientClosed
 		}
 		return nil
 	}
 	idx, err := p.ring.Join(NodeID(addr))
 	if err != nil {
+		p.mu.Unlock()
 		cl.Close()
 		return fmt.Errorf("store: join %s: %w", addr, err)
 	}
 	if idx != len(p.clients) {
+		p.mu.Unlock()
 		cl.Close()
 		return fmt.Errorf("store: ring index %d out of step with %d clients", idx, len(p.clients))
 	}
 	p.byAddr[addr] = idx
 	p.addrOf = append(p.addrOf, addr)
 	p.clients = append(p.clients, cl)
-	p.bumpLocked()
+	ev := p.bumpLocked()
 	p.met.membershipEvents.Inc()
 	p.met.nodes.Set(int64(len(p.clients)))
+	p.mu.Unlock()
+	p.notifyMembership(ev)
 	return nil
 }
 
@@ -222,10 +281,67 @@ func (p *Placed) Join(addr string) error {
 // revives it without redialing).
 func (p *Placed) Leave(addr string) error { return p.SetAlive(addr, false) }
 
-// bumpLocked invalidates cached shards after a membership change.
-func (p *Placed) bumpLocked() {
+// bumpLocked advances the placement generation and invalidates ONLY the
+// cached shards whose successor list actually changed — an event on the
+// far side of the ring must not cold-start every shard (and its
+// {node="addr"} metric series) on this one. Unchanged entries are
+// re-stamped with the new generation; changed ones are dropped and
+// reported in the returned diff, which is also exactly what the
+// migration mover needs to know.
+func (p *Placed) bumpLocked() MembershipChange {
 	p.gen++
-	p.shards = make(map[core.ObjectID]*shardEntry)
+	ev := MembershipChange{Gen: p.gen}
+	for obj, e := range p.shards {
+		old := e.repl.cfg.ReplicaLabels
+		idxs, err := p.ring.Successors(ringKey(obj), p.cfg.Replication)
+		if err != nil {
+			// No alive successor remains: the shard is unplaceable.
+			delete(p.shards, obj)
+			ev.Changed = append(ev.Changed, OwnershipChange{
+				Object: obj,
+				Old:    append([]string(nil), old...),
+			})
+			continue
+		}
+		addrs := make([]string, len(idxs))
+		same := len(idxs) == len(old)
+		for i, idx := range idxs {
+			addrs[i] = p.addrOf[idx]
+			if same && addrs[i] != old[i] {
+				same = false
+			}
+		}
+		if same {
+			e.gen = p.gen
+			continue
+		}
+		delete(p.shards, obj)
+		ev.Changed = append(ev.Changed, OwnershipChange{
+			Object: obj,
+			Old:    append([]string(nil), old...),
+			New:    addrs,
+		})
+	}
+	return ev
+}
+
+// notifyMembership fires the OnMembershipChange hook outside the lock.
+func (p *Placed) notifyMembership(ev MembershipChange) {
+	p.mu.RLock()
+	hook := p.cfg.OnMembershipChange
+	p.mu.RUnlock()
+	if hook != nil {
+		hook(ev)
+	}
+}
+
+// SetMembershipHook installs (or replaces) the OnMembershipChange
+// callback after construction — the mover is built over an existing
+// Placed, so the hook cannot exist before the store does.
+func (p *Placed) SetMembershipHook(hook func(MembershipChange)) {
+	p.mu.Lock()
+	p.cfg.OnMembershipChange = hook
+	p.mu.Unlock()
 }
 
 // Probe pings one node — exactly the gossip.Prober contract, so a
@@ -269,7 +385,7 @@ func (p *Placed) Shard(obj core.ObjectID) (*Replicated, error) {
 	if e, hit := p.shards[obj]; hit && e.gen == p.gen {
 		return e.repl, nil
 	}
-	idxs, err := p.ring.Successors(uint64(obj), p.cfg.Replication)
+	idxs, err := p.ring.Successors(ringKey(obj), p.cfg.Replication)
 	if err != nil {
 		return nil, fmt.Errorf("store: place %s: %w", obj, err)
 	}
@@ -340,6 +456,26 @@ func (p *Placed) Collect(ctx context.Context, obj core.ObjectID, maxLevel int) (
 	p.met.collects.Inc()
 	return repl.CollectObject(ctx, obj, maxLevel)
 }
+
+// ClientFor returns the client dialed to one known node, dead or alive
+// — the per-node access a mover needs to inventory old owners and
+// reclaim them, which shard fan-out (alive successors only) cannot
+// reach.
+func (p *Placed) ClientFor(addr string) (*Client, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	idx, ok := p.byAddr[addr]
+	if !ok {
+		return nil, fmt.Errorf("store: unknown placement node %q", addr)
+	}
+	return p.clients[idx], nil
+}
+
+// Replication returns R, the successor-list size objects spread over.
+func (p *Placed) Replication() int { return p.cfg.Replication }
+
+// Tolerance returns f, the loss count the least-critical level survives.
+func (p *Placed) Tolerance() int { return p.cfg.Tolerance }
 
 // RingMember is one node's placement view for tooling (prlcd ring).
 type RingMember struct {

@@ -85,6 +85,16 @@ func (r *Replicated) Clients() []*Client {
 // Levels returns the number of priority levels the store was built for.
 func (r *Replicated) Levels() int { return r.levels }
 
+// ReplicaLabels returns the replica labels as a fresh slice — for a
+// placement shard, the node addresses in successor order. Nil when the
+// store was built without labels (positional replicas).
+func (r *Replicated) ReplicaLabels() []string {
+	if r.cfg.ReplicaLabels == nil {
+		return nil
+	}
+	return append([]string(nil), r.cfg.ReplicaLabels...)
+}
+
 // Close closes every client.
 func (r *Replicated) Close() error {
 	for _, c := range r.clients {

@@ -249,6 +249,9 @@ func (s *Server) handleConn(raw net.Conn) {
 		case frameSegments:
 			s.met.segments.Inc()
 			err = s.handleSegments(conn)
+		case frameDelete:
+			s.met.deletes.Inc()
+			err = s.handleDelete(conn, body)
 		case framePing:
 			s.met.pings.Inc()
 			err = writeFrame(conn, frameOK, nil)
@@ -323,6 +326,32 @@ func (s *Server) handleGet(conn net.Conn, body []byte) error {
 		return nil
 	}
 	return writeFrame(conn, frameBlocks, resp)
+}
+
+// handleDelete reclaims one object's blocks from the engine — the
+// migration mover's release op against an old owner. Idempotent: a
+// retried delete of an already-gone object answers 0 removed.
+func (s *Server) handleDelete(conn net.Conn, body []byte) error {
+	obj, err := decodeDeleteBody(body)
+	if err != nil {
+		writeErrFrame(conn, errCodeBad, err.Error())
+		return nil
+	}
+	removed, err := s.blocks.Delete(obj)
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeErrFrame(conn, errCodeBad, err.Error())
+		return nil
+	case err != nil:
+		writeErrFrame(conn, errCodeUnavailable, err.Error())
+		return nil
+	}
+	if removed > 0 {
+		s.met.deletesRemoved.Add(uint64(removed))
+		s.met.blocks.Set(int64(s.blocks.Len()))
+		s.met.blockBytes.Set(s.blocks.Bytes())
+	}
+	return writeFrame(conn, frameDeleted, encodeDeleted(removed))
 }
 
 // handleSegments answers the segment inspection op. An engine without
